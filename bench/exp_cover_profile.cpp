@@ -1,0 +1,95 @@
+// E16 — the shape of a COBRA covering run.
+//
+// The paper's phase decomposition (Sections 4-5, for the dual BIPS) has a
+// visible primal counterpart: the particle set saturates in the first
+// O(log n) rounds, the bulk of vertices is visited while |C_t| = Theta(n),
+// and the final stragglers take a coupon-collector-like tail. This
+// experiment quantifies the three phases per family (rounds to 50%/90%/100%
+// visited, peak |C_t|, tail share of the total time) and archives the full
+// averaged curves for plotting.
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+#include "sim/experiment.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/stats.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cobra;
+  const std::uint64_t seed = util::global_seed();
+  const auto reps = sim::default_replicates(24);
+
+  sim::Experiment exp(
+      "exp_cover_profile",
+      "Phase structure of COBRA covering runs (primal mirror of the "
+      "paper's Sections 4-5 phases): saturation, bulk, straggler tail.",
+      {"graph", "n", "t(50%)", "t(90%)", "t(100%)", "peak |C_t|",
+       "peak/n", "tail share"});
+
+  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 601), 0);
+  struct Case {
+    std::string label;
+    graph::Graph g;
+  };
+  const Case cases[] = {
+      {"complete(1024)", graph::complete(1024)},
+      {"regular(1024,4)", graph::connected_random_regular(1024, 4, grng)},
+      {"hypercube(10)", graph::hypercube(10)},
+      {"torus(33x33)", graph::torus_power(33, 2)},
+      {"cycle(513)", graph::cycle(513)},
+      {"star(512)", graph::star(512)},
+  };
+
+  util::CsvWriter curves("bench_results/exp_cover_profile_curves.csv",
+                         {"graph", "round", "active", "visited"});
+  for (const auto& c : cases) {
+    const graph::Graph& g = c.g;
+    const auto n = g.num_vertices();
+    std::vector<double> t50(reps), t90(reps), t100(reps), peak(reps),
+        tail(reps);
+    std::vector<core::CobraTrace> first_trace(1);
+    sim::parallel_replicates(
+        reps, rng::derive_seed(seed, 602), [&](std::uint64_t i,
+                                               rng::Rng& rng) {
+          const auto trace = core::run_cobra_trace(
+              g, core::ProcessOptions{}, 0, 100'000'000, rng);
+          const auto profile = core::summarize_trace(trace, n);
+          t50[i] = static_cast<double>(profile.to_half);
+          t90[i] = static_cast<double>(profile.to_ninety);
+          t100[i] = static_cast<double>(profile.to_cover);
+          peak[i] = static_cast<double>(profile.peak_active);
+          tail[i] = profile.tail_fraction;
+          if (i == 0) first_trace[0] = trace;
+        });
+    for (const auto& r : first_trace[0].rounds)
+      curves.row().add(c.label).add(r.round)
+          .add(static_cast<std::uint64_t>(r.active))
+          .add(static_cast<std::uint64_t>(r.visited));
+
+    exp.row().add(c.label).add(static_cast<std::uint64_t>(n))
+        .add(sim::mean(t50), 1).add(sim::mean(t90), 1)
+        .add(sim::mean(t100), 1)
+        .add(sim::mean(peak), 0)
+        .add(sim::mean(peak) / static_cast<double>(n), 3)
+        .add(sim::mean(tail), 3);
+  }
+  curves.close();
+
+  exp.note("peak/n ~ 1 - e^{-2} ~ 0.86 on K_n and dense expanders "
+           "(branching-two saturation); lower on geometric families where "
+           "the frontier is boundary-limited.");
+  exp.note("tail share: fraction of the run spent on the last 10% of "
+           "vertices — the coupon-collector phase the paper's third stage "
+           "bounds via Lemma 4.3.");
+  exp.note("first-replicate curves -> bench_results/exp_cover_profile_"
+           "curves.csv");
+  exp.finish();
+  return 0;
+}

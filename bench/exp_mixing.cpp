@@ -1,0 +1,91 @@
+// E17 — what the eigenvalue gap buys: mixing vs covering.
+//
+// Theorem 1.2's r/(1-lambda) term is a mixing-driven quantity (1/(1-lambda)
+// is the walk's relaxation time). This experiment puts the measured COBRA
+// cover time next to the EXACT total-variation mixing time of the lazy walk
+// and the spectral bound t_rel ln(1/(eps pi_min)), per family. The paper's
+// message in numbers: COBRA covers in O(log n) on expanders where the walk
+// mixes fast, yet still covers in ~n rounds on cycles where the walk needs
+// ~n^2 to mix — covering is cheaper than mixing, which is why the paper's
+// direct BIPS analysis beats mixing-based arguments.
+#include <cmath>
+#include <string>
+
+#include "core/estimators.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+#include "sim/experiment.hpp"
+#include "sim/stats.hpp"
+#include "spectral/mixing.hpp"
+#include "spectral/spectral.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cobra;
+  const std::uint64_t seed = util::global_seed();
+  const std::uint64_t reps = sim::default_replicates(24);
+
+  sim::Experiment exp(
+      "exp_mixing",
+      "Mixing vs covering: exact lazy-walk t_mix(1/4), spectral bound, and "
+      "measured COBRA cover time (cover << t_mix on slow-mixing graphs).",
+      {"graph", "n", "lambda", "t_rel", "t_mix exact", "t_mix bound",
+       "cover mean", "cover/t_mix"});
+
+  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 801), 0);
+  struct Case {
+    std::string label;
+    graph::Graph g;
+  };
+  const Case cases[] = {
+      {"complete(512)", graph::complete(512)},
+      {"regular(512,4)", graph::connected_random_regular(512, 4, grng)},
+      {"hypercube(9)", graph::hypercube(9)},
+      {"torus(23x23)", graph::torus_power(23, 2)},
+      {"cycle(513)", graph::cycle(513)},
+      {"barbell(24,1)", graph::barbell(24, 1)},
+  };
+
+  for (const auto& c : cases) {
+    const graph::Graph& g = c.g;
+    // Lazy-walk gap: every eigenvalue mu maps to (1+mu)/2, so
+    // lambda_lazy = (1 + mu2)/2 where mu2 is the second-largest.
+    const auto spec = spectral::compute_lambda(g, seed);
+    // For bipartite graphs lambda = |mu_n| = 1; the lazy chain's lambda is
+    // still (1 + mu2)/2 < 1, which compute_lambda does not give directly,
+    // so recover mu2 from the lazy mixing itself when lambda ~ 1.
+    const double t_mix = static_cast<double>(
+        spectral::exact_mixing_time(g, 0, 0.25, 0.5, 1u << 22));
+    double lambda_lazy;
+    if (spec.lambda < 1.0 - 1e-9) {
+      lambda_lazy = (1.0 + spec.lambda) / 2.0;
+    } else {
+      // mu2 unknown from |.|-lambda; bound t_rel from the measured t_mix
+      // (t_rel <= t_mix / ln 2 is the standard reverse inequality).
+      lambda_lazy = 1.0 - std::log(2.0) / std::max(1.0, t_mix);
+    }
+    const double t_rel = spectral::relaxation_time(lambda_lazy);
+    const double bound = spectral::mixing_time_bound(g, lambda_lazy, 0.25);
+
+    const auto samples = core::estimate_cobra_cover(
+        g, core::ProcessOptions{}, 0, reps, rng::derive_seed(seed, 802),
+        static_cast<std::uint64_t>(1e8));
+    const auto s = sim::summarize(samples.rounds);
+
+    exp.row().add(c.label)
+        .add(static_cast<std::uint64_t>(g.num_vertices()))
+        .add(spec.lambda, 4)
+        .add(t_rel, 1).add(t_mix, 0).add(bound, 0)
+        .add(s.mean, 1)
+        .add(s.mean / std::max(1.0, t_mix), 3);
+  }
+
+  exp.note("cover/t_mix >> 1 on fast mixers (K_n: covering needs log n "
+           "rounds, mixing is instant) but << 1 on slow mixers (cycle: "
+           "cover ~ n vs t_mix ~ n^2) — covering does not wait for mixing, "
+           "the structural insight behind the paper's direct analysis.");
+  exp.finish();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// E2 — Theorem 1.2: on connected r-regular graphs with eigenvalue gap
+// 1 - lambda > C sqrt(log n / n), the COBRA (b = 2) cover time is
+// O((r/(1-lambda) + r^2) log n).
+//
+// Reproduction: random r-regular graphs (expanders w.h.p.) plus odd cycles
+// and tori (small-gap regulars). For each instance we measure lambda and
+// print the three competing predictions:
+//    thm1.2 (this paper), PODC'16 ln n/gap^3, SPAA'16 r^4/phi^2 ln^2 n.
+// The paper's claims to verify: (i) measured p95 <= O(thm1.2), (ii) thm1.2
+// beats PODC'16 whenever 1-lambda = o(1/sqrt(r)), and beats SPAA'16
+// throughout (via Cheeger 1-lambda >= phi^2/2).
+#include <cmath>
+#include <string>
+
+#include "core/bounds.hpp"
+#include "core/estimators.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+#include "sim/experiment.hpp"
+#include "sim/stats.hpp"
+#include "spectral/conductance.hpp"
+#include "spectral/spectral.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cobra;
+  const std::uint64_t seed = util::global_seed();
+  const std::uint64_t reps = sim::default_replicates(24);
+
+  sim::Experiment exp(
+      "exp_regular_bound",
+      "Theorem 1.2: cover = O((r/gap + r^2) ln n) on r-regular graphs; "
+      "comparison with PODC'16 (ln n/gap^3) and SPAA'16 (r^4/phi^2 ln^2 n).",
+      {"graph", "n", "r", "lambda", "margin", "mean", "p95", "thm1.2",
+       "podc16", "spaa16", "p95/thm1.2", "winner"});
+
+  struct Case {
+    std::string label;
+    graph::Graph g;
+  };
+  std::vector<Case> cases;
+  const auto n_base = static_cast<graph::VertexId>(util::scaled(1024, 128));
+  {
+    rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 21), 0);
+    for (const std::uint32_t r : {3u, 8u, 16u, 32u}) {
+      cases.push_back({"random_regular r=" + std::to_string(r),
+                       graph::connected_random_regular(n_base, r, grng)});
+    }
+  }
+  cases.push_back({"odd cycle (tiny gap)",
+                   graph::cycle(n_base | 1u)});
+  {
+    const auto side = static_cast<graph::VertexId>(
+        std::lround(std::sqrt(static_cast<double>(n_base))) | 1);
+    cases.push_back({"2D torus (odd side)", graph::torus_power(side, 2)});
+  }
+
+  for (const auto& c : cases) {
+    const graph::Graph& g = c.g;
+    const auto spec = spectral::compute_lambda(g, seed);
+    const double phi = spectral::estimate_conductance(g, seed);
+    const double margin =
+        spectral::gap_condition_margin(spec.lambda, g.num_vertices());
+
+    const double b_new = core::bound_thm12_regular(
+        g.num_vertices(), g.max_degree(), spec.lambda);
+    const double b_podc =
+        core::bound_podc16_regular(g.num_vertices(), spec.lambda);
+    const double b_spaa = core::bound_spaa16_regular(
+        g.num_vertices(), g.max_degree(), phi);
+
+    const auto samples = core::estimate_cobra_cover(
+        g, core::ProcessOptions{}, 0, reps, rng::derive_seed(seed, 22),
+        static_cast<std::uint64_t>(100.0 * b_new) + 10000);
+    const auto s = sim::summarize(samples.rounds);
+
+    const char* winner = (b_new <= b_podc && b_new <= b_spaa) ? "thm1.2"
+                         : (b_podc <= b_spaa)                 ? "podc16"
+                                                              : "spaa16";
+    exp.row().add(c.label)
+        .add(static_cast<std::uint64_t>(g.num_vertices()))
+        .add(static_cast<std::uint64_t>(g.max_degree()))
+        .add(spec.lambda, 5).add(margin, 2)
+        .add(s.mean, 1).add(s.p95, 1)
+        .add(b_new, 0).add(b_podc, 0).add(b_spaa, 0)
+        .add(s.p95 / b_new, 4).add(winner);
+    if (samples.timeouts > 0)
+      exp.note(c.label + ": " + std::to_string(samples.timeouts) +
+               " timeouts!");
+  }
+
+  exp.note("margin = (1-lambda)/sqrt(ln n/n): Theorem 1.2 assumes this "
+           "exceeds a constant C; rows with small margins (odd cycle) sit "
+           "outside the theorem's regime and are shown for contrast.");
+  exp.note("expected shape: p95/thm1.2 << 1 everywhere (the theorem's "
+           "constants are >> 1). 'winner' = thm1.2 exactly where the paper "
+           "claims the improvement: 1-lambda small relative to 1/sqrt(r) "
+           "(low-degree expanders r=3, tori, cycles); podc16 remains "
+           "smaller on strong expanders with large gap, as expected.");
+  exp.finish();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E14 (design ablation): the two BIPS kernels are identical in law but have
+// different cost models — sampling is O(n·b) per round, the probability
+// kernel is O(d(A_t) + |N(A_t)|). This bench quantifies the crossover.
+#include <benchmark/benchmark.h>
+
+#include "core/bips.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using namespace cobra;
+using namespace cobra::core;
+
+graph::Graph bench_graph(int id) {
+  rng::Rng rng = rng::make_stream(31338, static_cast<std::uint64_t>(id));
+  switch (id) {
+    case 0: return graph::complete(1024);          // dense
+    case 1: return graph::torus_power(64, 2);      // sparse, degree 4
+    case 2: return graph::connected_random_regular(4096, 8, rng);
+    default: return graph::cycle(4096);            // sparse, degree 2
+  }
+}
+
+const char* bench_graph_name(int id) {
+  switch (id) {
+    case 0: return "complete_1024";
+    case 1: return "torus_64x64";
+    case 2: return "regular_4096_r8";
+    default: return "cycle_4096";
+  }
+}
+
+void run_kernel(benchmark::State& state, BipsKernel kernel) {
+  const int id = static_cast<int>(state.range(0));
+  const graph::Graph g = bench_graph(id);
+  state.SetLabel(bench_graph_name(id));
+  BipsOptions opt;
+  opt.kernel = kernel;
+  BipsProcess p(g, 0, opt);
+  rng::Rng rng = rng::make_stream(3, 0);
+  // Measure full infections (restarting when absorbed) so both the sparse
+  // start-up and the saturated phase are represented.
+  for (auto _ : state) {
+    p.step(rng);
+    if (p.fully_infected()) p.reset(0);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_vertices()));
+}
+
+void BM_BipsRoundSampling(benchmark::State& state) {
+  run_kernel(state, BipsKernel::kSampling);
+}
+BENCHMARK(BM_BipsRoundSampling)->DenseRange(0, 3);
+
+void BM_BipsRoundProbability(benchmark::State& state) {
+  run_kernel(state, BipsKernel::kProbability);
+}
+BENCHMARK(BM_BipsRoundProbability)->DenseRange(0, 3);
+
+void BM_BipsFullInfection(benchmark::State& state) {
+  const int id = static_cast<int>(state.range(0));
+  const graph::Graph g = bench_graph(id);
+  state.SetLabel(bench_graph_name(id));
+  const auto kernel =
+      state.range(1) == 0 ? BipsKernel::kSampling : BipsKernel::kProbability;
+  BipsOptions opt;
+  opt.kernel = kernel;
+  BipsProcess p(g, 0, opt);
+  std::uint64_t replicate = 0;
+  for (auto _ : state) {
+    rng::Rng rng = rng::make_stream(4, replicate++);
+    p.reset(0);
+    benchmark::DoNotOptimize(p.run_until_full(rng, 100'000'000));
+  }
+}
+BENCHMARK(BM_BipsFullInfection)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// COBRA simulator throughput: full cover runs and steady-state rounds on
+// representative topologies.
+#include <benchmark/benchmark.h>
+
+#include "core/cobra.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using namespace cobra;
+using namespace cobra::core;
+
+graph::Graph bench_graph(int id) {
+  rng::Rng rng = rng::make_stream(31337, static_cast<std::uint64_t>(id));
+  switch (id) {
+    case 0: return graph::complete(1024);
+    case 1: return graph::hypercube(12);
+    case 2: return graph::torus_power(64, 2);
+    case 3: return graph::connected_random_regular(4096, 8, rng);
+    default: return graph::cycle(4096);
+  }
+}
+
+const char* bench_graph_name(int id) {
+  switch (id) {
+    case 0: return "complete_1024";
+    case 1: return "hypercube_4096";
+    case 2: return "torus_64x64";
+    case 3: return "regular_4096_r8";
+    default: return "cycle_4096";
+  }
+}
+
+void BM_CobraFullCover(benchmark::State& state) {
+  const graph::Graph g = bench_graph(static_cast<int>(state.range(0)));
+  state.SetLabel(bench_graph_name(static_cast<int>(state.range(0))));
+  CobraProcess p(g);
+  std::uint64_t replicate = 0;
+  std::uint64_t total_rounds = 0;
+  for (auto _ : state) {
+    rng::Rng rng = rng::make_stream(1, replicate++);
+    p.reset(graph::VertexId{0});
+    const auto cover = p.run_until_cover(rng, 100'000'000);
+    total_rounds += cover.value();
+    benchmark::DoNotOptimize(cover);
+  }
+  state.counters["rounds/run"] =
+      static_cast<double>(total_rounds) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_CobraFullCover)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_CobraSteadyStateRound(benchmark::State& state) {
+  // Cost of one round when the active set has saturated (|C_t| ~ n(1-1/e^2)).
+  const graph::Graph g = bench_graph(static_cast<int>(state.range(0)));
+  state.SetLabel(bench_graph_name(static_cast<int>(state.range(0))));
+  CobraProcess p(g);
+  rng::Rng rng = rng::make_stream(2, 0);
+  p.reset(graph::VertexId{0});
+  p.run_until_cover(rng, 100'000'000);  // saturate the active set
+  std::uint64_t pushes = 0;
+  for (auto _ : state) {
+    pushes += p.active().size();
+    p.step(rng);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pushes));
+}
+BENCHMARK(BM_CobraSteadyStateRound)->DenseRange(0, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

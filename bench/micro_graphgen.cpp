@@ -1,0 +1,71 @@
+// Graph generator throughput (experiments regenerate graphs per
+// configuration, so generation must stay cheap relative to simulation).
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using namespace cobra;
+
+void BM_GenComplete(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        graph::complete(static_cast<graph::VertexId>(state.range(0))));
+}
+BENCHMARK(BM_GenComplete)->Arg(256)->Arg(1024);
+
+void BM_GenHypercube(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        graph::hypercube(static_cast<std::uint32_t>(state.range(0))));
+}
+BENCHMARK(BM_GenHypercube)->Arg(10)->Arg(14);
+
+void BM_GenTorus2D(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::torus_power(
+        static_cast<graph::VertexId>(state.range(0)), 2));
+}
+BENCHMARK(BM_GenTorus2D)->Arg(32)->Arg(128);
+
+void BM_GenGnp(benchmark::State& state) {
+  const auto n = static_cast<graph::VertexId>(state.range(0));
+  const double p = 10.0 / static_cast<double>(n);  // mean degree 10
+  std::uint64_t salt = 0;
+  for (auto _ : state) {
+    rng::Rng rng = rng::make_stream(5, salt++);
+    benchmark::DoNotOptimize(graph::erdos_renyi_gnp(n, p, rng));
+  }
+}
+BENCHMARK(BM_GenGnp)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_GenRandomRegular(benchmark::State& state) {
+  const auto n = static_cast<graph::VertexId>(state.range(0));
+  const auto r = static_cast<std::uint32_t>(state.range(1));
+  std::uint64_t salt = 0;
+  for (auto _ : state) {
+    rng::Rng rng = rng::make_stream(6, salt++);
+    benchmark::DoNotOptimize(graph::random_regular(n, r, rng));
+  }
+}
+BENCHMARK(BM_GenRandomRegular)
+    ->Args({1 << 12, 4})
+    ->Args({1 << 12, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GenBarabasiAlbert(benchmark::State& state) {
+  const auto n = static_cast<graph::VertexId>(state.range(0));
+  std::uint64_t salt = 0;
+  for (auto _ : state) {
+    rng::Rng rng = rng::make_stream(7, salt++);
+    benchmark::DoNotOptimize(graph::barabasi_albert(n, 3, rng));
+  }
+}
+BENCHMARK(BM_GenBarabasiAlbert)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

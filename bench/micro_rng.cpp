@@ -1,0 +1,62 @@
+// RNG kernel throughput: the simulators draw two random neighbours per
+// active vertex per round, so generator speed bounds everything else.
+#include <benchmark/benchmark.h>
+
+#include "rng/philox.hpp"
+#include "rng/rng.hpp"
+#include "rng/stream.hpp"
+
+namespace {
+
+using namespace cobra;
+
+void BM_Xoshiro256ss(benchmark::State& state) {
+  rng::Rng rng(42);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += rng.next_u64();
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Xoshiro256ss);
+
+void BM_Philox4x32(benchmark::State& state) {
+  rng::PhiloxRng rng(42, 0);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += rng.next();
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Philox4x32);
+
+void BM_BoundedBelow(benchmark::State& state) {
+  rng::Rng rng(42);
+  const auto bound = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += rng.below(bound);
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoundedBelow)->Arg(3)->Arg(1000)->Arg(1 << 20);
+
+void BM_Uniform01(benchmark::State& state) {
+  rng::Rng rng(42);
+  double sink = 0;
+  for (auto _ : state) sink += rng.uniform01();
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Uniform01);
+
+void BM_MakeStream(benchmark::State& state) {
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    rng::Rng rng = rng::make_stream(7, id++);
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MakeStream);
+
+}  // namespace
+
+BENCHMARK_MAIN();

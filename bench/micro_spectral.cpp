@@ -1,0 +1,54 @@
+// Spectral solver cost: the regular-graph experiments compute lambda per
+// instance; Lanczos must stay negligible next to the Monte-Carlo budget.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+#include "spectral/dense.hpp"
+#include "spectral/lanczos.hpp"
+#include "spectral/power.hpp"
+
+namespace {
+
+using namespace cobra;
+
+void BM_DenseJacobi(benchmark::State& state) {
+  rng::Rng grng = rng::make_stream(8, 0);
+  const graph::Graph g = graph::connected_random_regular(
+      static_cast<graph::VertexId>(state.range(0)), 4, grng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(spectral::walk_spectrum_dense(g));
+}
+BENCHMARK(BM_DenseJacobi)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Lanczos(benchmark::State& state) {
+  rng::Rng grng = rng::make_stream(9, 0);
+  const graph::Graph g = graph::connected_random_regular(
+      static_cast<graph::VertexId>(state.range(0)), 8, grng);
+  std::uint64_t salt = 0;
+  for (auto _ : state) {
+    rng::Rng rng = rng::make_stream(10, salt++);
+    benchmark::DoNotOptimize(spectral::lanczos_extremes(g, rng));
+  }
+}
+BENCHMARK(BM_Lanczos)->Arg(1 << 10)->Arg(1 << 13)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PowerIteration(benchmark::State& state) {
+  rng::Rng grng = rng::make_stream(11, 0);
+  const graph::Graph g = graph::connected_random_regular(
+      static_cast<graph::VertexId>(state.range(0)), 8, grng);
+  std::uint64_t salt = 0;
+  for (auto _ : state) {
+    rng::Rng rng = rng::make_stream(12, salt++);
+    benchmark::DoNotOptimize(spectral::power_lambda(g, rng, 2000, 1e-8));
+  }
+}
+BENCHMARK(BM_PowerIteration)->Arg(1 << 10)->Arg(1 << 13)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// BIPS as an SIS epidemic with a persistently infected host (the paper's
+// Section 1 interpretation): vertices refresh their infection status every
+// round by polling b random contacts; one host never recovers.
+//
+// Traces the infection curve |A_t| on several topologies, prints the curve
+// and writes epidemic_curves.csv for plotting. Demonstrates the three-phase
+// structure the paper's regular-graph analysis formalises: slow start-up,
+// exponential middle, saturating tail.
+#include <iostream>
+
+#include "core/bips.hpp"
+#include "core/estimators.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+#include "sim/experiment.hpp"
+#include "sim/stats.hpp"
+#include "spectral/spectral.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cobra;
+  const std::uint64_t seed = util::global_seed();
+  const std::uint64_t reps = sim::default_replicates(32);
+
+  rng::Rng graph_rng = rng::make_stream(seed, 7);
+  struct Scenario {
+    graph::Graph g;
+    std::uint64_t rounds;
+  };
+  Scenario scenarios[] = {
+      {graph::complete(512), 24},
+      {graph::connected_random_regular(512, 4, graph_rng), 40},
+      {graph::torus_power(22, 2), 120},  // 484 vertices
+      {graph::cycle(256), 700},
+  };
+
+  util::CsvWriter csv("epidemic_curves.csv", {"graph", "round", "mean_size"});
+  util::Table table({"graph", "lambda", "rounds to 50%", "rounds to 100%",
+                     "mean infec(v)"});
+
+  for (auto& sc : scenarios) {
+    const auto curve = core::average_bips_growth(sc.g, core::BipsOptions{}, 0,
+                                                 sc.rounds, reps,
+                                                 rng::derive_seed(seed, 11));
+    for (std::size_t t = 0; t < curve.size(); ++t)
+      csv.row().add(sc.g.name()).add(static_cast<std::uint64_t>(t))
+          .add(curve[t]);
+
+    const double n = static_cast<double>(sc.g.num_vertices());
+    std::uint64_t t_half = sc.rounds, t_full = sc.rounds;
+    for (std::size_t t = 0; t < curve.size(); ++t) {
+      if (curve[t] >= n / 2 && t_half == sc.rounds) t_half = t;
+      if (curve[t] >= n - 0.5 && t_full == sc.rounds) t_full = t;
+    }
+    const auto infec = core::estimate_bips_infection(
+        sc.g, core::BipsOptions{}, 0, reps, rng::derive_seed(seed, 12),
+        100'000'000);
+    const auto spec = spectral::compute_lambda(sc.g, seed);
+    table.row().add(sc.g.name()).add(spec.lambda, 4)
+        .add(static_cast<std::uint64_t>(t_half))
+        .add(static_cast<std::uint64_t>(t_full))
+        .add(sim::mean(infec.rounds), 1);
+  }
+  csv.close();
+
+  std::cout << "BIPS epidemic with persistent source (b = 2), mean over "
+            << reps << " runs\n\n";
+  table.print(std::cout);
+  std::cout << "\ncurves -> epidemic_curves.csv (graph, round, mean |A_t|)\n"
+            << "Note the spectral gap ordering: larger gap => faster "
+               "saturation (Lemma 4.1).\n";
+  return 0;
+}

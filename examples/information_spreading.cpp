@@ -1,0 +1,124 @@
+// The paper's motivating scenario: spread one item of information through a
+// network quickly while keeping per-vertex transmissions bounded per round.
+//
+// Compares four protocols on the same topologies:
+//   * COBRA b=2 (the paper's process: 2 messages per active vertex/round)
+//   * simple random walk (b=1: minimal traffic, slow)
+//   * k independent random walks (k = log2 n)
+//   * push rumour spreading (fast, but every informed vertex sends forever)
+//
+// Reports rounds to full coverage and total transmissions.
+#include <cmath>
+#include <iostream>
+
+#include "baselines/multi_walk.hpp"
+#include "baselines/push_gossip.hpp"
+#include "baselines/random_walk.hpp"
+#include "core/cobra.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+#include "sim/experiment.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/stats.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct ProtocolRow {
+  double rounds = 0.0;
+  double transmissions = 0.0;
+};
+
+ProtocolRow run_cobra(const cobra::graph::Graph& g, std::uint64_t seed,
+                      std::uint64_t reps) {
+  using namespace cobra;
+  std::vector<double> rounds(reps), tx(reps);
+  sim::parallel_replicates(reps, seed, [&](std::uint64_t i, rng::Rng& rng) {
+    core::CobraProcess p(g);
+    p.reset(graph::VertexId{0});
+    const auto c = p.run_until_cover(rng, 100'000'000);
+    rounds[i] = static_cast<double>(c.value());
+    tx[i] = static_cast<double>(p.transmissions());
+  });
+  return {sim::mean(rounds), sim::mean(tx)};
+}
+
+template <typename F>
+ProtocolRow run_baseline(std::uint64_t seed, std::uint64_t reps, F&& once) {
+  using namespace cobra;
+  std::vector<double> rounds(reps), tx(reps);
+  sim::parallel_replicates(reps, seed, [&](std::uint64_t i, rng::Rng& rng) {
+    const auto [r, t] = once(rng);
+    rounds[i] = r;
+    tx[i] = t;
+  });
+  return {sim::mean(rounds), sim::mean(tx)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace cobra;
+  const std::uint64_t seed = util::global_seed();
+  const auto reps = sim::default_replicates(16);
+
+  rng::Rng graph_rng = rng::make_stream(seed, 99);
+  const graph::Graph topologies[] = {
+      graph::complete(512),
+      graph::connected_random_regular(1024, 8, graph_rng),
+      graph::torus_power(32, 2),
+      graph::cycle(512),
+  };
+
+  util::Table table({"graph", "protocol", "rounds(mean)", "msgs(mean)"});
+  for (const auto& g : topologies) {
+    const auto k = static_cast<std::uint32_t>(
+        std::ceil(std::log2(static_cast<double>(g.num_vertices()))));
+
+    const ProtocolRow cobra_row =
+        run_cobra(g, rng::derive_seed(seed, 1), reps);
+    table.row().add(g.name()).add("COBRA b=2").add(cobra_row.rounds, 1)
+        .add(cobra_row.transmissions, 0);
+
+    const ProtocolRow walk = run_baseline(
+        rng::derive_seed(seed, 2), reps, [&](rng::Rng& rng) {
+          const auto r = baselines::random_walk_cover(g, 0, rng, 1ull << 34);
+          return std::pair<double, double>(static_cast<double>(r.steps),
+                                           static_cast<double>(r.steps));
+        });
+    table.row().add("").add("random walk b=1").add(walk.rounds, 1)
+        .add(walk.transmissions, 0);
+
+    const ProtocolRow multi = run_baseline(
+        rng::derive_seed(seed, 3), reps, [&](rng::Rng& rng) {
+          const auto r = baselines::multi_walk_cover(g, 0, k, rng, 1ull << 30);
+          return std::pair<double, double>(static_cast<double>(r.rounds),
+                                           static_cast<double>(
+                                               r.transmissions));
+        });
+    table.row().add("").add(std::to_string(k) + " indep. walks")
+        .add(multi.rounds, 1).add(multi.transmissions, 0);
+
+    const ProtocolRow push = run_baseline(
+        rng::derive_seed(seed, 4), reps, [&](rng::Rng& rng) {
+          const auto r = baselines::push_gossip_cover(g, 0, rng, 1ull << 24);
+          return std::pair<double, double>(static_cast<double>(r.rounds),
+                                           static_cast<double>(
+                                               r.transmissions));
+        });
+    table.row().add("").add("push gossip").add(push.rounds, 1)
+        .add(push.transmissions, 0);
+    table.rule();
+  }
+
+  std::cout << "Information spreading: rounds vs transmissions ("
+            << reps << " replicates each)\n\n";
+  table.print(std::cout);
+  std::cout << "\nReading: COBRA is orders of magnitude faster than a "
+               "single walk at ~2x its per-round cost,\nand close to push "
+               "gossip while sending far fewer total messages on "
+               "low-degree graphs.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Multi-source BIPS: several persistently infected hosts.
+//
+// The paper motivates BIPS via epidemics where "a particular host can
+// become persistently infected"; with several such hosts the infection time
+// drops roughly with the maximum distance to a source. This example places
+// k sources (spread evenly) on a large torus and a cycle and reports how
+// infec(S) falls with k.
+#include <iostream>
+
+#include "core/bips.hpp"
+#include "graph/generators.hpp"
+#include "rng/stream.hpp"
+#include "sim/experiment.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/stats.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cobra;
+  const std::uint64_t seed = util::global_seed();
+  const auto reps = sim::default_replicates(32);
+
+  struct Scenario {
+    graph::Graph g;
+  };
+  const Scenario scenarios[] = {
+      {graph::torus_power(33, 2)},
+      {graph::cycle(512)},
+  };
+
+  util::Table table({"graph", "#sources", "infec mean", "infec p95",
+                     "speedup vs 1"});
+  for (const auto& sc : scenarios) {
+    const graph::Graph& g = sc.g;
+    const graph::VertexId n = g.num_vertices();
+    double base = 0.0;
+    for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+      // Sources spread evenly over the vertex id range (ids are spatially
+      // meaningful for tori/cycles).
+      std::vector<graph::VertexId> sources;
+      for (std::uint32_t i = 0; i < k; ++i)
+        sources.push_back(static_cast<graph::VertexId>(
+            (static_cast<std::uint64_t>(i) * n) / k));
+
+      std::vector<double> times(reps);
+      sim::parallel_replicates(
+          reps, rng::derive_seed(seed, 700 + k), [&](std::uint64_t i,
+                                                     rng::Rng& rng) {
+            core::BipsProcess p(g, 0);
+            p.reset(std::span<const graph::VertexId>(sources.data(),
+                                                     sources.size()));
+            times[i] =
+                static_cast<double>(*p.run_until_full(rng, 100'000'000));
+          });
+      const auto s = sim::summarize(times);
+      if (k == 1) base = s.mean;
+      table.row().add(g.name()).add(static_cast<std::uint64_t>(k))
+          .add(s.mean, 1).add(s.p95, 1).add(base / s.mean, 2);
+    }
+    table.rule();
+  }
+
+  std::cout << "BIPS with k persistent sources (b = 2), " << reps
+            << " replicates\n\n";
+  table.print(std::cout);
+  std::cout << "\nOn geometric graphs the infection time is governed by the "
+               "farthest distance to a source,\nso k evenly-spread sources "
+               "give roughly a k-fold speedup on the cycle and sqrt(k)-ish "
+               "on the torus diameter term.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "baselines/flooding.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/bitset.hpp"
+
+namespace cobra::baselines {
+
+FloodingResult flooding_cover(const graph::Graph& g, graph::VertexId start,
+                              std::uint64_t max_rounds) {
+  COBRA_CHECK(start < g.num_vertices());
+  const graph::VertexId n = g.num_vertices();
+
+  util::DynamicBitset informed(n);
+  informed.set(start);
+  std::vector<graph::VertexId> frontier{start};
+  std::uint64_t informed_degree = g.degree(start);
+  std::uint32_t remaining = n - 1;
+
+  FloodingResult result;
+  std::vector<graph::VertexId> next;
+  while (remaining > 0 && result.rounds < max_rounds) {
+    result.transmissions += informed_degree;
+    next.clear();
+    for (const graph::VertexId u : frontier)
+      for (const graph::VertexId v : g.neighbors(u))
+        if (informed.set_and_test(v)) {
+          next.push_back(v);
+          informed_degree += g.degree(v);
+          --remaining;
+        }
+    frontier.swap(next);
+    ++result.rounds;
+    if (frontier.empty()) break;  // disconnected graph: cannot progress
+  }
+  result.completed = (remaining == 0);
+  return result;
+}
+
+}  // namespace cobra::baselines

@@ -1,0 +1,23 @@
+// Deterministic flooding: every informed vertex sends to ALL neighbours
+// every round. Covers in exactly ecc(start) rounds — the round-optimal
+// broadcast — at the maximal transmission cost. The third corner of the
+// rounds/traffic trade-off triangle next to COBRA and the random walk.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace cobra::baselines {
+
+struct FloodingResult {
+  std::uint64_t rounds = 0;          // == eccentricity of the start
+  std::uint64_t transmissions = 0;   // sum over rounds of d(informed set)
+  bool completed = false;
+};
+
+/// Deterministic, no randomness needed.
+FloodingResult flooding_cover(const graph::Graph& g, graph::VertexId start,
+                              std::uint64_t max_rounds);
+
+}  // namespace cobra::baselines

@@ -1,0 +1,36 @@
+#include "baselines/multi_walk.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/bitset.hpp"
+
+namespace cobra::baselines {
+
+MultiWalkResult multi_walk_cover(const graph::Graph& g,
+                                 graph::VertexId start, std::uint32_t k,
+                                 rng::Rng& rng, std::uint64_t max_rounds) {
+  COBRA_CHECK(start < g.num_vertices());
+  COBRA_CHECK(k >= 1);
+  COBRA_CHECK(g.min_degree() >= 1);
+
+  util::DynamicBitset visited(g.num_vertices());
+  visited.set(start);
+  std::uint32_t remaining = g.num_vertices() - 1;
+  std::vector<graph::VertexId> particles(k, start);
+
+  MultiWalkResult result;
+  while (remaining > 0 && result.rounds < max_rounds) {
+    for (graph::VertexId& u : particles) {
+      const auto nbrs = g.neighbors(u);
+      u = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+      if (visited.set_and_test(u)) --remaining;
+    }
+    ++result.rounds;
+    result.transmissions += k;
+  }
+  result.completed = (remaining == 0);
+  return result;
+}
+
+}  // namespace cobra::baselines

@@ -1,0 +1,24 @@
+// k independent parallel random walks (Alon et al. [1], Elsässer-Sauerwald
+// [7] in the paper's references): the natural non-coalescing competitor to
+// COBRA. All k walks move simultaneously each round from a common start.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace cobra::baselines {
+
+struct MultiWalkResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t transmissions = 0;  // k per round
+  bool completed = false;
+};
+
+/// Cover time of k independent walks started at `start`.
+MultiWalkResult multi_walk_cover(const graph::Graph& g, graph::VertexId start,
+                                 std::uint32_t k, rng::Rng& rng,
+                                 std::uint64_t max_rounds);
+
+}  // namespace cobra::baselines

@@ -1,0 +1,80 @@
+#include "baselines/pull_gossip.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/bitset.hpp"
+
+namespace cobra::baselines {
+
+PullResult pull_gossip_cover(const graph::Graph& g, graph::VertexId start,
+                             rng::Rng& rng, std::uint64_t max_rounds) {
+  COBRA_CHECK(start < g.num_vertices());
+  COBRA_CHECK(g.min_degree() >= 1);
+  const graph::VertexId n = g.num_vertices();
+
+  util::DynamicBitset informed(n);
+  informed.set(start);
+  std::uint32_t remaining = n - 1;
+
+  PullResult result;
+  std::vector<graph::VertexId> newly;
+  while (remaining > 0 && result.rounds < max_rounds) {
+    newly.clear();
+    for (graph::VertexId u = 0; u < n; ++u) {
+      if (informed.test(u)) continue;
+      const auto nbrs = g.neighbors(u);
+      const graph::VertexId contact =
+          nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+      ++result.transmissions;
+      if (informed.test(contact)) newly.push_back(u);
+    }
+    // Synchronous semantics: pulls read this round's starting state.
+    for (const graph::VertexId u : newly) {
+      informed.set(u);
+      --remaining;
+    }
+    ++result.rounds;
+  }
+  result.completed = (remaining == 0);
+  return result;
+}
+
+PullResult push_pull_gossip_cover(const graph::Graph& g,
+                                  graph::VertexId start, rng::Rng& rng,
+                                  std::uint64_t max_rounds) {
+  COBRA_CHECK(start < g.num_vertices());
+  COBRA_CHECK(g.min_degree() >= 1);
+  const graph::VertexId n = g.num_vertices();
+
+  util::DynamicBitset informed(n);
+  informed.set(start);
+  std::uint32_t remaining = n - 1;
+
+  PullResult result;
+  std::vector<graph::VertexId> newly;
+  while (remaining > 0 && result.rounds < max_rounds) {
+    newly.clear();
+    for (graph::VertexId u = 0; u < n; ++u) {
+      const auto nbrs = g.neighbors(u);
+      const graph::VertexId contact =
+          nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+      ++result.transmissions;
+      if (informed.test(u)) {
+        // Push: u informs its contact.
+        if (!informed.test(contact)) newly.push_back(contact);
+      } else if (informed.test(contact)) {
+        // Pull: u learns from its contact.
+        newly.push_back(u);
+      }
+    }
+    for (const graph::VertexId u : newly) {
+      if (informed.set_and_test(u)) --remaining;
+    }
+    ++result.rounds;
+  }
+  result.completed = (remaining == 0);
+  return result;
+}
+
+}  // namespace cobra::baselines

@@ -1,0 +1,30 @@
+// Pull and push-pull rumour spreading.
+//
+// Pull: every round, every UNinformed vertex contacts one uniform random
+// neighbour and becomes informed if that neighbour is informed — the
+// information-spreading mirror of BIPS's polling dynamics (without the
+// refresh). Push-pull combines both directions and is the classic optimal
+// gossip protocol. Both complement the push baseline for experiment E12.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace cobra::baselines {
+
+struct PullResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t transmissions = 0;  // contacts made
+  bool completed = false;
+};
+
+PullResult pull_gossip_cover(const graph::Graph& g, graph::VertexId start,
+                             rng::Rng& rng, std::uint64_t max_rounds);
+
+PullResult push_pull_gossip_cover(const graph::Graph& g,
+                                  graph::VertexId start, rng::Rng& rng,
+                                  std::uint64_t max_rounds);
+
+}  // namespace cobra::baselines

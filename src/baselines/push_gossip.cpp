@@ -1,0 +1,41 @@
+#include "baselines/push_gossip.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/bitset.hpp"
+
+namespace cobra::baselines {
+
+GossipResult push_gossip_cover(const graph::Graph& g, graph::VertexId start,
+                               rng::Rng& rng, std::uint64_t max_rounds) {
+  COBRA_CHECK(start < g.num_vertices());
+  COBRA_CHECK(g.min_degree() >= 1);
+
+  util::DynamicBitset informed(g.num_vertices());
+  informed.set(start);
+  std::vector<graph::VertexId> informed_list{start};
+  std::uint32_t remaining = g.num_vertices() - 1;
+
+  GossipResult result;
+  while (remaining > 0 && result.rounds < max_rounds) {
+    // Snapshot: pushes this round come from vertices informed before it.
+    const std::size_t senders = informed_list.size();
+    for (std::size_t i = 0; i < senders; ++i) {
+      const graph::VertexId u = informed_list[i];
+      const auto nbrs = g.neighbors(u);
+      const graph::VertexId v =
+          nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+      if (informed.set_and_test(v)) {
+        informed_list.push_back(v);
+        --remaining;
+      }
+    }
+    ++result.rounds;
+    result.transmissions += senders;
+  }
+  result.completed = (remaining == 0);
+  return result;
+}
+
+}  // namespace cobra::baselines

@@ -1,0 +1,56 @@
+#include "baselines/random_walk.hpp"
+
+#include "util/assert.hpp"
+#include "util/bitset.hpp"
+#include "util/math.hpp"
+
+namespace cobra::baselines {
+
+WalkResult random_walk_cover(const graph::Graph& g, graph::VertexId start,
+                             rng::Rng& rng, std::uint64_t max_steps) {
+  COBRA_CHECK(start < g.num_vertices());
+  COBRA_CHECK(g.min_degree() >= 1);
+  util::DynamicBitset visited(g.num_vertices());
+  visited.set(start);
+  std::uint32_t remaining = g.num_vertices() - 1;
+  graph::VertexId u = start;
+  WalkResult result;
+  while (remaining > 0 && result.steps < max_steps) {
+    const auto nbrs = g.neighbors(u);
+    u = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+    ++result.steps;
+    if (visited.set_and_test(u)) --remaining;
+  }
+  result.completed = (remaining == 0);
+  return result;
+}
+
+WalkResult random_walk_hit(const graph::Graph& g, graph::VertexId start,
+                           graph::VertexId target, rng::Rng& rng,
+                           std::uint64_t max_steps) {
+  COBRA_CHECK(start < g.num_vertices() && target < g.num_vertices());
+  COBRA_CHECK(g.min_degree() >= 1);
+  graph::VertexId u = start;
+  WalkResult result;
+  result.completed = (u == target);
+  while (!result.completed && result.steps < max_steps) {
+    const auto nbrs = g.neighbors(u);
+    u = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+    ++result.steps;
+    result.completed = (u == target);
+  }
+  return result;
+}
+
+double expected_cover_complete(std::uint64_t n) {
+  COBRA_CHECK(n >= 2);
+  return static_cast<double>(n - 1) * util::harmonic(n - 1);
+}
+
+double expected_cover_cycle(std::uint64_t n) {
+  COBRA_CHECK(n >= 3);
+  // Classic result: cover time of the n-cycle is n(n-1)/2 from any start.
+  return static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+}
+
+}  // namespace cobra::baselines

@@ -1,0 +1,40 @@
+// Simple random walk (the COBRA process with b = 1).
+//
+// The paper's motivation: a single walk has cover time Omega(n log n) on
+// every graph (and Theta(n^2)-ish on paths/cycles), which COBRA's branching
+// beats by orders of magnitude at a constant-factor transmission overhead.
+// A dedicated single-particle implementation is used instead of
+// CobraProcess(b=1) because one particle needs no set bookkeeping
+// (~10x faster), letting baselines run at the same scales as COBRA.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace cobra::baselines {
+
+struct WalkResult {
+  std::uint64_t steps = 0;  // rounds (= transmissions for a single walk)
+  bool completed = false;
+};
+
+/// Cover time of a simple random walk from `start`; gives up after
+/// `max_steps`.
+WalkResult random_walk_cover(const graph::Graph& g, graph::VertexId start,
+                             rng::Rng& rng, std::uint64_t max_steps);
+
+/// Hitting time start -> target.
+WalkResult random_walk_hit(const graph::Graph& g, graph::VertexId start,
+                           graph::VertexId target, rng::Rng& rng,
+                           std::uint64_t max_steps);
+
+/// Expected cover-time reference values for sanity checks:
+/// K_n: (n-1) H_{n-1} (coupon collector); cycle C_n: n(n-1)/2;
+/// path P_n: Theta(n^2) (we use the known asymptotic n^2).
+double expected_cover_complete(std::uint64_t n);
+double expected_cover_cycle(std::uint64_t n);
+
+}  // namespace cobra::baselines

@@ -1,0 +1,41 @@
+#include "core/azuma.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace cobra::core {
+
+double azuma_tail_lemma21(double delta) {
+  COBRA_CHECK(delta >= 0.0);
+  return std::exp(-delta * delta / 2.0);
+}
+
+double azuma_tail_cor22(double delta, std::uint64_t q0, double alpha) {
+  COBRA_CHECK(delta > 0.0 && q0 >= 1);
+  COBRA_CHECK(alpha > 0.0 && alpha <= 1.0);
+  const double q0d = static_cast<double>(q0);
+  return q0d * std::exp(-delta * delta / 4.0) +
+         (16.0 / (alpha * alpha)) * std::exp(-alpha * alpha * q0d / 4.0);
+}
+
+double lemma31_round_threshold(std::uint64_t k, std::uint32_t dmax,
+                               std::uint64_t n, double failure_exponent_c) {
+  COBRA_CHECK(k >= 1 && dmax >= 1 && n >= 2);
+  const double c_prime = 16.0 * (failure_exponent_c + 4.0);
+  return 4.0 * static_cast<double>(k) +
+         c_prime * util::sq(static_cast<double>(dmax)) *
+             util::safe_log(static_cast<double>(n));
+}
+
+double cor51_round_threshold(std::uint64_t kappa, std::uint32_t r,
+                             std::uint64_t n, double failure_exponent_c) {
+  COBRA_CHECK(kappa >= 1 && r >= 1 && n >= 2);
+  const double c_prime = 16.0 * (failure_exponent_c + 4.0);
+  return 4.0 * static_cast<double>(r) * static_cast<double>(kappa) +
+         c_prime * util::sq(static_cast<double>(r)) *
+             util::safe_log(static_cast<double>(n));
+}
+
+}  // namespace cobra::core

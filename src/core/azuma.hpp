@@ -1,0 +1,32 @@
+// The paper's concentration toolkit (Section 2): a super-martingale
+// Azuma-Hoeffding inequality and its "for all q >= q0" corollary.
+//
+//   Lemma 2.1:    P(S_q > delta * q^{1/2}) < exp(-delta^2 / 2),
+//                 for |Z_i| <= 1, E(Z_i | past) <= 0, S_q = sum Z_i.
+//   Corollary 2.2: P(exists q >= q0 : S_q > alpha (q - q0) + delta q0^{1/2})
+//                 < q0 exp(-delta^2/4) + (16/alpha^2) exp(-alpha^2 q0 / 4).
+//
+// These are deterministic formulas; bench/exp_martingale compares them with
+// the empirical tail of simulated BIPS martingales (Section 3 serialisation).
+#pragma once
+
+#include <cstdint>
+
+namespace cobra::core {
+
+/// Lemma 2.1 right-hand side.
+double azuma_tail_lemma21(double delta);
+
+/// Corollary 2.2 right-hand side; requires delta > 0, q0 >= 1, 0 < alpha <= 1.
+double azuma_tail_cor22(double delta, std::uint64_t q0, double alpha);
+
+/// Lemma 3.1 round threshold t(k) = 4k + C' dmax^2 ln n with the paper's
+/// constant schedule C' = 16 (C + 4) for target failure exponent C.
+double lemma31_round_threshold(std::uint64_t k, std::uint32_t dmax,
+                               std::uint64_t n, double failure_exponent_c);
+
+/// Corollary 5.1 threshold t(kappa) = 4 r kappa + C' r^2 ln n.
+double cor51_round_threshold(std::uint64_t kappa, std::uint32_t r,
+                             std::uint64_t n, double failure_exponent_c);
+
+}  // namespace cobra::core

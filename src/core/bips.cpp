@@ -1,0 +1,195 @@
+#include "core/bips.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cobra::core {
+
+double bips_infection_probability(std::uint32_t d, std::uint32_t da,
+                                  bool self_infected,
+                                  const ProcessOptions& options) {
+  COBRA_DCHECK(d >= 1 && da <= d);
+  const double lazy = options.laziness;
+  // One selection hits an infected vertex with probability
+  //   q = lazy * [self infected] + (1 - lazy) * d_A(u)/d(u).
+  const double q = lazy * (self_infected ? 1.0 : 0.0) +
+                   (1.0 - lazy) * static_cast<double>(da) /
+                       static_cast<double>(d);
+  if (q <= 0.0) return 0.0;
+  if (q >= 1.0) return 1.0;
+  const Branching& b = options.branching;
+  const double miss_base = std::pow(1.0 - q, static_cast<double>(b.base));
+  // Number of selections is base (w.p. 1-extra) or base+1 (w.p. extra).
+  const double miss = (1.0 - b.extra_prob) * miss_base +
+                      b.extra_prob * miss_base * (1.0 - q);
+  return 1.0 - miss;
+}
+
+BipsProcess::BipsProcess(const graph::Graph& g, graph::VertexId source,
+                         BipsOptions options)
+    : graph_(&g), options_(options) {
+  options_.process.validate();
+  COBRA_CHECK_MSG(g.num_vertices() >= 1, "empty graph");
+  COBRA_CHECK_MSG(g.min_degree() >= 1,
+                  "BIPS needs every vertex to have a neighbour to select");
+  member_.resize(g.num_vertices());
+  source_set_.resize(g.num_vertices());
+  da_.assign(g.num_vertices(), 0);
+  da_stamp_.assign(g.num_vertices(), 0);
+  reset(source);
+}
+
+void BipsProcess::reset(graph::VertexId source) {
+  const graph::VertexId one[] = {source};
+  reset(std::span<const graph::VertexId>(one, 1));
+}
+
+void BipsProcess::reset(std::span<const graph::VertexId> sources) {
+  COBRA_CHECK(!sources.empty());
+  source_set_.reset_all();
+  sources_.clear();
+  for (const graph::VertexId s : sources) {
+    COBRA_CHECK(s < graph_->num_vertices());
+    if (source_set_.set_and_test(s)) sources_.push_back(s);
+  }
+  std::sort(sources_.begin(), sources_.end());
+  infected_ = sources_;
+  rebuild_membership();
+  round_ = 0;
+}
+
+void BipsProcess::rebuild_membership() {
+  member_.reset_all();
+  infected_degree_ = 0;
+  for (const graph::VertexId u : infected_) {
+    member_.set(u);
+    infected_degree_ += graph_->degree(u);
+  }
+}
+
+std::uint32_t BipsProcess::step(rng::Rng& rng) {
+  if (options_.kernel == BipsKernel::kSampling) {
+    step_sampling(rng);
+  } else {
+    step_probability(rng);
+  }
+  infected_.swap(next_);
+  rebuild_membership();
+  ++round_;
+  return infected_count();
+}
+
+void BipsProcess::step_sampling(rng::Rng& rng) {
+  const graph::VertexId n = graph_->num_vertices();
+  const Branching& b = options_.process.branching;
+  const double lazy = options_.process.laziness;
+  next_.clear();
+  for (graph::VertexId u = 0; u < n; ++u) {
+    if (source_set_.test(u)) {
+      next_.push_back(u);
+      continue;
+    }
+    const std::uint32_t fanout =
+        b.base +
+        ((b.extra_prob > 0.0 && rng.bernoulli(b.extra_prob)) ? 1u : 0u);
+    const auto nbrs = graph_->neighbors(u);
+    bool caught = false;
+    for (std::uint32_t j = 0; j < fanout && !caught; ++j) {
+      graph::VertexId pick;
+      if (lazy > 0.0 && rng.bernoulli(lazy)) {
+        pick = u;
+      } else {
+        pick = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+      }
+      caught = member_.test(pick);
+    }
+    if (caught) next_.push_back(u);
+  }
+}
+
+void BipsProcess::step_probability(rng::Rng& rng) {
+  // Accumulate d_A(u) for u in N(A_t) by scanning infected adjacency.
+  ++da_epoch_;
+  std::vector<graph::VertexId> touched;
+  touched.reserve(infected_.size() * 2);
+  for (const graph::VertexId a : infected_) {
+    for (const graph::VertexId u : graph_->neighbors(a)) {
+      if (da_stamp_[u] != da_epoch_) {
+        da_stamp_[u] = da_epoch_;
+        da_[u] = 0;
+        touched.push_back(u);
+      }
+      ++da_[u];
+    }
+  }
+  const double lazy = options_.process.laziness;
+  next_.clear();
+  next_.insert(next_.end(), sources_.begin(), sources_.end());
+  // With laziness, an infected vertex can catch from itself even when none
+  // of its neighbours are infected, so infected vertices outside N(A) must
+  // be considered too.
+  if (lazy > 0.0) {
+    for (const graph::VertexId u : infected_) {
+      if (da_stamp_[u] != da_epoch_) {
+        da_stamp_[u] = da_epoch_;
+        da_[u] = 0;
+        touched.push_back(u);
+      }
+    }
+  }
+  for (const graph::VertexId u : touched) {
+    if (source_set_.test(u)) continue;
+    const double p = bips_infection_probability(
+        graph_->degree(u), da_[u], member_.test(u), options_.process);
+    if (rng.bernoulli(p)) next_.push_back(u);
+  }
+}
+
+std::optional<std::uint64_t> BipsProcess::run_until_full(
+    rng::Rng& rng, std::uint64_t max_rounds) {
+  if (fully_infected()) return round_;
+  while (round_ < max_rounds) {
+    step(rng);
+    if (fully_infected()) return round_;
+  }
+  return std::nullopt;
+}
+
+std::vector<graph::VertexId> BipsProcess::candidate_set() const {
+  // C = (N(A) ∪ sources) \ B_fix with B_fix = {u : N(u) ⊆ A}.
+  std::vector<graph::VertexId> candidates;
+  util::DynamicBitset seen(graph_->num_vertices());
+  auto consider = [&](graph::VertexId u) {
+    if (!seen.set_and_test(u)) return;
+    if (infected_neighbor_count(u) < graph_->degree(u))  // u not in B_fix
+      candidates.push_back(u);
+  };
+  for (const graph::VertexId a : infected_)
+    for (const graph::VertexId u : graph_->neighbors(a)) consider(u);
+  for (const graph::VertexId s : sources_) consider(s);
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+std::uint32_t BipsProcess::fixed_count() const {
+  std::uint32_t count = 0;
+  for (graph::VertexId u = 0; u < graph_->num_vertices(); ++u)
+    if (infected_neighbor_count(u) == graph_->degree(u)) ++count;
+  return count;
+}
+
+std::uint32_t BipsProcess::infected_neighbor_count(graph::VertexId u) const {
+  std::uint32_t count = 0;
+  for (const graph::VertexId v : graph_->neighbors(u))
+    if (member_.test(v)) ++count;
+  return count;
+}
+
+double BipsProcess::infection_probability(graph::VertexId u) const {
+  COBRA_CHECK(!is_source(u));
+  return bips_infection_probability(graph_->degree(u),
+                                    infected_neighbor_count(u),
+                                    member_.test(u), options_.process);
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,146 @@
+// BIPS: Biased Infection with Persistent Source (Cooper, Radzik, Rivera,
+// PODC'16 / SPAA'17).
+//
+// State: the infected set A_t, with A_0 = {source}. Each round EVERY vertex
+// u != source independently selects b random neighbours (with replacement)
+// and is infected in A_{t+1} iff at least one selected neighbour is in A_t;
+// the source is always infected. infec(v) = min{ t : A_t = V }. Full
+// infection is absorbing.
+//
+// Two execution kernels with identical law (paper §3 algebra; checked by
+// tests and ablated in bench/micro_bips):
+//   * kSampling   — faithful: b draws per vertex, O(n·b) time per round;
+//   * kProbability— computes d_A(u) by scanning the infected set's edges,
+//                   then flips one Bernoulli(1-(1-d_A(u)/d(u))^b) per
+//                   candidate; O(d(A_t)) time per round (wins while A_t is
+//                   small and on low-degree graphs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/process.hpp"
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+#include "util/bitset.hpp"
+
+namespace cobra::core {
+
+enum class BipsKernel {
+  kSampling,
+  kProbability,
+};
+
+struct BipsOptions {
+  ProcessOptions process;
+  BipsKernel kernel = BipsKernel::kSampling;
+};
+
+class BipsProcess {
+ public:
+  /// The graph must have min degree >= 1 and outlive the process.
+  BipsProcess(const graph::Graph& g, graph::VertexId source,
+              BipsOptions options = BipsOptions{});
+
+  void reset(graph::VertexId source);
+
+  /// Generalisation: several persistent sources (deduplicated, non-empty).
+  /// The paper's process is the single-source case; multiple corrupted
+  /// hosts are the natural epidemic extension and only speed up infection
+  /// (monotonicity checked in tests).
+  void reset(std::span<const graph::VertexId> sources);
+
+  /// One synchronised round; returns |A_{t+1}|.
+  std::uint32_t step(rng::Rng& rng);
+
+  [[nodiscard]] std::uint64_t round() const { return round_; }
+
+  /// The (first) persistent source.
+  [[nodiscard]] graph::VertexId source() const { return sources_.front(); }
+
+  /// All persistent sources, ascending.
+  [[nodiscard]] const std::vector<graph::VertexId>& sources() const {
+    return sources_;
+  }
+
+  [[nodiscard]] bool is_source(graph::VertexId u) const {
+    return source_set_.test(u);
+  }
+
+  /// Current infected set A_t (unordered, duplicate-free).
+  [[nodiscard]] const std::vector<graph::VertexId>& infected() const {
+    return infected_;
+  }
+  [[nodiscard]] bool is_infected(graph::VertexId u) const {
+    return member_.test(u);
+  }
+  [[nodiscard]] std::uint32_t infected_count() const {
+    return static_cast<std::uint32_t>(infected_.size());
+  }
+
+  /// d(A_t): sum of degrees of infected vertices (the paper's §3 tracker).
+  [[nodiscard]] std::uint64_t infected_degree() const {
+    return infected_degree_;
+  }
+
+  [[nodiscard]] bool fully_infected() const {
+    return infected_.size() == graph_->num_vertices();
+  }
+
+  /// Runs until A_t = V; returns the infection time infec(source), or
+  /// nullopt after `max_rounds`.
+  std::optional<std::uint64_t> run_until_full(rng::Rng& rng,
+                                              std::uint64_t max_rounds);
+
+  /// The paper's candidate set for the NEXT round (eq. (6)):
+  ///   C_{t+1} = (N(A_t) ∪ {source}) \ B_fix,
+  ///   B_fix   = { u : N(u) ⊆ A_t }.
+  /// Sorted ascending (the paper's fixed serialisation order).
+  [[nodiscard]] std::vector<graph::VertexId> candidate_set() const;
+
+  /// |B_fix| w.r.t. the current infected set.
+  [[nodiscard]] std::uint32_t fixed_count() const;
+
+  /// d_A(u) = |N(u) ∩ A_t| for the current round.
+  [[nodiscard]] std::uint32_t infected_neighbor_count(graph::VertexId u) const;
+
+  /// Probability that vertex u (≠ source) is infected next round given the
+  /// current A_t — the paper's (32)/(33) with optional laziness.
+  [[nodiscard]] double infection_probability(graph::VertexId u) const;
+
+  [[nodiscard]] const graph::Graph& graph() const { return *graph_; }
+  [[nodiscard]] const BipsOptions& options() const { return options_; }
+
+ private:
+  void step_sampling(rng::Rng& rng);
+  void step_probability(rng::Rng& rng);
+  void rebuild_membership();
+
+  const graph::Graph* graph_;
+  BipsOptions options_;
+  std::vector<graph::VertexId> sources_;
+  util::DynamicBitset source_set_;
+
+  std::vector<graph::VertexId> infected_;
+  std::vector<graph::VertexId> next_;
+  util::DynamicBitset member_;
+  std::uint64_t infected_degree_ = 0;
+  std::uint64_t round_ = 0;
+
+  // Scratch for the probability kernel: d_A(u) accumulated per round with
+  // epoch stamps (no O(n) clear).
+  std::vector<std::uint32_t> da_;
+  std::vector<std::uint64_t> da_stamp_;
+  std::uint64_t da_epoch_ = 0;
+};
+
+/// Static helper shared with the exact-DP module: probability that a vertex
+/// with degree `d`, `da` infected neighbours and (lazy, self-infected flag)
+/// catches the infection under `options`.
+double bips_infection_probability(std::uint32_t d, std::uint32_t da,
+                                  bool self_infected,
+                                  const ProcessOptions& options);
+
+}  // namespace cobra::core

@@ -1,0 +1,234 @@
+#include "core/bips_exact.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "core/bips.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::core {
+
+namespace {
+
+constexpr graph::VertexId kMaxExactVertices = 16;
+
+void check_size(const graph::Graph& g, graph::VertexId limit) {
+  COBRA_CHECK_MSG(g.num_vertices() >= 2 && g.num_vertices() <= limit,
+                  "exact BIPS supports 2 <= n <= " << limit << " vertices");
+  COBRA_CHECK(g.min_degree() >= 1);
+}
+
+/// Per-vertex next-round infection probabilities given A (bitmask).
+void infection_probabilities(const graph::Graph& g, graph::VertexId source,
+                             SubsetMask a, const ProcessOptions& options,
+                             std::vector<double>& p) {
+  const graph::VertexId n = g.num_vertices();
+  for (graph::VertexId u = 0; u < n; ++u) {
+    if (u == source) {
+      p[u] = 1.0;
+      continue;
+    }
+    std::uint32_t da = 0;
+    for (const graph::VertexId v : g.neighbors(u))
+      if (a & (SubsetMask{1} << v)) ++da;
+    p[u] = bips_infection_probability(g.degree(u), da,
+                                      (a >> u) & 1u, options);
+  }
+}
+
+}  // namespace
+
+SubsetDistribution bips_initial_distribution(const graph::Graph& g,
+                                             graph::VertexId source) {
+  check_size(g, kMaxExactVertices);
+  COBRA_CHECK(source < g.num_vertices());
+  SubsetDistribution dist(std::size_t{1} << g.num_vertices(), 0.0);
+  dist[SubsetMask{1} << source] = 1.0;
+  return dist;
+}
+
+SubsetDistribution bips_exact_step(const graph::Graph& g,
+                                   graph::VertexId source,
+                                   const SubsetDistribution& dist,
+                                   const ProcessOptions& options) {
+  check_size(g, kMaxExactVertices);
+  const graph::VertexId n = g.num_vertices();
+  const std::size_t states = std::size_t{1} << n;
+  COBRA_CHECK(dist.size() == states);
+  options.validate();
+
+  SubsetDistribution next(states, 0.0);
+  std::vector<double> p(n);
+  // Scratch distributions for the per-vertex convolution.
+  std::vector<double> cur(states), tmp(states);
+
+  for (SubsetMask a = 0; a < states; ++a) {
+    const double mass = dist[a];
+    if (mass <= 0.0) continue;
+    infection_probabilities(g, source, a, options, p);
+
+    // Build the product distribution over next subsets incrementally:
+    // after processing vertex u, cur[] is a distribution over subsets of
+    // {0..u}. Deterministic vertices (p in {0,1}) do not branch.
+    std::size_t support = 1;
+    cur[0] = 1.0;
+    for (graph::VertexId u = 0; u < n; ++u) {
+      const SubsetMask bit = SubsetMask{1} << u;
+      const double pu = p[u];
+      std::fill(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(
+                                               support << 1),
+                0.0);
+      for (SubsetMask s = 0; s < support; ++s) {
+        const double w = cur[s];
+        if (w == 0.0) continue;
+        if (pu > 0.0) tmp[s | bit] += w * pu;
+        if (pu < 1.0) tmp[s] += w * (1.0 - pu);
+      }
+      support <<= 1;
+      std::swap(cur, tmp);
+    }
+    for (SubsetMask b = 0; b < states; ++b)
+      if (cur[b] != 0.0) next[b] += mass * cur[b];
+  }
+  return next;
+}
+
+SubsetDistribution bips_exact_distribution(const graph::Graph& g,
+                                           graph::VertexId source,
+                                           std::uint64_t rounds,
+                                           const ProcessOptions& options) {
+  SubsetDistribution dist = bips_initial_distribution(g, source);
+  for (std::uint64_t t = 0; t < rounds; ++t)
+    dist = bips_exact_step(g, source, dist, options);
+  return dist;
+}
+
+double bips_exact_miss_probability(const graph::Graph& g,
+                                   graph::VertexId source,
+                                   const std::vector<graph::VertexId>& c_set,
+                                   std::uint64_t rounds,
+                                   const ProcessOptions& options) {
+  COBRA_CHECK(!c_set.empty());
+  SubsetMask c_mask = 0;
+  for (const graph::VertexId u : c_set) {
+    COBRA_CHECK(u < g.num_vertices());
+    c_mask |= SubsetMask{1} << u;
+  }
+  const SubsetDistribution dist =
+      bips_exact_distribution(g, source, rounds, options);
+  double miss = 0.0;
+  for (SubsetMask a = 0; a < dist.size(); ++a)
+    if ((a & c_mask) == 0) miss += dist[a];
+  return miss;
+}
+
+double bips_exact_infection_cdf(const graph::Graph& g,
+                                graph::VertexId source, std::uint64_t rounds,
+                                const ProcessOptions& options) {
+  const SubsetDistribution dist =
+      bips_exact_distribution(g, source, rounds, options);
+  return dist.back();  // mask with all n bits set is the last index
+}
+
+double bips_exact_expected_infection_time(const graph::Graph& g,
+                                          graph::VertexId source,
+                                          const ProcessOptions& options) {
+  check_size(g, 10);
+  const graph::VertexId n = g.num_vertices();
+  const std::size_t states = std::size_t{1} << n;
+  const SubsetMask full = static_cast<SubsetMask>(states - 1);
+  options.validate();
+
+  // Transition matrix restricted to states containing the source.
+  // x[a] = expected rounds to reach `full` from a; x[full] = 0;
+  // x[a] = 1 + sum_b P(a -> b) x[b]. Solve (I - P) x = 1 by Gaussian
+  // elimination over the reachable states (those containing source).
+  std::vector<SubsetMask> reachable;
+  std::vector<std::int32_t> index(states, -1);
+  for (SubsetMask a = 0; a < states; ++a) {
+    if ((a >> source) & 1u) {
+      index[a] = static_cast<std::int32_t>(reachable.size());
+      reachable.push_back(a);
+    }
+  }
+  const std::size_t k = reachable.size();
+
+  // Dense system M x = rhs with M = I - P (row `full` replaced by x = 0).
+  std::vector<double> matrix(k * k, 0.0), rhs(k, 1.0);
+  std::vector<double> p(n);
+  std::vector<double> cur(states), tmp(states);
+  for (std::size_t row = 0; row < k; ++row) {
+    const SubsetMask a = reachable[row];
+    if (a == full) {
+      matrix[row * k + row] = 1.0;
+      rhs[row] = 0.0;
+      continue;
+    }
+    infection_probabilities(g, source, a, options, p);
+    std::size_t support = 1;
+    cur[0] = 1.0;
+    for (graph::VertexId u = 0; u < n; ++u) {
+      const SubsetMask bit = SubsetMask{1} << u;
+      const double pu = p[u];
+      std::fill(tmp.begin(),
+                tmp.begin() + static_cast<std::ptrdiff_t>(support << 1), 0.0);
+      for (SubsetMask s = 0; s < support; ++s) {
+        const double w = cur[s];
+        if (w == 0.0) continue;
+        if (pu > 0.0) tmp[s | bit] += w * pu;
+        if (pu < 1.0) tmp[s] += w * (1.0 - pu);
+      }
+      support <<= 1;
+      std::swap(cur, tmp);
+    }
+    for (SubsetMask b = 0; b < states; ++b) {
+      const double w = cur[b];
+      if (w == 0.0) continue;
+      COBRA_DCHECK(index[b] >= 0);  // next state always contains source
+      matrix[row * k + static_cast<std::size_t>(index[b])] -= w;
+    }
+    matrix[row * k + row] += 1.0;
+  }
+
+  // Partial-pivot Gaussian elimination.
+  std::vector<std::size_t> perm(k);
+  for (std::size_t i = 0; i < k; ++i) perm[i] = i;
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    double best = std::fabs(matrix[perm[col] * k + col]);
+    for (std::size_t r = col + 1; r < k; ++r) {
+      const double v = std::fabs(matrix[perm[r] * k + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    COBRA_CHECK_MSG(best > 1e-14, "singular exact-BIPS system");
+    std::swap(perm[col], perm[pivot]);
+    const std::size_t prow = perm[col];
+    const double diag = matrix[prow * k + col];
+    for (std::size_t r = col + 1; r < k; ++r) {
+      const std::size_t rr = perm[r];
+      const double factor = matrix[rr * k + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < k; ++c)
+        matrix[rr * k + c] -= factor * matrix[prow * k + c];
+      rhs[rr] -= factor * rhs[prow];
+    }
+  }
+  std::vector<double> x(k, 0.0);
+  for (std::size_t i = k; i-- > 0;) {
+    const std::size_t row = perm[i];
+    double acc = rhs[row];
+    for (std::size_t c = i + 1; c < k; ++c)
+      acc -= matrix[row * k + c] * x[c];
+    x[i] = acc / matrix[row * k + i];
+  }
+  // x is indexed by elimination order; map back: column i corresponds to
+  // unknown i (we eliminated in natural column order), so x[i] is unknown i.
+  const auto start_index =
+      static_cast<std::size_t>(index[SubsetMask{1} << source]);
+  return x[start_index];
+}
+
+}  // namespace cobra::core

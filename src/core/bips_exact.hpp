@@ -1,0 +1,67 @@
+// Exact BIPS dynamics on small graphs.
+//
+// BIPS transitions are product-form: conditioned on A_t, vertices join
+// A_{t+1} independently. So the full distribution over subsets (bitmask
+// states) is computable exactly with an n·2^n convolution per source state.
+// This gives the library an exact oracle that pins the simulators — and,
+// through Theorem 1.3, the COBRA hitting probabilities — to closed numbers
+// rather than statistical comparisons:
+//
+//   P(Hit_C(v) > T) in COBRA  ==  sum of exact BIPS mass on {A : A∩C = ∅}.
+//
+// Limits: distribution evolution n <= 16 practical (4^n work per round);
+// exact expected infection time n <= 10 (dense linear solve over 2^n
+// states).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/process.hpp"
+#include "graph/graph.hpp"
+
+namespace cobra::core {
+
+using SubsetMask = std::uint32_t;
+
+/// Distribution over subsets of V indexed by bitmask (size 2^n).
+using SubsetDistribution = std::vector<double>;
+
+/// Point mass on A_0 = {source}.
+SubsetDistribution bips_initial_distribution(const graph::Graph& g,
+                                             graph::VertexId source);
+
+/// One exact BIPS round: returns the distribution of A_{t+1} given the
+/// distribution of A_t. O(sum over reachable states of n·2^n) worst case.
+SubsetDistribution bips_exact_step(const graph::Graph& g,
+                                   graph::VertexId source,
+                                   const SubsetDistribution& dist,
+                                   const ProcessOptions& options);
+
+/// Distribution of A_T from A_0 = {source}.
+SubsetDistribution bips_exact_distribution(const graph::Graph& g,
+                                           graph::VertexId source,
+                                           std::uint64_t rounds,
+                                           const ProcessOptions& options);
+
+/// Exact P(A_T ∩ C = ∅ | A_0 = {source}) — by Theorem 1.3 this equals the
+/// COBRA probability P(Hit(source) > T | C_0 = C).
+double bips_exact_miss_probability(const graph::Graph& g,
+                                   graph::VertexId source,
+                                   const std::vector<graph::VertexId>& c_set,
+                                   std::uint64_t rounds,
+                                   const ProcessOptions& options);
+
+/// Exact E[infec(source)] via the absorbing-chain linear system
+/// (I - P) x = 1 over non-full states, dense Gaussian elimination.
+/// Requires n <= 10.
+double bips_exact_expected_infection_time(const graph::Graph& g,
+                                          graph::VertexId source,
+                                          const ProcessOptions& options);
+
+/// Exact P(infec(source) <= T): mass on the full state after T rounds.
+double bips_exact_infection_cdf(const graph::Graph& g,
+                                graph::VertexId source, std::uint64_t rounds,
+                                const ProcessOptions& options);
+
+}  // namespace cobra::core

@@ -1,0 +1,124 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace cobra::core {
+
+using util::safe_log;
+
+double bound_thm11_general(std::uint64_t n, std::uint64_t m,
+                           std::uint32_t dmax) {
+  COBRA_CHECK(n >= 2 && m >= 1 && dmax >= 1);
+  return static_cast<double>(m) +
+         util::sq(static_cast<double>(dmax)) * safe_log(static_cast<double>(n));
+}
+
+double bound_thm12_regular(std::uint64_t n, std::uint32_t r, double lambda) {
+  COBRA_CHECK(n >= 2 && r >= 1);
+  COBRA_CHECK_MSG(lambda < 1.0, "Theorem 1.2 needs eigenvalue gap > 0");
+  const double rd = static_cast<double>(r);
+  return (rd / (1.0 - lambda) + rd * rd) * safe_log(static_cast<double>(n));
+}
+
+double bound_spaa16_general(std::uint64_t n) {
+  COBRA_CHECK(n >= 2);
+  const double nd = static_cast<double>(n);
+  return std::pow(nd, 2.75) * safe_log(nd);
+}
+
+double bound_spaa16_regular(std::uint64_t n, std::uint32_t r, double phi) {
+  COBRA_CHECK(n >= 2 && r >= 1);
+  COBRA_CHECK_MSG(phi > 0.0, "conductance must be positive");
+  const double rd = static_cast<double>(r);
+  const double ln = safe_log(static_cast<double>(n));
+  return std::pow(rd, 4) / (phi * phi) * ln * ln;
+}
+
+double bound_spaa16_grid(std::uint64_t n, std::uint32_t dimension) {
+  COBRA_CHECK(n >= 2 && dimension >= 1);
+  const double d = static_cast<double>(dimension);
+  return d * d * std::pow(static_cast<double>(n), 1.0 / d);
+}
+
+double bound_podc16_regular(std::uint64_t n, double lambda) {
+  COBRA_CHECK(n >= 2);
+  COBRA_CHECK_MSG(lambda < 1.0, "eigenvalue gap must be positive");
+  const double gap = 1.0 - lambda;
+  return safe_log(static_cast<double>(n)) / (gap * gap * gap);
+}
+
+double bound_dutta_complete(std::uint64_t n) {
+  return safe_log(static_cast<double>(n));
+}
+
+double bound_dutta_expander(std::uint64_t n) {
+  return util::sq(safe_log(static_cast<double>(n)));
+}
+
+double bound_dutta_grid(std::uint64_t n, std::uint32_t dimension) {
+  COBRA_CHECK(dimension >= 1);
+  return std::pow(static_cast<double>(n),
+                  1.0 / static_cast<double>(dimension));
+}
+
+double bound_lower(std::uint64_t n, std::uint32_t diameter) {
+  COBRA_CHECK(n >= 2);
+  return std::max(std::log2(static_cast<double>(n)),
+                  static_cast<double>(diameter));
+}
+
+double rho_scaling(double rho) {
+  COBRA_CHECK(rho > 0.0 && rho <= 1.0);
+  return 1.0 / (rho * rho);
+}
+
+bool gap_condition_holds(std::uint64_t n, double lambda, double c) {
+  COBRA_CHECK(n >= 2);
+  const double nd = static_cast<double>(n);
+  return (1.0 - lambda) > c * std::sqrt(safe_log(nd) / nd);
+}
+
+std::vector<BoundValue> bound_report(const graph::Graph& g,
+                                     std::optional<double> lambda,
+                                     std::optional<double> phi,
+                                     std::optional<std::uint32_t> diameter,
+                                     std::optional<std::uint32_t> dimension) {
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  std::vector<BoundValue> out;
+
+  out.push_back({"thm1.1  m+dmax^2·ln n",
+                 bound_thm11_general(n, m, g.max_degree()), true});
+  out.push_back({"spaa16  n^2.75·ln n", bound_spaa16_general(n), true});
+
+  const bool regular = g.is_regular();
+  if (regular && lambda.has_value() && *lambda < 1.0) {
+    out.push_back({"thm1.2  (r/gap+r^2)·ln n",
+                   bound_thm12_regular(n, g.max_degree(), *lambda), true});
+    out.push_back({"podc16  ln n/gap^3",
+                   bound_podc16_regular(n, *lambda), true});
+  } else {
+    out.push_back({"thm1.2  (r/gap+r^2)·ln n", 0.0, false});
+    out.push_back({"podc16  ln n/gap^3", 0.0, false});
+  }
+  if (regular && phi.has_value() && *phi > 0.0) {
+    out.push_back({"spaa16  r^4/phi^2·ln^2 n",
+                   bound_spaa16_regular(n, g.max_degree(), *phi), true});
+  } else {
+    out.push_back({"spaa16  r^4/phi^2·ln^2 n", 0.0, false});
+  }
+  if (dimension.has_value()) {
+    out.push_back({"spaa16  D^2·n^(1/D)",
+                   bound_spaa16_grid(n, *dimension), true});
+  }
+  if (diameter.has_value()) {
+    out.push_back({"lower   max(log2 n, diam)",
+                   bound_lower(n, *diameter), true});
+  }
+  return out;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,86 @@
+// Every cover-time bound the paper states, proves or compares against,
+// as explicit formulas with constant 1 (asymptotic statements do not pin
+// constants; experiments report measured/bound ratios and their trend).
+//
+// Sources:
+//   * Theorem 1.1 (this paper): O(m + dmax^2 log n) for connected graphs.
+//   * Theorem 1.2 (this paper): O((r/(1-lambda) + r^2) log n), r-regular,
+//     requires 1 - lambda > C sqrt(log n / n).
+//   * Mitzenmacher-Rajaraman-Roche SPAA'16 [8]: O(n^{11/4} log n) general,
+//     O((r^4/phi^2) log^2 n) regular, O(D^2 n^{1/D}) D-dim grids.
+//   * Cooper-Radzik-Rivera PODC'16 [4]: O(log n / (1-lambda)^3) regular.
+//   * Dutta et al. SPAA'13 [5,6]: O(log n) for K_n, O(log^2 n) for
+//     constant-degree expanders, O~(n^{1/D}) for D-dim grids.
+//   * Lower bound: max(log2 n, Diam(G)) — the visited set at most doubles
+//     per round with b = 2, and information travels one hop per round.
+//   * Section 6: with branching b = 1+rho the round counts scale by 1/rho^2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra::core {
+
+// --- this paper -----------------------------------------------------------
+
+/// Theorem 1.1: m + dmax^2 ln n.
+double bound_thm11_general(std::uint64_t n, std::uint64_t m,
+                           std::uint32_t dmax);
+
+/// Theorem 1.2: (r/(1-lambda) + r^2) ln n. Requires lambda < 1.
+double bound_thm12_regular(std::uint64_t n, std::uint32_t r, double lambda);
+
+// --- prior work the paper improves on --------------------------------------
+
+/// SPAA'16 general bound: n^{11/4} ln n.
+double bound_spaa16_general(std::uint64_t n);
+
+/// SPAA'16 regular bound: (r^4 / phi^2) (ln n)^2. Requires phi > 0.
+double bound_spaa16_regular(std::uint64_t n, std::uint32_t r, double phi);
+
+/// SPAA'16 grid bound: D^2 n^{1/D}.
+double bound_spaa16_grid(std::uint64_t n, std::uint32_t dimension);
+
+/// PODC'16 regular bound: ln n / (1-lambda)^3. Requires lambda < 1.
+double bound_podc16_regular(std::uint64_t n, double lambda);
+
+/// Dutta et al.: K_n in ln n; constant-degree expanders in (ln n)^2;
+/// D-dim grids in n^{1/D} (polylog factors dropped).
+double bound_dutta_complete(std::uint64_t n);
+double bound_dutta_expander(std::uint64_t n);
+double bound_dutta_grid(std::uint64_t n, std::uint32_t dimension);
+
+// --- structural bounds ------------------------------------------------------
+
+/// Lower bound for b = 2: max(log2 n, diameter).
+double bound_lower(std::uint64_t n, std::uint32_t diameter);
+
+/// Section 6 scaling: multiply round bounds by 1/rho^2 for b = 1 + rho.
+double rho_scaling(double rho);
+
+/// Theorems 1.2/1.5 regime condition: 1 - lambda > C sqrt(log n / n);
+/// true when the margin (gap / sqrt(log n / n)) exceeds `c`.
+bool gap_condition_holds(std::uint64_t n, double lambda, double c = 1.0);
+
+// --- per-graph report -------------------------------------------------------
+
+struct BoundValue {
+  std::string name;
+  double rounds = 0.0;
+  bool applicable = false;
+};
+
+/// Evaluates every applicable bound for a graph (lambda and conductance are
+/// passed in where known; nullopt marks them unavailable and skips the
+/// bounds that need them). `dimension` activates the grid bounds.
+std::vector<BoundValue> bound_report(const graph::Graph& g,
+                                     std::optional<double> lambda,
+                                     std::optional<double> phi,
+                                     std::optional<std::uint32_t> diameter,
+                                     std::optional<std::uint32_t> dimension);
+
+}  // namespace cobra::core

@@ -1,0 +1,92 @@
+#include "core/cobra.hpp"
+
+#include <algorithm>
+
+namespace cobra::core {
+
+CobraProcess::CobraProcess(const graph::Graph& g, ProcessOptions options)
+    : graph_(&g), options_(options) {
+  options_.validate();
+  COBRA_CHECK_MSG(g.num_vertices() >= 1, "empty graph");
+  COBRA_CHECK_MSG(g.min_degree() >= 1,
+                  "COBRA needs every vertex to have a neighbour to push to");
+  stamp_.assign(g.num_vertices(), 0);
+  visited_.resize(g.num_vertices());
+  reset(0);
+}
+
+void CobraProcess::reset(graph::VertexId start) {
+  const graph::VertexId one[] = {start};
+  reset(std::span<const graph::VertexId>(one, 1));
+}
+
+void CobraProcess::reset(std::span<const graph::VertexId> start) {
+  COBRA_CHECK(!start.empty());
+  ++epoch_;
+  active_.clear();
+  visited_.reset_all();
+  visited_count_ = 0;
+  round_ = 0;
+  transmissions_ = 0;
+  for (const graph::VertexId u : start) {
+    COBRA_CHECK(u < graph_->num_vertices());
+    if (stamp_[u] == epoch_) continue;  // deduplicate
+    stamp_[u] = epoch_;
+    active_.push_back(u);
+    if (visited_.set_and_test(u)) ++visited_count_;
+  }
+}
+
+std::uint32_t CobraProcess::step(rng::Rng& rng) {
+  const std::uint64_t next_epoch = epoch_ + 1;
+  next_.clear();
+  std::uint32_t newly_visited = 0;
+  const double laziness = options_.laziness;
+
+  for (const graph::VertexId u : active_) {
+    const std::uint32_t fanout = draw_fanout(rng);
+    transmissions_ += fanout;
+    const auto nbrs = graph_->neighbors(u);
+    for (std::uint32_t j = 0; j < fanout; ++j) {
+      graph::VertexId dest;
+      if (laziness > 0.0 && rng.bernoulli(laziness)) {
+        dest = u;
+      } else {
+        dest = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+      }
+      if (stamp_[dest] == next_epoch) continue;  // coalesce
+      stamp_[dest] = next_epoch;
+      next_.push_back(dest);
+      if (visited_.set_and_test(dest)) ++newly_visited;
+    }
+  }
+
+  epoch_ = next_epoch;
+  active_.swap(next_);
+  visited_count_ += newly_visited;
+  ++round_;
+  return newly_visited;
+}
+
+std::optional<std::uint64_t> CobraProcess::run_until_cover(
+    rng::Rng& rng, std::uint64_t max_rounds) {
+  if (all_visited()) return round_;
+  while (round_ < max_rounds) {
+    step(rng);
+    if (all_visited()) return round_;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> CobraProcess::run_until_hit(
+    rng::Rng& rng, graph::VertexId target, std::uint64_t max_rounds) {
+  COBRA_CHECK(target < graph_->num_vertices());
+  if (is_visited(target)) return round_;
+  while (round_ < max_rounds) {
+    step(rng);
+    if (is_visited(target)) return round_;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cobra::core

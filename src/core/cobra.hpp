@@ -1,0 +1,103 @@
+// The COBRA process (coalescing-branching random walk), Dutta et al. [5,6],
+// as analysed by Cooper, Radzik, Rivera (SPAA'17).
+//
+// State: the set C_t of vertices holding a particle. Each round, every
+// vertex in C_t pushes to b random neighbours (chosen independently,
+// uniformly, with replacement); C_{t+1} is the set of vertices receiving at
+// least one particle (multiple arrivals coalesce).
+//
+// cover(u) = min{ T : union of C_0..C_T = V } with C_0 = {u}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/process.hpp"
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+#include "util/bitset.hpp"
+
+namespace cobra::core {
+
+class CobraProcess {
+ public:
+  /// The graph must be connected with min degree >= 1; the process keeps a
+  /// reference, so the graph must outlive it.
+  explicit CobraProcess(const graph::Graph& g,
+                        ProcessOptions options = ProcessOptions{});
+
+  /// Restarts with C_0 = {start}; `start` counts as visited at round 0.
+  void reset(graph::VertexId start);
+
+  /// Restarts with C_0 = `start` (deduplicated); all count as visited.
+  void reset(std::span<const graph::VertexId> start);
+
+  /// Executes one synchronised round. Returns the number of first-time
+  /// visits this round.
+  std::uint32_t step(rng::Rng& rng);
+
+  /// Rounds executed since reset (t of C_t).
+  [[nodiscard]] std::uint64_t round() const { return round_; }
+
+  /// Current particle set C_t (unordered, duplicate-free).
+  [[nodiscard]] const std::vector<graph::VertexId>& active() const {
+    return active_;
+  }
+
+  [[nodiscard]] bool is_active(graph::VertexId u) const {
+    return stamp_[u] == epoch_;
+  }
+
+  [[nodiscard]] std::uint32_t num_visited() const { return visited_count_; }
+  [[nodiscard]] bool all_visited() const {
+    return visited_count_ == graph_->num_vertices();
+  }
+  [[nodiscard]] bool is_visited(graph::VertexId u) const {
+    return visited_.test(u);
+  }
+
+  /// Total particle transmissions since reset (the process's message cost;
+  /// the quantity COBRA is designed to keep at O(b |C_t|) per round).
+  [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+
+  /// Runs until all vertices are visited; returns the cover time, or
+  /// nullopt if `max_rounds` elapse first (callers treat that as a failed
+  /// w.h.p. event and may restart, as the paper's restart argument does).
+  std::optional<std::uint64_t> run_until_cover(rng::Rng& rng,
+                                               std::uint64_t max_rounds);
+
+  /// Runs until `target` is visited; returns Hit(target).
+  std::optional<std::uint64_t> run_until_hit(rng::Rng& rng,
+                                             graph::VertexId target,
+                                             std::uint64_t max_rounds);
+
+  [[nodiscard]] const graph::Graph& graph() const { return *graph_; }
+  [[nodiscard]] const ProcessOptions& options() const { return options_; }
+
+ private:
+  /// Number of selections this vertex makes this round (base [+1]).
+  std::uint32_t draw_fanout(rng::Rng& rng) const {
+    const Branching& b = options_.branching;
+    return b.base + ((b.extra_prob > 0.0 && rng.bernoulli(b.extra_prob)) ? 1u
+                                                                         : 0u);
+  }
+
+  const graph::Graph* graph_;
+  ProcessOptions options_;
+
+  std::vector<graph::VertexId> active_;
+  std::vector<graph::VertexId> next_;
+  // Epoch-stamped membership: stamp_[u] == epoch_ means u in C_t. Avoids an
+  // O(n) clear per round.
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 0;
+
+  util::DynamicBitset visited_;
+  std::uint32_t visited_count_ = 0;
+  std::uint64_t round_ = 0;
+  std::uint64_t transmissions_ = 0;
+};
+
+}  // namespace cobra::core

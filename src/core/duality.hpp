@@ -1,0 +1,90 @@
+// Theorem 1.3 (Cooper-Radzik-Rivera PODC'16, restated in SPAA'17):
+//
+//   P̂(Hit(v) > T | C_0 = C)  =  P(C ∩ A_T = ∅ | A_0 = {v}),
+//
+// i.e. the probability that COBRA started from set C has not hit v by round
+// T equals the probability that BIPS with persistent source v has not
+// infected any vertex of C by round T.
+//
+// The proof couples the two processes through a shared table of neighbour
+// selections ω(u, t) used in reverse time order. This module implements
+// that coupling literally:
+//   * SelectionTable — one sampled ω (with the per-(u,t) fan-out for the
+//     b = 1+ρ case and lazy self-selections),
+//   * cobra_visits_with_table / bips_infects_with_table — deterministic
+//     executions given ω,
+//   * the per-ω identity check (exact, no statistics), and
+//   * independent two-sided Monte-Carlo estimation of both probabilities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/process.hpp"
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace cobra::core {
+
+/// A full table of neighbour selections: for each round t in [1, T] and each
+/// vertex u, the list of selected destinations (fan-out many; a destination
+/// may equal u itself under laziness).
+class SelectionTable {
+ public:
+  /// Samples ω for `rounds` rounds on g under `options`.
+  SelectionTable(const graph::Graph& g, std::uint64_t rounds,
+                 const ProcessOptions& options, rng::Rng& rng);
+
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+  [[nodiscard]] graph::VertexId num_vertices() const { return n_; }
+
+  /// Selections of vertex u in round t (1-based t, 1 <= t <= rounds).
+  [[nodiscard]] std::span<const graph::VertexId> selections(
+      graph::VertexId u, std::uint64_t t) const {
+    const std::size_t slot = static_cast<std::size_t>(t - 1) * n_ + u;
+    return {targets_.data() + offsets_[slot],
+            targets_.data() + offsets_[slot + 1]};
+  }
+
+ private:
+  graph::VertexId n_;
+  std::uint64_t rounds_;
+  std::vector<std::uint64_t> offsets_;  // (rounds*n + 1) entries
+  std::vector<graph::VertexId> targets_;
+};
+
+/// Runs COBRA from C_0 = `start_set` for table.rounds() rounds, where the
+/// particle at u in round t moves to every vertex in table.selections(u,t).
+/// Returns true iff `target` is visited (target ∈ C_t for some t ≤ T,
+/// including t = 0).
+bool cobra_visits_with_table(const graph::Graph& g,
+                             const std::vector<graph::VertexId>& start_set,
+                             graph::VertexId target,
+                             const SelectionTable& table);
+
+/// Runs BIPS with persistent source `source` for table.rounds() rounds,
+/// where vertex u's selections in BIPS round s are table.selections(u, T+1-s)
+/// (time reversal). Returns true iff A_T intersects `c_set`.
+bool bips_infects_with_table(const graph::Graph& g, graph::VertexId source,
+                             const std::vector<graph::VertexId>& c_set,
+                             const SelectionTable& table);
+
+/// Result of the Monte-Carlo duality comparison.
+struct DualityEstimate {
+  double cobra_miss = 0.0;  // estimate of P̂(Hit(v) > T | C_0 = C)
+  double bips_miss = 0.0;   // estimate of P(C ∩ A_T = ∅ | A_0 = {v})
+  std::uint64_t replicates = 0;
+  std::uint64_t coupled_disagreements = 0;  // per-ω identity violations
+};
+
+/// For `replicates` independently sampled tables ω: evaluates both coupled
+/// indicators (counting disagreements — the theorem says zero), and
+/// accumulates the two independent Monte-Carlo estimates using separate
+/// randomness (streams derived from `seed`).
+DualityEstimate check_duality(const graph::Graph& g, graph::VertexId v,
+                              const std::vector<graph::VertexId>& c_set,
+                              std::uint64_t rounds,
+                              const ProcessOptions& options,
+                              std::uint64_t replicates, std::uint64_t seed);
+
+}  // namespace cobra::core

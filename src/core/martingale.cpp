@@ -1,0 +1,133 @@
+#include "core/martingale.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bips.hpp"
+#include "util/assert.hpp"
+#include "util/bitset.hpp"
+
+namespace cobra::core {
+
+double drift_floor(const ProcessOptions& options) {
+  const Branching& b = options.branching;
+  if (b.base >= 2) return 0.5;
+  // b = 1 + rho (Section 6): E(Y_l | past) >= rho (1 - 1/d) >= rho/2.
+  return b.extra_prob / 2.0;
+}
+
+MartingaleTrace run_bips_serialized(const graph::Graph& g,
+                                    graph::VertexId source,
+                                    const ProcessOptions& options,
+                                    std::uint64_t max_rounds,
+                                    rng::Rng& rng) {
+  options.validate();
+  COBRA_CHECK_MSG(options.laziness == 0.0,
+                  "the Section 3 serialisation is defined for the non-lazy "
+                  "process");
+  const graph::VertexId n = g.num_vertices();
+  COBRA_CHECK(source < n && g.min_degree() >= 1);
+
+  MartingaleTrace trace;
+  util::DynamicBitset infected(n);
+  infected.set(source);
+  std::uint32_t infected_count = 1;
+
+  std::vector<std::uint32_t> da(n, 0);  // d_A(u) w.r.t. current A
+  std::vector<graph::VertexId> candidates;
+  util::DynamicBitset seen(n);
+
+  // Initialise d_A for A_0 = {source}.
+  for (const graph::VertexId u : g.neighbors(source)) ++da[u];
+
+  for (std::uint64_t t = 1; t <= max_rounds; ++t) {
+    // Candidates C_t w.r.t. A = A_{t-1}, ascending vertex order.
+    candidates.clear();
+    seen.reset_all();
+    auto consider = [&](graph::VertexId u) {
+      if (!seen.set_and_test(u)) return;
+      if (da[u] < g.degree(u)) candidates.push_back(u);
+    };
+    for (std::size_t a = infected.find_first(); a < n;
+         a = infected.find_next(a))
+      for (const graph::VertexId u : g.neighbors(a))
+        consider(u);
+    consider(source);
+    std::sort(candidates.begin(), candidates.end());
+    COBRA_CHECK_MSG(!candidates.empty(),
+                    "paper invariant: C_t is never empty before completion");
+
+    // B_fix = vertices with every neighbour infected; they are infected
+    // next round deterministically.
+    std::vector<graph::VertexId> next_infected;
+    for (graph::VertexId u = 0; u < n; ++u)
+      if (da[u] == g.degree(u)) next_infected.push_back(u);
+
+    // Serialised candidate decisions.
+    for (const graph::VertexId u : candidates) {
+      MartingaleStep step;
+      step.vertex = u;
+      step.round = t;
+      step.degree = g.degree(u);
+      step.infected_neighbors = da[u];
+      step.is_source = (u == source);
+      if (u == source) {
+        step.joined = true;
+        step.conditional_mean =
+            static_cast<double>(step.degree - step.infected_neighbors);
+      } else {
+        const double p = bips_infection_probability(
+            step.degree, step.infected_neighbors, infected.test(u), options);
+        step.joined = rng.bernoulli(p);
+        // E(Y) = d p - d_A; for b = 2 this is d_A (1 - d_A/d) (eq. 17).
+        step.conditional_mean =
+            static_cast<double>(step.degree) * p -
+            static_cast<double>(step.infected_neighbors);
+      }
+      step.y = (step.joined ? static_cast<double>(step.degree) : 0.0) -
+               static_cast<double>(step.infected_neighbors);
+      trace.steps.push_back(step);
+      if (step.joined) next_infected.push_back(u);
+    }
+    trace.round_step_counts.push_back(candidates.size());
+
+    // Commit A_t.
+    infected.reset_all();
+    std::fill(da.begin(), da.end(), 0u);
+    infected_count = 0;
+    std::uint64_t degree_sum = 0;
+    for (const graph::VertexId u : next_infected) {
+      if (!infected.set_and_test(u)) continue;
+      ++infected_count;
+      degree_sum += g.degree(u);
+      for (const graph::VertexId w : g.neighbors(u)) ++da[w];
+    }
+    trace.infected_degree.push_back(degree_sum);
+    trace.rounds = t;
+    if (infected_count == n) {
+      trace.completed = true;
+      break;
+    }
+  }
+  return trace;
+}
+
+double trace_identity_violation(const graph::Graph& g,
+                                graph::VertexId source,
+                                const MartingaleTrace& trace) {
+  // d(A_t) should equal d(source) + sum of Y over rounds 1..t (eq. (14)).
+  double worst = 0.0;
+  double running = static_cast<double>(g.degree(source));
+  std::size_t step_index = 0;
+  for (std::uint64_t t = 0; t < trace.rounds; ++t) {
+    const std::uint64_t steps_this_round = trace.round_step_counts[t];
+    for (std::uint64_t s = 0; s < steps_this_round; ++s)
+      running += trace.steps[step_index++].y;
+    const double recorded =
+        static_cast<double>(trace.infected_degree[t]);
+    worst = std::max(worst, std::fabs(running - recorded));
+  }
+  return worst;
+}
+
+}  // namespace cobra::core

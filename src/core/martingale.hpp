@@ -1,0 +1,69 @@
+// Section 3 of the paper: the serialised view of BIPS.
+//
+// One BIPS round is decomposed into per-candidate "steps": the candidates
+// C_t = (N(A_{t-1}) ∪ {v}) \ B_fix decide in a fixed vertex order whether
+// they join B_rand. Step l contributes the increment
+//
+//   Y_l = d(u) X_u - d_{A}(u)      (paper eq. (11)-(14)),
+//
+// where X_u indicates u ∈ B_rand (X_v ≡ 1 for the source). Then
+// d(A_t) = d(v) + sum_l Y_l, the conditional drift satisfies
+// E(Y_l | past) >= 1/2 (eq. (18)), and Z_l = (1/2 - Y_l)/dmax is the
+// bounded super-martingale driving Lemma 3.1.
+//
+// This module executes BIPS *through* the serialisation (the probability
+// kernel evaluated candidate-by-candidate, which is distributionally the
+// same process) and records the step sequence for empirical validation of
+// eq. (18), Lemma 2.1 and Lemma 3.1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/process.hpp"
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace cobra::core {
+
+struct MartingaleStep {
+  graph::VertexId vertex = 0;       // the candidate u
+  std::uint64_t round = 0;          // BIPS round this step belongs to
+  std::uint32_t degree = 0;         // d(u)
+  std::uint32_t infected_neighbors = 0;  // d_A(u) w.r.t. A_{t-1}
+  bool is_source = false;
+  bool joined = false;              // X_u
+  double y = 0.0;                   // Y_l = d(u) X_u - d_A(u)
+  double conditional_mean = 0.0;    // E(Y_l | past) = d_A(1 - d_A/d), or
+                                    // d(v) - d_A(v) for the source
+};
+
+struct MartingaleTrace {
+  std::vector<MartingaleStep> steps;
+  std::vector<std::uint64_t> round_step_counts;  // |C_t| per executed round
+  std::vector<std::uint64_t> infected_degree;    // d(A_t) after each round
+  std::uint64_t rounds = 0;
+  bool completed = false;  // reached A_t = V within the round budget
+};
+
+/// Runs BIPS from {source} for up to `max_rounds` rounds (stopping early on
+/// full infection), recording every serialised step. b and laziness come
+/// from `options` (the paper's eq. (17)/(18) are stated for b = 2; the
+/// Section 6 variants hold with drift rho/2).
+MartingaleTrace run_bips_serialized(const graph::Graph& g,
+                                    graph::VertexId source,
+                                    const ProcessOptions& options,
+                                    std::uint64_t max_rounds, rng::Rng& rng);
+
+/// Paper eq. (18) drift floor for the configured branching: 1/2 for b = 2,
+/// rho/2 for b = 1 + rho.
+double drift_floor(const ProcessOptions& options);
+
+/// Checks d(A_t) = d(source) + sum of Y over all steps of rounds 1..t for
+/// every executed round (paper eq. (14)); returns the largest absolute
+/// discrepancy (exactly 0 for a correct implementation).
+double trace_identity_violation(const graph::Graph& g,
+                                graph::VertexId source,
+                                const MartingaleTrace& trace);
+
+}  // namespace cobra::core

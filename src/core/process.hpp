@@ -1,0 +1,55 @@
+// Shared configuration types for the COBRA and BIPS processes.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace cobra::core {
+
+/// Branching factor model.
+///
+/// Every active vertex (COBRA) / every vertex (BIPS) makes `base` neighbour
+/// selections, plus one more with probability `extra_prob`:
+///   * paper's main case b = 2          -> {base = 2, extra_prob = 0}
+///   * paper's Section 6 case b = 1+rho -> {base = 1, extra_prob = rho}
+///   * b = 1 (simple random walk)       -> {base = 1, extra_prob = 0}
+/// Expected branching factor = base + extra_prob.
+struct Branching {
+  std::uint32_t base = 2;
+  double extra_prob = 0.0;
+
+  static Branching integer(std::uint32_t b) {
+    COBRA_CHECK(b >= 1);
+    return Branching{b, 0.0};
+  }
+
+  /// b = 1 + rho with 0 <= rho <= 1 (Section 6 of the paper).
+  static Branching one_plus_rho(double rho) {
+    COBRA_CHECK(rho >= 0.0 && rho <= 1.0);
+    return Branching{1, rho};
+  }
+
+  [[nodiscard]] double expected() const {
+    return static_cast<double>(base) + extra_prob;
+  }
+};
+
+/// Options common to both processes.
+///
+/// `laziness` is the probability that an individual selection stays at the
+/// selecting vertex instead of a uniform random neighbour. The paper's
+/// remark after Theorem 1.2 uses laziness 1/2 to make bipartite graphs
+/// (where lambda = 1) tractable; 0 is the standard process.
+struct ProcessOptions {
+  Branching branching = Branching::integer(2);
+  double laziness = 0.0;
+
+  void validate() const {
+    COBRA_CHECK(branching.base >= 1);
+    COBRA_CHECK(branching.extra_prob >= 0.0 && branching.extra_prob <= 1.0);
+    COBRA_CHECK(laziness >= 0.0 && laziness < 1.0);
+  }
+};
+
+}  // namespace cobra::core

@@ -1,0 +1,40 @@
+// The paper's restart argument (Section 1, after Theorem 1.2):
+//
+//   "To see that the expected value of cover(u) is O(T), consider
+//    restarting the COBRA process after T rounds from any vertex in C_T,
+//    if the graph has not yet been covered."
+//
+// A w.h.p. bound P(cover > T) <= p turns into an expectation bound
+// E[cover] <= T / (1 - p) because each T-round epoch independently succeeds
+// with probability >= 1 - p. This module provides both the formula and an
+// operational driver that executes the restart scheme (keeping the visited
+// set across epochs, restarting the particle set from the current C_T).
+#pragma once
+
+#include <cstdint>
+
+#include "core/cobra.hpp"
+#include "rng/rng.hpp"
+
+namespace cobra::core {
+
+/// E[time] <= epoch_length / (1 - failure_probability), the geometric-series
+/// bound behind "the same asymptotic bounds apply to the expectation".
+double restart_expectation_bound(double epoch_length,
+                                 double failure_probability);
+
+struct RestartResult {
+  std::uint64_t total_rounds = 0;
+  std::uint64_t epochs = 1;    // 1 = covered within the first epoch
+  bool completed = false;
+};
+
+/// Runs `process` (already reset to its start state) in epochs of
+/// `epoch_rounds`. After each incomplete epoch the particle set restarts
+/// from the CURRENT active set (as in the paper; visited vertices stay
+/// visited). Gives up after `max_epochs`.
+RestartResult run_cover_with_restarts(CobraProcess& process, rng::Rng& rng,
+                                      std::uint64_t epoch_rounds,
+                                      std::uint64_t max_epochs = 1u << 20);
+
+}  // namespace cobra::core

@@ -1,0 +1,54 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cobra::core {
+
+std::uint64_t CobraTrace::rounds_to_fraction(double fraction,
+                                             std::uint32_t n) const {
+  COBRA_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const double target = fraction * static_cast<double>(n);
+  for (const CobraRound& r : rounds)
+    if (static_cast<double>(r.visited) >= target) return r.round;
+  return rounds.empty() ? 1 : rounds.back().round + 1;
+}
+
+CobraTrace run_cobra_trace(const graph::Graph& g,
+                           const ProcessOptions& options,
+                           graph::VertexId start, std::uint64_t max_rounds,
+                           rng::Rng& rng) {
+  CobraProcess process(g, options);
+  process.reset(start);
+  CobraTrace trace;
+  auto record = [&](std::uint32_t new_visits) {
+    trace.rounds.push_back(
+        {process.round(),
+         static_cast<std::uint32_t>(process.active().size()),
+         process.num_visited(), new_visits, process.transmissions()});
+  };
+  record(1);  // reset state: the start vertex counts as the first visit
+  while (!process.all_visited() && process.round() < max_rounds)
+    record(process.step(rng));
+  trace.covered = process.all_visited();
+  return trace;
+}
+
+CoverProfile summarize_trace(const CobraTrace& trace, std::uint32_t n) {
+  COBRA_CHECK_MSG(trace.covered, "profile needs a covered trace");
+  CoverProfile profile;
+  profile.to_half = trace.rounds_to_fraction(0.5, n);
+  profile.to_ninety = trace.rounds_to_fraction(0.9, n);
+  profile.to_cover = trace.rounds.back().round;
+  for (const CobraRound& r : trace.rounds)
+    profile.peak_active = std::max(profile.peak_active, r.active);
+  profile.tail_fraction =
+      profile.to_cover == 0
+          ? 0.0
+          : static_cast<double>(profile.to_cover - profile.to_ninety) /
+                static_cast<double>(profile.to_cover);
+  return profile;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,57 @@
+// Round-by-round COBRA traces and cover profiles.
+//
+// The paper's regular-graph analysis (Sections 4-5) splits the dual BIPS
+// process into three phases: a slow start-up, an exponential middle, and a
+// saturating tail. The primal COBRA process shows the mirrored profile in
+// its visited-count curve. This module records per-round state so
+// experiments can measure phase durations directly:
+//   phase 1: |C_t| grows from 1 toward saturation (doubling-limited),
+//   phase 2: bulk visiting while |C_t| = Theta(n),
+//   phase 3: coupon-collector tail for the last stragglers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cobra.hpp"
+#include "rng/rng.hpp"
+
+namespace cobra::core {
+
+struct CobraRound {
+  std::uint64_t round = 0;
+  std::uint32_t active = 0;        // |C_t|
+  std::uint32_t visited = 0;       // |union C_0..C_t|
+  std::uint32_t new_visits = 0;
+  std::uint64_t transmissions = 0;  // cumulative
+};
+
+struct CobraTrace {
+  std::vector<CobraRound> rounds;  // entry 0 is the state after reset
+  bool covered = false;
+
+  /// First round with visited >= fraction * n; rounds.back().round + 1 when
+  /// never reached.
+  [[nodiscard]] std::uint64_t rounds_to_fraction(double fraction,
+                                                 std::uint32_t n) const;
+};
+
+/// Runs COBRA from `start` until cover (or max_rounds), recording every
+/// round.
+CobraTrace run_cobra_trace(const graph::Graph& g,
+                           const ProcessOptions& options,
+                           graph::VertexId start, std::uint64_t max_rounds,
+                           rng::Rng& rng);
+
+/// Phase summary of a covered trace: rounds to 50% / 90% / 100% visited and
+/// the peak active-set size.
+struct CoverProfile {
+  std::uint64_t to_half = 0;
+  std::uint64_t to_ninety = 0;
+  std::uint64_t to_cover = 0;
+  std::uint32_t peak_active = 0;
+  double tail_fraction = 0.0;  // (to_cover - to_ninety) / to_cover
+};
+CoverProfile summarize_trace(const CobraTrace& trace, std::uint32_t n);
+
+}  // namespace cobra::core

@@ -1,0 +1,150 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace cobra::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source) {
+  const VertexId n = g.num_vertices();
+  COBRA_CHECK(source < n);
+  std::vector<std::uint32_t> dist(n, kUnreachable);
+  std::vector<VertexId> frontier{source};
+  dist[source] = 0;
+  std::uint32_t level = 0;
+  std::vector<VertexId> next;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const VertexId u : frontier)
+      for (const VertexId v : g.neighbors(u))
+        if (dist[v] == kUnreachable) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::optional<std::uint32_t> eccentricity(const Graph& g, VertexId source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (const std::uint32_t d : dist) {
+    if (d == kUnreachable) return std::nullopt;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return false;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(), [](std::uint32_t d) {
+    return d == kUnreachable;
+  });
+}
+
+std::uint32_t count_components(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<bool> seen(n, false);
+  std::uint32_t components = 0;
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    ++components;
+    seen[s] = true;
+    stack.assign(1, s);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const VertexId v : g.neighbors(u))
+        if (!seen[v]) {
+          seen[v] = true;
+          stack.push_back(v);
+        }
+    }
+  }
+  return components;
+}
+
+bool is_bipartite(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  // 0/1 colours; 2 = uncoloured.
+  std::vector<std::uint8_t> colour(n, 2);
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (colour[s] != 2) continue;
+    colour[s] = 0;
+    stack.assign(1, s);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const VertexId v : g.neighbors(u)) {
+        if (colour[v] == 2) {
+          colour[v] = static_cast<std::uint8_t>(1 - colour[u]);
+          stack.push_back(v);
+        } else if (colour[v] == colour[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<std::uint32_t> exact_diameter(const Graph& g,
+                                            std::uint64_t work_limit) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return std::nullopt;
+  const std::uint64_t work =
+      static_cast<std::uint64_t>(n) * std::max<std::uint64_t>(g.degree_sum(), n);
+  if (work > work_limit) return std::nullopt;
+  std::uint32_t diameter = 0;
+  for (VertexId s = 0; s < n; ++s) {
+    const auto ecc = eccentricity(g, s);
+    if (!ecc.has_value()) return std::nullopt;  // disconnected
+    diameter = std::max(diameter, *ecc);
+  }
+  return diameter;
+}
+
+std::uint32_t pseudo_diameter(const Graph& g) {
+  COBRA_CHECK(g.num_vertices() > 0);
+  auto farthest = [&](VertexId s) {
+    const auto dist = bfs_distances(g, s);
+    VertexId arg = s;
+    std::uint32_t best = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (dist[v] != kUnreachable && dist[v] > best) {
+        best = dist[v];
+        arg = v;
+      }
+    return std::make_pair(arg, best);
+  };
+  const auto [far1, d1] = farthest(0);
+  const auto [far2, d2] = farthest(far1);
+  (void)far2;
+  return std::max(d1, d2);
+}
+
+DiameterEstimate diameter_estimate(const Graph& g) {
+  if (const auto exact = exact_diameter(g); exact.has_value())
+    return {*exact, true};
+  return {pseudo_diameter(g), false};
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  s.min = g.min_degree();
+  s.max = g.max_degree();
+  s.mean = g.num_vertices() == 0
+               ? 0.0
+               : static_cast<double>(g.degree_sum()) /
+                     static_cast<double>(g.num_vertices());
+  return s;
+}
+
+}  // namespace cobra::graph

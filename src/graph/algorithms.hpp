@@ -1,0 +1,55 @@
+// Classic graph algorithms used by the experiment harness:
+// connectivity, bipartiteness, BFS distances, diameter (exact and
+// double-sweep lower bound) and degree statistics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra::graph {
+
+/// BFS distances from `source`; unreachable vertices get kUnreachable.
+inline constexpr std::uint32_t kUnreachable = 0xFFFFFFFFu;
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source);
+
+/// Largest BFS distance from `source` (eccentricity); requires connected
+/// component of source == V, otherwise returns nullopt.
+std::optional<std::uint32_t> eccentricity(const Graph& g, VertexId source);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Number of connected components (n == 0 -> 0).
+std::uint32_t count_components(const Graph& g);
+
+/// Two-colourability test.
+[[nodiscard]] bool is_bipartite(const Graph& g);
+
+/// Exact diameter by all-source BFS. Cost O(n·m); refuses (returns nullopt)
+/// when n·m exceeds `work_limit` or the graph is disconnected.
+std::optional<std::uint32_t> exact_diameter(const Graph& g,
+                                            std::uint64_t work_limit =
+                                                std::uint64_t{1} << 33);
+
+/// Double-sweep heuristic: runs BFS from a vertex, then from the farthest
+/// vertex found. Returns a lower bound on the diameter (exact on trees).
+std::uint32_t pseudo_diameter(const Graph& g);
+
+/// Diameter used by experiments: exact when affordable, else double-sweep
+/// (flagged via `exact`).
+struct DiameterEstimate {
+  std::uint32_t value = 0;
+  bool exact = false;
+};
+DiameterEstimate diameter_estimate(const Graph& g);
+
+struct DegreeStats {
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double mean = 0.0;
+};
+DegreeStats degree_stats(const Graph& g);
+
+}  // namespace cobra::graph

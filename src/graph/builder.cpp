@@ -1,0 +1,56 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cobra::graph {
+
+GraphBuilder::GraphBuilder(VertexId num_vertices, DuplicatePolicy policy)
+    : n_(num_vertices), policy_(policy) {}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  COBRA_CHECK_MSG(u < n_ && v < n_, "edge endpoint out of range");
+  COBRA_CHECK_MSG(u != v, "self-loops are not allowed in simple graphs");
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::reserve(std::size_t num_edges) {
+  edges_.reserve(num_edges);
+}
+
+Graph GraphBuilder::build(std::string name) && {
+  std::sort(edges_.begin(), edges_.end());
+  const auto first_dup = std::adjacent_find(edges_.begin(), edges_.end());
+  if (first_dup != edges_.end()) {
+    COBRA_CHECK_MSG(policy_ == DuplicatePolicy::kDeduplicate,
+                    "duplicate edge {" << first_dup->first << ","
+                                       << first_dup->second << "}");
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  }
+
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> adj(edges_.size() * 2);
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    adj[cursor[u]++] = v;
+    adj[cursor[v]++] = u;
+  }
+  // Each u's slice was filled in increasing v order for the (u, v) half
+  // (edges_ sorted lexicographically) but the (v, u) half arrives in u order
+  // interleaved, so sort each list; lists are short relative to m.
+  for (VertexId u = 0; u < n_; ++u)
+    std::sort(adj.begin() + static_cast<std::ptrdiff_t>(offsets[u]),
+              adj.begin() + static_cast<std::ptrdiff_t>(offsets[u + 1]));
+
+  return Graph(std::move(offsets), std::move(adj), std::move(name));
+}
+
+}  // namespace cobra::graph

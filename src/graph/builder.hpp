@@ -1,0 +1,41 @@
+// GraphBuilder: accumulates undirected edges, then produces a validated CSR
+// Graph. Self-loops are rejected; parallel edges are either rejected or
+// silently deduplicated depending on policy (generators that may emit the
+// same edge twice, e.g. circulant offsets with s = n/2, use kDeduplicate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra::graph {
+
+enum class DuplicatePolicy {
+  kReject,       // duplicate edge is a logic error (default)
+  kDeduplicate,  // keep one copy silently
+};
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId num_vertices,
+                        DuplicatePolicy policy = DuplicatePolicy::kReject);
+
+  /// Adds undirected edge {u, v}; u != v, both < n.
+  void add_edge(VertexId u, VertexId v);
+
+  void reserve(std::size_t num_edges);
+
+  [[nodiscard]] std::size_t num_edges_added() const { return edges_.size(); }
+
+  /// Sorts, validates/dedups and emits the Graph. The builder is consumed.
+  Graph build(std::string name = "") &&;
+
+ private:
+  VertexId n_;
+  DuplicatePolicy policy_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;  // canonical u < v
+};
+
+}  // namespace cobra::graph

@@ -1,0 +1,67 @@
+// Deterministic graph families.
+//
+// Every family named in the paper (complete graphs, r-regular structures,
+// D-dimensional grids/tori, hypercubes) plus the classic stress families for
+// the general-graph bound of Theorem 1.1 (paths, cycles, stars, trees,
+// barbells, lollipops, complete bipartite, circulants, Petersen).
+// Generators return connected simple graphs with a descriptive name().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra::graph {
+
+/// K_n, n >= 2.
+Graph complete(VertexId n);
+
+/// Cycle C_n, n >= 3.
+Graph cycle(VertexId n);
+
+/// Path P_n (n vertices, n-1 edges), n >= 2.
+Graph path(VertexId n);
+
+/// Star K_{1,n-1}: centre 0, n >= 2.
+Graph star(VertexId n);
+
+/// Complete bipartite K_{a,b}; sides are [0,a) and [a,a+b).
+Graph complete_bipartite(VertexId a, VertexId b);
+
+/// d-dimensional hypercube Q_d: n = 2^d vertices, ids are bit strings,
+/// edges flip one bit. Regular of degree d; bipartite.
+Graph hypercube(std::uint32_t d);
+
+/// Axis-aligned grid with side lengths `dims` (all >= 1, product >= 2).
+/// `torus` wraps every axis (paper's "D-dimensional grid" is the torus,
+/// which is 2D-regular when every side > 2).
+Graph grid(const std::vector<VertexId>& dims, bool torus);
+
+/// Convenience: D-dimensional torus with equal side length.
+Graph torus_power(VertexId side, std::uint32_t dimension);
+
+/// Complete binary tree on n vertices (heap indexing), n >= 2.
+Graph binary_tree(VertexId n);
+
+/// Complete k-ary tree on n vertices, k >= 2, n >= 2.
+Graph kary_tree(VertexId n, std::uint32_t k);
+
+/// Two cliques K_k joined by a path with `bridge_edges` >= 1 edges.
+/// The classic worst case family for random-walk cover times.
+Graph barbell(VertexId k, VertexId bridge_edges = 1);
+
+/// Clique K_k with a path of `tail` extra vertices attached ("lollipop").
+Graph lollipop(VertexId k, VertexId tail);
+
+/// Circulant graph C_n(offsets): i ~ i +- s (mod n) for each offset s.
+/// Offsets must be in [1, n/2]. Regular; connected iff gcd(offsets, n) = 1
+/// in the generated-subgroup sense (caller's responsibility; checked by
+/// tests for families we use).
+Graph circulant(VertexId n, const std::vector<VertexId>& offsets);
+
+/// The Petersen graph (n = 10, 3-regular, lambda = 2/3 for A/r... known
+/// adjacency spectrum {3, 1^5, (-2)^4}).
+Graph petersen();
+
+}  // namespace cobra::graph

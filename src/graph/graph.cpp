@@ -1,0 +1,60 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace cobra::graph {
+
+Graph::Graph(std::vector<std::uint64_t> offsets, std::vector<VertexId> adj,
+             std::string name)
+    : offsets_(std::move(offsets)),
+      adj_(std::move(adj)),
+      name_(std::move(name)) {
+  COBRA_CHECK_MSG(!offsets_.empty(), "offsets must have n+1 entries");
+  COBRA_CHECK(offsets_.front() == 0);
+  COBRA_CHECK(offsets_.back() == adj_.size());
+  COBRA_CHECK_MSG(adj_.size() % 2 == 0,
+                  "undirected adjacency must have even length");
+  const VertexId n = num_vertices();
+  max_degree_ = 0;
+  min_degree_ = std::numeric_limits<std::uint32_t>::max();
+  if (n == 0) min_degree_ = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    COBRA_CHECK(offsets_[u] <= offsets_[u + 1]);
+    const std::uint32_t d = degree(u);
+    max_degree_ = std::max(max_degree_, d);
+    min_degree_ = std::min(min_degree_, d);
+    const auto nbrs = neighbors(u);
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      COBRA_CHECK_MSG(nbrs[j] < n, "neighbour id out of range");
+      COBRA_CHECK_MSG(nbrs[j] != u, "self-loop in simple graph");
+      if (j > 0)
+        COBRA_CHECK_MSG(nbrs[j - 1] < nbrs[j],
+                        "adjacency list must be sorted and duplicate-free");
+    }
+  }
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::uint64_t Graph::set_degree(std::span<const VertexId> set) const {
+  std::uint64_t total = 0;
+  for (const VertexId u : set) total += degree(u);
+  return total;
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::edges() const {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  out.reserve(num_edges());
+  for (VertexId u = 0; u < num_vertices(); ++u)
+    for (const VertexId v : neighbors(u))
+      if (u < v) out.emplace_back(u, v);
+  return out;
+}
+
+}  // namespace cobra::graph

@@ -1,0 +1,89 @@
+// Immutable undirected simple graph in compressed-sparse-row form.
+//
+// This is the substrate every process in the library runs on. Design goals:
+//   * O(1) neighbour spans (the simulators' only hot operation is
+//     "pick a uniform random neighbour of u"),
+//   * cache-friendly contiguous adjacency,
+//   * cheap degree queries and degree statistics,
+//   * vertices are dense ids 0..n-1 (std::uint32_t: 4 G vertices is far
+//     beyond anything a cover-time simulation can touch).
+//
+// Graphs are built with graph::GraphBuilder (src/graph/builder.hpp) or the
+// generator functions (src/graph/generators.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cobra::graph {
+
+using VertexId = std::uint32_t;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an explicit adjacency structure. `offsets` has n+1 entries;
+  /// `adj` holds each undirected edge twice (u in v's list and vice versa),
+  /// with every list sorted ascending. Validated in O(n + m).
+  Graph(std::vector<std::uint64_t> offsets, std::vector<VertexId> adj,
+        std::string name = "");
+
+  /// Number of vertices n.
+  [[nodiscard]] VertexId num_vertices() const {
+    return offsets_.empty() ? 0
+                            : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges m.
+  [[nodiscard]] std::uint64_t num_edges() const { return adj_.size() / 2; }
+
+  /// Sum of degrees = 2m.
+  [[nodiscard]] std::uint64_t degree_sum() const { return adj_.size(); }
+
+  [[nodiscard]] std::uint32_t degree(VertexId u) const {
+    return static_cast<std::uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Sorted neighbours of u.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId u) const {
+    return {adj_.data() + offsets_[u],
+            adj_.data() + offsets_[u + 1]};
+  }
+
+  /// The j-th neighbour of u (0-based); j < degree(u).
+  [[nodiscard]] VertexId neighbor(VertexId u, std::uint32_t j) const {
+    return adj_[offsets_[u] + j];
+  }
+
+  /// Binary search in u's sorted list; O(log degree(u)).
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  [[nodiscard]] std::uint32_t max_degree() const { return max_degree_; }
+  [[nodiscard]] std::uint32_t min_degree() const { return min_degree_; }
+
+  /// True iff every vertex has the same degree.
+  [[nodiscard]] bool is_regular() const { return max_degree_ == min_degree_; }
+
+  /// Degree of a vertex set: d(S) = sum of deg(u) for u in S.
+  [[nodiscard]] std::uint64_t set_degree(std::span<const VertexId> set) const;
+
+  /// Human-readable family label (e.g. "hypercube(10)"), set by generators.
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// All undirected edges as (u, v) with u < v, in CSR order.
+  [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> edges() const;
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<VertexId> adj_;
+  std::uint32_t max_degree_ = 0;
+  std::uint32_t min_degree_ = 0;
+  std::string name_;
+};
+
+}  // namespace cobra::graph

@@ -1,0 +1,71 @@
+#include "graph/io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::graph {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << "# " << g.name() << '\n';
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (VertexId u = 0; u < g.num_vertices(); ++u)
+    for (const VertexId v : g.neighbors(u))
+      if (u < v) os << u << ' ' << v << '\n';
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::trunc);
+  COBRA_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_edge_list(g, out);
+  COBRA_CHECK_MSG(out.good(), "write failed for " << path);
+}
+
+Graph read_edge_list(std::istream& is, const std::string& name) {
+  std::string line;
+  std::uint64_t n = 0, m = 0;
+  bool have_header = false;
+  GraphBuilder* builder = nullptr;
+  GraphBuilder storage(1);  // replaced after header parse
+  std::uint64_t edges_seen = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (!have_header) {
+      COBRA_CHECK_MSG(static_cast<bool>(ls >> n >> m),
+                      "edge list: bad header line '" << line << "'");
+      COBRA_CHECK_MSG(n >= 1 && n <= 0xFFFFFFFFull, "edge list: bad n");
+      storage = GraphBuilder(static_cast<VertexId>(n));
+      storage.reserve(m);
+      builder = &storage;
+      have_header = true;
+      continue;
+    }
+    std::uint64_t u = 0, v = 0;
+    COBRA_CHECK_MSG(static_cast<bool>(ls >> u >> v),
+                    "edge list: bad edge line '" << line << "'");
+    COBRA_CHECK_MSG(u < n && v < n, "edge list: endpoint out of range");
+    builder->add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    ++edges_seen;
+  }
+  COBRA_CHECK_MSG(have_header, "edge list: missing header");
+  COBRA_CHECK_MSG(edges_seen == m, "edge list: header claims "
+                                       << m << " edges, found " << edges_seen);
+  return std::move(storage).build(name);
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  COBRA_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  return read_edge_list(in, std::filesystem::path(path).stem().string());
+}
+
+}  // namespace cobra::graph

@@ -1,0 +1,23 @@
+// Plain-text edge-list I/O.
+//
+// Format: first line "n m", then one "u v" pair per line (0-based vertex
+// ids, u != v, each undirected edge once). Lines starting with '#' are
+// comments. This is the lingua franca for exchanging graphs with plotting
+// scripts and external tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace cobra::graph {
+
+void write_edge_list(const Graph& g, std::ostream& os);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+/// Parses the format above. Throws util::CheckError on malformed input.
+Graph read_edge_list(std::istream& is, const std::string& name = "loaded");
+Graph read_edge_list_file(const std::string& path);
+
+}  // namespace cobra::graph

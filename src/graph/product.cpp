@@ -1,0 +1,82 @@
+#include "graph/product.hpp"
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::graph {
+
+namespace {
+
+void check_product_size(const Graph& g1, const Graph& g2) {
+  COBRA_CHECK(g1.num_vertices() >= 1 && g2.num_vertices() >= 1);
+  const std::uint64_t n =
+      static_cast<std::uint64_t>(g1.num_vertices()) * g2.num_vertices();
+  COBRA_CHECK_MSG(n <= 0xFFFFFFFFull, "product graph too large");
+  COBRA_CHECK_MSG(n >= 2, "product graph needs at least two vertices");
+}
+
+}  // namespace
+
+Graph cartesian_product(const Graph& g1, const Graph& g2) {
+  check_product_size(g1, g2);
+  const VertexId n1 = g1.num_vertices();
+  const VertexId n2 = g2.num_vertices();
+  GraphBuilder b(n1 * n2);
+  b.reserve(static_cast<std::size_t>(g1.num_edges()) * n2 +
+            static_cast<std::size_t>(g2.num_edges()) * n1);
+  // Copies of G1 along each fixed u2.
+  for (VertexId u2 = 0; u2 < n2; ++u2)
+    for (VertexId u1 = 0; u1 < n1; ++u1)
+      for (const VertexId v1 : g1.neighbors(u1))
+        if (u1 < v1) b.add_edge(u1 + n1 * u2, v1 + n1 * u2);
+  // Copies of G2 along each fixed u1.
+  for (VertexId u1 = 0; u1 < n1; ++u1)
+    for (VertexId u2 = 0; u2 < n2; ++u2)
+      for (const VertexId v2 : g2.neighbors(u2))
+        if (u2 < v2) b.add_edge(u1 + n1 * u2, u1 + n1 * v2);
+  std::ostringstream name;
+  name << "(" << g1.name() << " box " << g2.name() << ")";
+  return std::move(b).build(name.str());
+}
+
+Graph cartesian_power(const Graph& g, std::uint32_t k) {
+  COBRA_CHECK(k >= 1);
+  Graph result = g;
+  for (std::uint32_t i = 1; i < k; ++i)
+    result = cartesian_product(result, g);
+  std::ostringstream name;
+  name << g.name() << "^box" << k;
+  result.set_name(name.str());
+  return result;
+}
+
+Graph tensor_product(const Graph& g1, const Graph& g2) {
+  check_product_size(g1, g2);
+  const VertexId n1 = g1.num_vertices();
+  GraphBuilder b(n1 * g2.num_vertices(), DuplicatePolicy::kDeduplicate);
+  for (VertexId u1 = 0; u1 < n1; ++u1)
+    for (const VertexId v1 : g1.neighbors(u1))
+      for (VertexId u2 = 0; u2 < g2.num_vertices(); ++u2)
+        for (const VertexId v2 : g2.neighbors(u2)) {
+          const VertexId a = u1 + n1 * u2;
+          const VertexId c = v1 + n1 * v2;
+          if (a < c) b.add_edge(a, c);
+        }
+  std::ostringstream name;
+  name << "(" << g1.name() << " tensor " << g2.name() << ")";
+  return std::move(b).build(name.str());
+}
+
+double cartesian_walk_eigenvalue(double mu1, std::uint32_t r1, double mu2,
+                                 std::uint32_t r2) {
+  COBRA_CHECK(r1 >= 1 && r2 >= 1);
+  const double d1 = static_cast<double>(r1);
+  const double d2 = static_cast<double>(r2);
+  return (d1 * mu1 + d2 * mu2) / (d1 + d2);
+}
+
+double tensor_walk_eigenvalue(double mu1, double mu2) { return mu1 * mu2; }
+
+}  // namespace cobra::graph

@@ -1,0 +1,39 @@
+// Graph products.
+//
+// The paper's benchmark families are products: the hypercube Q_d is the
+// d-fold Cartesian power of K_2, the D-dimensional torus the D-fold power
+// of a cycle. Products also give exact spectral ground truth: for regular
+// factors, the walk spectrum of the Cartesian product is the degree-weighted
+// mean of factor eigenvalues, and of the tensor product their pointwise
+// product — used by tests to pin the iterative solvers on large instances.
+//
+// Vertex (u1, u2) of a product has id u1 + n1 * u2.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace cobra::graph {
+
+/// Cartesian product G1 □ G2: (u1,u2) ~ (v1,v2) iff
+/// (u1 = v1 and u2 ~ v2) or (u1 ~ v1 and u2 = v2).
+/// deg(u1,u2) = deg(u1) + deg(u2); connected iff both factors are.
+Graph cartesian_product(const Graph& g1, const Graph& g2);
+
+/// k-fold Cartesian power G^{□k} (k >= 1).
+Graph cartesian_power(const Graph& g, std::uint32_t k);
+
+/// Tensor (categorical) product G1 × G2: (u1,u2) ~ (v1,v2) iff
+/// u1 ~ v1 and u2 ~ v2. deg(u1,u2) = deg(u1)·deg(u2); connected iff both
+/// factors are connected and at least one is non-bipartite.
+Graph tensor_product(const Graph& g1, const Graph& g2);
+
+/// Walk-matrix eigenvalue of the Cartesian product of regular factors:
+/// mu = (r1 mu1 + r2 mu2) / (r1 + r2).
+double cartesian_walk_eigenvalue(double mu1, std::uint32_t r1, double mu2,
+                                 std::uint32_t r2);
+
+/// Walk-matrix eigenvalue of the tensor product: mu = mu1 * mu2
+/// (degrees cancel).
+double tensor_walk_eigenvalue(double mu1, double mu2);
+
+}  // namespace cobra::graph

@@ -1,0 +1,273 @@
+#include "graph/random_generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "graph/algorithms.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::graph {
+
+Graph erdos_renyi_gnp(VertexId n, double p, rng::Rng& rng) {
+  COBRA_CHECK(n >= 2);
+  COBRA_CHECK(p >= 0.0 && p <= 1.0);
+  GraphBuilder b(n);
+  std::ostringstream name;
+  name << "gnp(" << n << ",p=" << p << ")";
+
+  if (p <= 0.0) return std::move(b).build(name.str());
+  if (p >= 1.0) return complete(n);
+
+  // Enumerate pairs (u, v), u < v, as a flat index and jump geometrically:
+  // between successive edges there are Geom(p)-distributed failures, so the
+  // expected cost is O(n + m) instead of O(n^2).
+  const double log1mp = std::log1p(-p);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  // Flat index k -> pair: row u covers (n-1-u) pairs starting at row_start.
+  std::int64_t k = -1;
+  VertexId u = 0;
+  std::uint64_t row_start = 0;            // flat index of (u, u+1)
+  std::uint64_t row_len = n - 1;          // pairs in row u
+  while (true) {
+    const double x = rng.uniform01();
+    const double skip = std::floor(std::log1p(-x) / log1mp);
+    // skip can exceed any integer range for tiny p; clamp via total.
+    if (skip >= static_cast<double>(total)) break;
+    k += static_cast<std::int64_t>(skip) + 1;
+    const auto ku = static_cast<std::uint64_t>(k);
+    if (ku >= total) break;
+    while (ku >= row_start + row_len) {
+      row_start += row_len;
+      ++u;
+      row_len = n - 1 - u;
+    }
+    const VertexId v = u + 1 + static_cast<VertexId>(ku - row_start);
+    b.add_edge(u, v);
+  }
+  return std::move(b).build(name.str());
+}
+
+namespace {
+
+/// One pairing-model attempt; returns edges or empty when a collision
+/// (self-loop / parallel edge) occurs.
+bool try_pairing(VertexId n, std::uint32_t r, rng::Rng& rng,
+                 std::vector<std::pair<VertexId, VertexId>>& edges) {
+  std::vector<VertexId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * r);
+  for (VertexId v = 0; v < n; ++v)
+    for (std::uint32_t i = 0; i < r; ++i) stubs.push_back(v);
+  rng.shuffle(stubs.begin(), stubs.end());
+
+  edges.clear();
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (std::size_t i = 0; i < stubs.size(); i += 2) {
+    VertexId a = stubs[i], b = stubs[i + 1];
+    if (a == b) return false;
+    if (a > b) std::swap(a, b);
+    if (!seen.emplace(a, b).second) return false;
+    edges.emplace_back(a, b);
+  }
+  return true;
+}
+
+/// Pairing attempt that keeps collisions, then repairs them with random
+/// edge switches: replace {(u,v) bad, (x,y) good} by {(u,x),(v,y)} when the
+/// result is simple. Terminates quickly because collisions are O(r^2) in
+/// expectation while good edges are ~ nr/2.
+void pairing_with_repair(VertexId n, std::uint32_t r, rng::Rng& rng,
+                         std::vector<std::pair<VertexId, VertexId>>& edges) {
+  std::vector<VertexId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * r);
+  for (VertexId v = 0; v < n; ++v)
+    for (std::uint32_t i = 0; i < r; ++i) stubs.push_back(v);
+  rng.shuffle(stubs.begin(), stubs.end());
+
+  edges.clear();
+  for (std::size_t i = 0; i < stubs.size(); i += 2)
+    edges.emplace_back(stubs[i], stubs[i + 1]);
+
+  auto canonical = [](std::pair<VertexId, VertexId> e) {
+    if (e.first > e.second) std::swap(e.first, e.second);
+    return e;
+  };
+  std::set<std::pair<VertexId, VertexId>> simple;
+  std::vector<std::size_t> bad;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto e = canonical(edges[i]);
+    if (e.first == e.second || !simple.emplace(e).second) bad.push_back(i);
+  }
+
+  std::uint64_t guard = 0;
+  const std::uint64_t guard_limit =
+      1000 + 200 * static_cast<std::uint64_t>(bad.size() + 1) *
+                 static_cast<std::uint64_t>(r + 1);
+  while (!bad.empty()) {
+    COBRA_CHECK_MSG(++guard < guard_limit,
+                    "random_regular repair failed to converge (n="
+                        << n << ", r=" << r << ")");
+    const std::size_t i = bad.back();
+    const std::size_t j = static_cast<std::size_t>(rng.below(edges.size()));
+    if (i == j) continue;
+    const auto ej = canonical(edges[j]);
+    if (ej.first == ej.second) continue;
+    if (simple.find(ej) == simple.end()) continue;  // j itself is bad
+    // Propose switch: (u,v),(x,y) -> (u,x),(v,y).
+    const auto [u, v] = edges[i];
+    const auto [x, y] = edges[j];
+    const auto e1 = canonical({u, x});
+    const auto e2 = canonical({v, y});
+    if (e1.first == e1.second || e2.first == e2.second) continue;
+    if (simple.count(e1) != 0 || simple.count(e2) != 0 || e1 == e2) continue;
+    simple.erase(ej);
+    simple.insert(e1);
+    simple.insert(e2);
+    edges[i] = e1;
+    edges[j] = e2;
+    bad.pop_back();
+  }
+}
+
+}  // namespace
+
+Graph random_regular(VertexId n, std::uint32_t r, rng::Rng& rng,
+                     std::uint32_t max_restarts) {
+  COBRA_CHECK(n >= 2 && r >= 1 && r < n);
+  COBRA_CHECK_MSG((static_cast<std::uint64_t>(n) * r) % 2 == 0,
+                  "n*r must be even for an r-regular graph");
+  std::ostringstream name;
+  name << "random_regular(" << n << ",r=" << r << ")";
+
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  // Rejection keeps exact uniformity over simple pairings; success
+  // probability is roughly exp(-(r^2-1)/4), so give up early for large r.
+  const std::uint32_t restarts = r <= 8 ? max_restarts : max_restarts / 8 + 1;
+  for (std::uint32_t attempt = 0; attempt < restarts; ++attempt) {
+    if (try_pairing(n, r, rng, edges)) {
+      GraphBuilder b(n);
+      for (const auto& [u, v] : edges) b.add_edge(u, v);
+      return std::move(b).build(name.str());
+    }
+  }
+  pairing_with_repair(n, r, rng, edges);
+  GraphBuilder b(n);
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return std::move(b).build(name.str());
+}
+
+Graph watts_strogatz(VertexId n, std::uint32_t k, double beta,
+                     rng::Rng& rng) {
+  COBRA_CHECK(n >= 4);
+  COBRA_CHECK_MSG(k >= 2 && k % 2 == 0 && k < n,
+                  "watts_strogatz needs even 2 <= k < n");
+  COBRA_CHECK(beta >= 0.0 && beta <= 1.0);
+
+  // Edge set as a sorted set for O(log) duplicate checks during rewiring.
+  std::set<std::pair<VertexId, VertexId>> edge_set;
+  auto canonical = [](VertexId a, VertexId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  for (VertexId u = 0; u < n; ++u)
+    for (std::uint32_t s = 1; s <= k / 2; ++s)
+      edge_set.insert(canonical(u, static_cast<VertexId>((u + s) % n)));
+
+  // Rewire pass (lattice order, as in the original model).
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::uint32_t s = 1; s <= k / 2; ++s) {
+      const auto v = static_cast<VertexId>((u + s) % n);
+      const auto e = canonical(u, v);
+      if (edge_set.find(e) == edge_set.end()) continue;  // already rewired
+      if (!rng.bernoulli(beta)) continue;
+      // Try a handful of replacement endpoints; keep the edge on failure.
+      for (int tries = 0; tries < 32; ++tries) {
+        const auto w = static_cast<VertexId>(rng.below(n));
+        if (w == u || w == v) continue;
+        const auto f = canonical(u, w);
+        if (edge_set.find(f) != edge_set.end()) continue;
+        edge_set.erase(e);
+        edge_set.insert(f);
+        break;
+      }
+    }
+  }
+
+  GraphBuilder b(n);
+  for (const auto& [x, y] : edge_set) b.add_edge(x, y);
+  std::ostringstream name;
+  name << "watts_strogatz(" << n << ",k=" << k << ",beta=" << beta << ")";
+  return std::move(b).build(name.str());
+}
+
+Graph barabasi_albert(VertexId n, std::uint32_t edges_per_vertex,
+                      rng::Rng& rng) {
+  const std::uint32_t m = edges_per_vertex;
+  COBRA_CHECK(m >= 1);
+  COBRA_CHECK(n >= m + 2);
+
+  GraphBuilder b(n);
+  // Endpoint multiset for degree-proportional sampling.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(n) * m);
+
+  // Seed: star on vertices 0..m (vertex m is the hub) keeps everything
+  // connected from the start.
+  for (VertexId v = 0; v < m; ++v) {
+    b.add_edge(v, m);
+    endpoints.push_back(v);
+    endpoints.push_back(m);
+  }
+
+  std::vector<VertexId> targets;
+  for (VertexId v = m + 1; v < n; ++v) {
+    targets.clear();
+    while (targets.size() < m) {
+      const VertexId t =
+          endpoints[static_cast<std::size_t>(rng.below(endpoints.size()))];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end())
+        targets.push_back(t);
+    }
+    for (const VertexId t : targets) {
+      b.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  std::ostringstream name;
+  name << "barabasi_albert(" << n << ",m=" << m << ")";
+  return std::move(b).build(name.str());
+}
+
+Graph connected_erdos_renyi(VertexId n, double c, rng::Rng& rng,
+                            std::uint32_t max_attempts) {
+  COBRA_CHECK(c > 1.0);
+  const double p = std::min(1.0, c * std::log(static_cast<double>(n)) /
+                                     static_cast<double>(n));
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    Graph g = erdos_renyi_gnp(n, p, rng);
+    if (is_connected(g)) return g;
+  }
+  COBRA_CHECK_MSG(false, "connected_erdos_renyi: no connected sample in "
+                             << max_attempts << " attempts (n=" << n
+                             << ", c=" << c << ")");
+  return Graph{};  // unreachable
+}
+
+Graph connected_random_regular(VertexId n, std::uint32_t r, rng::Rng& rng,
+                               std::uint32_t max_attempts) {
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    Graph g = random_regular(n, r, rng);
+    if (is_connected(g)) return g;
+  }
+  COBRA_CHECK_MSG(false, "connected_random_regular: no connected sample in "
+                             << max_attempts << " attempts (n=" << n
+                             << ", r=" << r << ")");
+  return Graph{};  // unreachable
+}
+
+}  // namespace cobra::graph

@@ -1,0 +1,57 @@
+#include "rng/discrete.hpp"
+
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace cobra::rng {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  COBRA_CHECK(!weights.empty());
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  COBRA_CHECK_MSG(total > 0.0, "alias table needs a positive weight sum");
+  for (const double w : weights) COBRA_CHECK_MSG(w >= 0.0, "negative weight");
+
+  const std::size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0u);
+  weight_norm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) weight_norm_[i] = weights[i] / total;
+
+  // Vose's stable construction: split columns into under/over-full stacks.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = weight_norm_[i] * static_cast<double>(n);
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+  for (const std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::uint32_t AliasTable::sample(Rng& rng) const {
+  const auto column =
+      static_cast<std::uint32_t>(rng.below(prob_.size()));
+  return rng.uniform01() < prob_[column] ? column : alias_[column];
+}
+
+double AliasTable::probability(std::uint32_t i) const {
+  COBRA_CHECK(i < weight_norm_.size());
+  return weight_norm_[i];
+}
+
+}  // namespace cobra::rng

@@ -1,0 +1,34 @@
+// Walker alias method for O(1) sampling from a fixed discrete distribution.
+//
+// Used by weighted-start experiments (sampling a start vertex proportional
+// to degree, i.e. the random-walk stationary distribution) and by the
+// Barabasi-Albert generator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace cobra::rng {
+
+class AliasTable {
+ public:
+  /// Builds the table from non-negative weights with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Samples an index with probability weight[i] / sum(weights).
+  [[nodiscard]] std::uint32_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+  /// Exact sampling probability of index i (for tests).
+  [[nodiscard]] double probability(std::uint32_t i) const;
+
+ private:
+  std::vector<double> prob_;        // acceptance threshold per column
+  std::vector<std::uint32_t> alias_;  // fallback index per column
+  std::vector<double> weight_norm_;   // normalised input (for probability())
+};
+
+}  // namespace cobra::rng

@@ -1,0 +1,21 @@
+#include "rng/rng.hpp"
+
+#include <numeric>
+
+namespace cobra::rng {
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  COBRA_CHECK(k <= n);
+  std::vector<std::uint32_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0u);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto j =
+        i + static_cast<std::uint32_t>(below(static_cast<std::uint64_t>(n - i)));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace cobra::rng

@@ -1,0 +1,106 @@
+// Rng: the library-wide random source.
+//
+// A thin facade over Xoshiro256** adding the distributions the simulators
+// need: unbiased bounded integers (Lemire's multiply-with-rejection),
+// uniform doubles, Bernoulli trials, Fisher-Yates shuffling and sampling
+// without replacement. All simulation code takes an Rng& so experiments can
+// inject deterministic streams.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/xoshiro256.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::rng {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(const std::array<std::uint64_t, 4>& state) : engine_(state) {}
+
+  std::uint64_t next_u64() { return engine_.next(); }
+  std::uint32_t next_u32() {
+    return static_cast<std::uint32_t>(engine_.next() >> 32);
+  }
+
+  // UniformRandomBitGenerator interface.
+  using result_type = std::uint64_t;
+  std::uint64_t operator()() { return engine_.next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+
+  /// Uniform integer in [0, bound); bound >= 1.
+  /// Lemire 2019 multiply-shift with rejection: exactly uniform, one
+  /// multiplication in the common case.
+  std::uint64_t below(std::uint64_t bound) {
+    COBRA_DCHECK(bound >= 1);
+    __extension__ using u128 = unsigned __int128;
+    std::uint64_t x = next_u64();
+    u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<u128>(x) * static_cast<u128>(bound);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    COBRA_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Uniform element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    COBRA_DCHECK(!items.empty());
+    return items[static_cast<std::size_t>(below(items.size()))];
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename It>
+  void shuffle(It first, It last) {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      const std::uint64_t j = below(i);
+      std::swap(first[static_cast<std::ptrdiff_t>(i - 1)],
+                first[static_cast<std::ptrdiff_t>(j)]);
+    }
+  }
+
+  /// k distinct indices uniformly from [0, n) (Floyd's algorithm is overkill
+  /// here; partial Fisher-Yates over an index array keeps it simple and
+  /// exact). Requires k <= n.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                        std::uint32_t k);
+
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
+    return engine_.state();
+  }
+
+ private:
+  Xoshiro256ss engine_;
+};
+
+}  // namespace cobra::rng

@@ -1,0 +1,32 @@
+// SplitMix64 (Steele, Lea, Flood 2014; public-domain reference by Vigna).
+//
+// Used only for seeding: it turns an arbitrary 64-bit seed into a
+// well-distributed stream, which initialises Xoshiro256** state and mixes
+// (seed, stream) pairs. Never used as the main generator.
+#pragma once
+
+#include <cstdint>
+
+namespace cobra::rng {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot SplitMix64 finalizer: a decent 64-bit mixing function.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  return SplitMix64(x).next();
+}
+
+}  // namespace cobra::rng

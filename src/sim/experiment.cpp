@@ -1,0 +1,80 @@
+#include "sim/experiment.hpp"
+
+#include <iostream>
+
+#include "sim/monte_carlo.hpp"
+#include "util/env.hpp"
+
+namespace cobra::sim {
+
+Experiment::Experiment(std::string id, std::string title,
+                       std::vector<std::string> columns)
+    : id_(std::move(id)), title_(std::move(title)), table_(columns) {
+  csv_ = std::make_unique<util::CsvWriter>("bench_results/" + id_ + ".csv",
+                                           std::move(columns));
+}
+
+Experiment& Experiment::row() {
+  table_.row();
+  csv_->row();
+  return *this;
+}
+
+Experiment& Experiment::add(const std::string& cell) {
+  table_.add(cell);
+  csv_->add(cell);
+  return *this;
+}
+
+Experiment& Experiment::add(const char* cell) {
+  return add(std::string(cell));
+}
+
+Experiment& Experiment::add(double value, int decimals) {
+  table_.add(value, decimals);
+  csv_->add(value);
+  return *this;
+}
+
+Experiment& Experiment::add(std::int64_t value) {
+  table_.add(value);
+  csv_->add(value);
+  return *this;
+}
+
+Experiment& Experiment::add(std::uint64_t value) {
+  table_.add(value);
+  csv_->add(value);
+  return *this;
+}
+
+Experiment& Experiment::add(int value) {
+  return add(static_cast<std::int64_t>(value));
+}
+
+Experiment& Experiment::rule() {
+  table_.rule();
+  return *this;
+}
+
+void Experiment::note(const std::string& text) { notes_.push_back(text); }
+
+void Experiment::finish() {
+  if (finished_) return;
+  finished_ = true;
+  std::cout << "\n=== " << id_ << " ===\n"
+            << title_ << "\n"
+            << "seed=" << util::global_seed() << " scale=" << util::scale()
+            << " workers=" << worker_count() << "\n\n";
+  table_.print(std::cout);
+  for (const std::string& n : notes_) std::cout << "  * " << n << '\n';
+  std::cout << "  -> bench_results/" << id_ << ".csv\n";
+  csv_->close();
+}
+
+std::uint64_t default_replicates(std::uint64_t base) {
+  return static_cast<std::uint64_t>(util::scaled(
+      static_cast<std::int64_t>(base), /*min_value=*/4));
+}
+
+}  // namespace cobra::sim

@@ -1,0 +1,55 @@
+// Experiment harness shared by the bench/exp_* binaries.
+//
+// Wraps a console Table plus a CSV archive (bench_results/<name>.csv) and
+// standardises the banner (seed, scale, workers) so every experiment run is
+// reproducible from its printout.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace cobra::sim {
+
+class Experiment {
+ public:
+  /// `id` names the experiment (e.g. "exp_hypercube"); `title` is the
+  /// paper claim being reproduced; `columns` is the shared table/CSV header.
+  Experiment(std::string id, std::string title,
+             std::vector<std::string> columns);
+
+  /// Starts a new row (mirrored to CSV).
+  Experiment& row();
+  Experiment& add(const std::string& cell);
+  Experiment& add(const char* cell);
+  Experiment& add(double value, int decimals = 3);
+  Experiment& add(std::int64_t value);
+  Experiment& add(std::uint64_t value);
+  Experiment& add(int value);
+
+  /// Horizontal rule in the console table.
+  Experiment& rule();
+
+  /// Free-form note printed under the table (e.g. fitted exponents).
+  void note(const std::string& text);
+
+  /// Prints banner + table + notes to stdout and closes the CSV.
+  void finish();
+
+ private:
+  std::string id_;
+  std::string title_;
+  util::Table table_;
+  std::unique_ptr<util::CsvWriter> csv_;
+  std::vector<std::string> notes_;
+  bool finished_ = false;
+};
+
+/// Default replicate count scaled by COBRA_SCALE.
+std::uint64_t default_replicates(std::uint64_t base);
+
+}  // namespace cobra::sim

@@ -1,0 +1,33 @@
+// Parallel Monte-Carlo replicate runner.
+//
+// Replicate i always receives the RNG stream (seed, i) from the Philox
+// counter construction (rng/stream.hpp), so results are bitwise identical
+// for any thread count or schedule. OpenMP dynamic scheduling when
+// available; a ThreadPool fallback otherwise; serial under either when the
+// thread cap is 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace cobra::sim {
+
+/// Runs body(replicate, rng) for replicate in [0, count). The body must be
+/// thread-safe w.r.t. shared state (typically it writes only to its own
+/// index of a pre-sized results vector).
+void parallel_replicates(std::uint64_t count, std::uint64_t seed,
+                         const std::function<void(std::uint64_t, rng::Rng&)>&
+                             body);
+
+/// Convenience: collects one double per replicate.
+std::vector<double> run_replicates(
+    std::uint64_t count, std::uint64_t seed,
+    const std::function<double(std::uint64_t, rng::Rng&)>& body);
+
+/// The worker count parallel_replicates will use (env COBRA_THREADS cap).
+int worker_count();
+
+}  // namespace cobra::sim

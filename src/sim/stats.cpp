@@ -1,0 +1,146 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace cobra::sim {
+
+double mean(const std::vector<double>& xs) {
+  COBRA_CHECK(!xs.empty());
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  COBRA_CHECK(xs.size() >= 2);
+  const double m = mean(xs);
+  double s = 0.0;
+  for (const double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) {
+  return std::sqrt(variance(xs));
+}
+
+double quantile(std::vector<double> xs, double q) {
+  COBRA_CHECK(!xs.empty());
+  COBRA_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  COBRA_CHECK(!xs.empty());
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = xs.size() >= 2 ? stddev(xs) : 0.0;
+  std::vector<double> sorted(xs);
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  auto interp = [&](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  s.p25 = interp(0.25);
+  s.median = interp(0.5);
+  s.p75 = interp(0.75);
+  s.p95 = interp(0.95);
+  return s;
+}
+
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  COBRA_CHECK(xs.size() == ys.size() && xs.size() >= 2);
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  COBRA_CHECK_MSG(std::fabs(denom) > 1e-30, "degenerate x data");
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    ss_res += e * e;
+  }
+  fit.r2 = ss_tot > 1e-30 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+LinearFit loglog_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  COBRA_CHECK(xs.size() == ys.size() && xs.size() >= 2);
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    COBRA_CHECK_MSG(xs[i] > 0.0 && ys[i] > 0.0,
+                    "loglog_fit needs positive data");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z) {
+  COBRA_CHECK(trials >= 1 && successes <= trials);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1 - p) / n + z2 / (4 * n * n)) / denom;
+  return {std::max(0.0, centre - half), std::min(1.0, centre + half)};
+}
+
+double two_proportion_z(std::uint64_t k1, std::uint64_t n1,
+                        std::uint64_t k2, std::uint64_t n2) {
+  COBRA_CHECK(n1 >= 1 && n2 >= 1 && k1 <= n1 && k2 <= n2);
+  const double p1 = static_cast<double>(k1) / static_cast<double>(n1);
+  const double p2 = static_cast<double>(k2) / static_cast<double>(n2);
+  const double pooled =
+      static_cast<double>(k1 + k2) / static_cast<double>(n1 + n2);
+  const double se =
+      std::sqrt(pooled * (1 - pooled) *
+                (1.0 / static_cast<double>(n1) + 1.0 / static_cast<double>(n2)));
+  if (se < 1e-300) return 0.0;  // both proportions identical (0 or 1)
+  return (p1 - p2) / se;
+}
+
+Interval bootstrap_mean_ci(const std::vector<double>& xs,
+                           std::uint32_t resamples, double alpha,
+                           rng::Rng& rng) {
+  COBRA_CHECK(!xs.empty() && resamples >= 10);
+  COBRA_CHECK(alpha > 0.0 && alpha < 1.0);
+  std::vector<double> means(resamples);
+  for (std::uint32_t r = 0; r < resamples; ++r) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      s += xs[static_cast<std::size_t>(rng.below(xs.size()))];
+    means[r] = s / static_cast<double>(xs.size());
+  }
+  return {quantile(means, alpha / 2), quantile(means, 1.0 - alpha / 2)};
+}
+
+}  // namespace cobra::sim

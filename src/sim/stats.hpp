@@ -1,0 +1,67 @@
+// Statistics for experiment reporting: summaries, quantiles, confidence
+// intervals, proportion tests and log-log regression for exponent fits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace cobra::sim {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // sample variance (n-1)
+double stddev(const std::vector<double>& xs);
+
+/// q-quantile (0 <= q <= 1) with linear interpolation; copies and sorts.
+double quantile(std::vector<double> xs, double q);
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+Summary summarize(const std::vector<double>& xs);
+
+/// Ordinary least squares y = slope x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Fits y = a * x^b by OLS in log-log space; returns {slope = b,
+/// intercept = ln a, r2}. Requires positive data.
+LinearFit loglog_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Wilson score interval for a binomial proportion (z = 1.96 is 95%).
+struct Interval {
+  double low = 0.0;
+  double high = 0.0;
+  [[nodiscard]] bool contains(double p) const { return low <= p && p <= high; }
+  [[nodiscard]] bool overlaps(const Interval& other) const {
+    return low <= other.high && other.low <= high;
+  }
+};
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z = 1.96);
+
+/// Two-proportion z statistic (pooled). |z| < threshold => compatible.
+double two_proportion_z(std::uint64_t k1, std::uint64_t n1,
+                        std::uint64_t k2, std::uint64_t n2);
+
+/// Percentile-bootstrap confidence interval for the mean.
+Interval bootstrap_mean_ci(const std::vector<double>& xs,
+                           std::uint32_t resamples, double alpha,
+                           rng::Rng& rng);
+
+}  // namespace cobra::sim

@@ -1,0 +1,45 @@
+#include "sim/survival.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cobra::sim {
+
+std::vector<SurvivalPoint> survival_curve(std::vector<double> samples) {
+  COBRA_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  std::vector<SurvivalPoint> curve;
+  std::size_t i = 0;
+  while (i < samples.size()) {
+    std::size_t j = i;
+    while (j < samples.size() && samples[j] == samples[i]) ++j;
+    // After value samples[i], the fraction of samples strictly greater.
+    curve.push_back({samples[i],
+                     static_cast<double>(samples.size() - j) / n});
+    i = j;
+  }
+  return curve;
+}
+
+Exceedance exceedance_probability(const std::vector<double>& samples,
+                                  double threshold) {
+  COBRA_CHECK(!samples.empty());
+  Exceedance e;
+  e.threshold = threshold;
+  e.total = samples.size();
+  for (const double x : samples)
+    if (x > threshold) ++e.exceeding;
+  e.probability =
+      static_cast<double>(e.exceeding) / static_cast<double>(e.total);
+  e.ci = wilson_interval(e.exceeding, e.total);
+  return e;
+}
+
+double whp_round_count(const std::vector<double>& samples, double alpha) {
+  COBRA_CHECK(alpha > 0.0 && alpha < 1.0);
+  return quantile(samples, 1.0 - alpha);
+}
+
+}  // namespace cobra::sim

@@ -1,0 +1,42 @@
+// Empirical survival analysis for "with high probability" statements.
+//
+// The paper's bounds are w.h.p. statements: P(cover > T_bound) <= n^{-c}.
+// Operationally that is a claim about the survival function of the cover
+// time. This module computes empirical survival curves S(t) = P(X > t) and
+// exceedance probabilities at multiples of a bound, with Wilson confidence
+// intervals, so experiments can report "the p such that P(cover > a*bound)
+// <= p" directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace cobra::sim {
+
+struct SurvivalPoint {
+  double t = 0.0;
+  double probability = 0.0;  // P(X > t)
+};
+
+/// Survival curve evaluated at every distinct sample value (right-continuous
+/// step function; last point has probability 0).
+std::vector<SurvivalPoint> survival_curve(std::vector<double> samples);
+
+/// P(X > t) for a single threshold, with a Wilson interval.
+struct Exceedance {
+  double threshold = 0.0;
+  std::uint64_t exceeding = 0;
+  std::uint64_t total = 0;
+  double probability = 0.0;
+  Interval ci;  // 95% Wilson
+};
+Exceedance exceedance_probability(const std::vector<double>& samples,
+                                  double threshold);
+
+/// Smallest t with P(X > t) <= alpha (the empirical (1-alpha)-quantile as a
+/// w.h.p. round count).
+double whp_round_count(const std::vector<double>& samples, double alpha);
+
+}  // namespace cobra::sim

@@ -1,0 +1,79 @@
+#include "spectral/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace cobra::spectral {
+
+std::vector<double> jacobi_eigenvalues(DenseSymmetric a, double tolerance,
+                                       int max_sweeps) {
+  const std::size_t n = a.size();
+  if (n == 0) return {};
+  if (n == 1) return {a.at(0, 0)};
+
+  auto off_diagonal_norm = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += a.at(i, j) * a.at(i, j);
+    return std::sqrt(2.0 * s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tolerance) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        // Rotation angle zeroing a[p][q] (Golub & Van Loan §8.5).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+
+  std::vector<double> eig(n);
+  for (std::size_t i = 0; i < n; ++i) eig[i] = a.at(i, i);
+  std::sort(eig.begin(), eig.end());
+  return eig;
+}
+
+DenseSymmetric normalized_adjacency_dense(const graph::Graph& g) {
+  const std::size_t n = g.num_vertices();
+  COBRA_CHECK_MSG(g.min_degree() >= 1,
+                  "normalized adjacency needs min degree >= 1");
+  DenseSymmetric a(n);
+  std::vector<double> inv_sqrt_deg(n);
+  for (graph::VertexId u = 0; u < n; ++u)
+    inv_sqrt_deg[u] = 1.0 / std::sqrt(static_cast<double>(g.degree(u)));
+  for (graph::VertexId u = 0; u < n; ++u)
+    for (const graph::VertexId v : g.neighbors(u))
+      a.at(u, v) = inv_sqrt_deg[u] * inv_sqrt_deg[v];
+  return a;
+}
+
+std::vector<double> walk_spectrum_dense(const graph::Graph& g) {
+  return jacobi_eigenvalues(normalized_adjacency_dense(g));
+}
+
+}  // namespace cobra::spectral

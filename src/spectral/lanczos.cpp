@@ -1,0 +1,112 @@
+#include "spectral/lanczos.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "spectral/tridiag.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::spectral {
+
+namespace {
+
+void apply_normalized_adjacency(const graph::Graph& g,
+                                const std::vector<double>& inv_sqrt_deg,
+                                const std::vector<double>& x,
+                                std::vector<double>& y) {
+  const graph::VertexId n = g.num_vertices();
+  for (graph::VertexId u = 0; u < n; ++u) {
+    double acc = 0.0;
+    for (const graph::VertexId v : g.neighbors(u)) acc += x[v] * inv_sqrt_deg[v];
+    y[u] = acc * inv_sqrt_deg[u];
+  }
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace
+
+LanczosResult lanczos_extremes(const graph::Graph& g, rng::Rng& rng,
+                               std::uint32_t max_steps, double tolerance) {
+  const graph::VertexId n = g.num_vertices();
+  COBRA_CHECK(n >= 2);
+  COBRA_CHECK_MSG(g.min_degree() >= 1, "isolated vertex");
+  max_steps = std::min<std::uint32_t>(max_steps, n);
+
+  std::vector<double> inv_sqrt_deg(n);
+  std::vector<double> principal(n);
+  for (graph::VertexId u = 0; u < n; ++u) {
+    const double d = static_cast<double>(g.degree(u));
+    inv_sqrt_deg[u] = 1.0 / std::sqrt(d);
+    principal[u] = std::sqrt(d);
+  }
+  {
+    const double pn = norm(principal);
+    for (double& value : principal) value /= pn;
+  }
+
+  std::vector<std::vector<double>> basis;  // orthonormal Lanczos vectors
+  std::vector<double> alpha, beta;
+
+  std::vector<double> v(n), w(n);
+  for (double& value : v) value = rng.uniform01() - 0.5;
+  auto orthogonalize = [&](std::vector<double>& x) {
+    const double c = dot(x, principal);
+    for (graph::VertexId u = 0; u < n; ++u) x[u] -= c * principal[u];
+    for (const auto& q : basis) {
+      const double cq = dot(x, q);
+      for (graph::VertexId u = 0; u < n; ++u) x[u] -= cq * q[u];
+    }
+  };
+  orthogonalize(v);
+  {
+    const double vn = norm(v);
+    COBRA_CHECK(vn > 1e-12);
+    for (double& value : v) value /= vn;
+  }
+
+  LanczosResult result;
+  double prev_lambda = -1.0;
+  for (std::uint32_t step = 0; step < max_steps; ++step) {
+    basis.push_back(v);
+    apply_normalized_adjacency(g, inv_sqrt_deg, v, w);
+    const double a = dot(w, v);
+    alpha.push_back(a);
+    // w <- w - a v - beta_prev v_prev, then full reorthogonalisation.
+    for (graph::VertexId u = 0; u < n; ++u) w[u] -= a * v[u];
+    orthogonalize(w);
+    const double b = norm(w);
+    result.steps = step + 1;
+
+    const auto ritz = tridiagonal_eigenvalues(
+        alpha, std::vector<double>(beta.begin(), beta.end()));
+    result.mu2 = ritz.back();
+    result.mu_min = ritz.front();
+    result.lambda = std::max(std::fabs(result.mu2), std::fabs(result.mu_min));
+
+    if (b < 1e-12) {
+      // Krylov space exhausted: Ritz values are exact on the complement.
+      result.converged = true;
+      return result;
+    }
+    if (step >= 8 && std::fabs(result.lambda - prev_lambda) <
+                         tolerance * std::max(1.0, result.lambda)) {
+      result.converged = true;
+      return result;
+    }
+    prev_lambda = result.lambda;
+
+    beta.push_back(b);
+    for (graph::VertexId u = 0; u < n; ++u) v[u] = w[u] / b;
+  }
+  result.converged = false;
+  return result;
+}
+
+}  // namespace cobra::spectral

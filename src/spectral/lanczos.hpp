@@ -1,0 +1,29 @@
+// Lanczos iteration on the normalised adjacency restricted to the
+// complement of the principal eigenvector.
+//
+// Gives both extreme eigenvalues (mu_2 from above, mu_n from below) in one
+// run, which the paper's lambda = max(|mu_2|, |mu_n|) needs. Full
+// reorthogonalisation keeps the basis clean; the Krylov dimension is small
+// (<= 200), so the O(k^2 n) cost is irrelevant next to simulation time.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace cobra::spectral {
+
+struct LanczosResult {
+  double mu2 = 0.0;   // largest eigenvalue on the complement (= mu_2 of N)
+  double mu_min = 0.0;  // smallest eigenvalue of N
+  double lambda = 0.0;  // max(|mu2|, |mu_min|)
+  std::uint32_t steps = 0;
+  bool converged = false;
+};
+
+LanczosResult lanczos_extremes(const graph::Graph& g, rng::Rng& rng,
+                               std::uint32_t max_steps = 200,
+                               double tolerance = 1e-10);
+
+}  // namespace cobra::spectral

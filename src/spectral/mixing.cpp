@@ -1,0 +1,67 @@
+#include "spectral/mixing.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace cobra::spectral {
+
+double relaxation_time(double lambda) {
+  COBRA_CHECK_MSG(lambda < 1.0, "relaxation time needs a positive gap");
+  return 1.0 / (1.0 - lambda);
+}
+
+double mixing_time_bound(const graph::Graph& g, double lambda, double eps) {
+  COBRA_CHECK(eps > 0.0 && eps < 1.0);
+  COBRA_CHECK(g.num_edges() >= 1);
+  const double pi_min = static_cast<double>(g.min_degree()) /
+                        static_cast<double>(g.degree_sum());
+  COBRA_CHECK_MSG(pi_min > 0.0, "isolated vertex");
+  return relaxation_time(lambda) * std::log(1.0 / (eps * pi_min));
+}
+
+void walk_distribution_step(const graph::Graph& g,
+                            const std::vector<double>& x,
+                            std::vector<double>& next, double laziness) {
+  const graph::VertexId n = g.num_vertices();
+  COBRA_CHECK(x.size() == n);
+  next.assign(n, 0.0);
+  for (graph::VertexId u = 0; u < n; ++u) {
+    const double mass = x[u];
+    if (mass == 0.0) continue;
+    if (laziness > 0.0) next[u] += laziness * mass;
+    const double share =
+        (1.0 - laziness) * mass / static_cast<double>(g.degree(u));
+    for (const graph::VertexId v : g.neighbors(u)) next[v] += share;
+  }
+}
+
+double tv_distance_to_stationary(const graph::Graph& g,
+                                 const std::vector<double>& x) {
+  COBRA_CHECK(x.size() == g.num_vertices());
+  const double two_m = static_cast<double>(g.degree_sum());
+  double tv = 0.0;
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    const double pi = static_cast<double>(g.degree(u)) / two_m;
+    tv += std::fabs(x[u] - pi);
+  }
+  return tv / 2.0;
+}
+
+std::uint64_t exact_mixing_time(const graph::Graph& g,
+                                graph::VertexId source, double eps,
+                                double laziness, std::uint64_t max_steps) {
+  COBRA_CHECK(source < g.num_vertices());
+  COBRA_CHECK(g.min_degree() >= 1);
+  std::vector<double> x(g.num_vertices(), 0.0), next;
+  x[source] = 1.0;
+  if (tv_distance_to_stationary(g, x) <= eps) return 0;
+  for (std::uint64_t t = 1; t <= max_steps; ++t) {
+    walk_distribution_step(g, x, next, laziness);
+    x.swap(next);
+    if (tv_distance_to_stationary(g, x) <= eps) return t;
+  }
+  return max_steps + 1;
+}
+
+}  // namespace cobra::spectral

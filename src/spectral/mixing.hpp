@@ -1,0 +1,48 @@
+// Random-walk mixing analysis.
+//
+// The paper's eigenvalue gap 1 - lambda is exactly the reciprocal of the
+// walk's relaxation time; the PODC'16 and Theorem 1.2 bounds trade powers of
+// it. This module supplies:
+//   * the spectral mixing-time bound  t_mix(eps) <= t_rel ln(1/(eps pi_min)),
+//   * the exact total-variation mixing time of the (lazy) walk, computed by
+//     evolving the distribution with repeated sparse mat-vecs (no sampling),
+// so experiments can relate measured COBRA/BIPS times to how fast the
+// underlying single walk actually mixes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra::spectral {
+
+/// Relaxation time 1/(1 - lambda); lambda < 1 required.
+double relaxation_time(double lambda);
+
+/// Spectral upper bound on the eps-mixing time of a reversible chain:
+/// t_rel * ln(1/(eps * pi_min)), with pi_min = min_u deg(u)/2m.
+double mixing_time_bound(const graph::Graph& g, double lambda,
+                         double eps = 0.25);
+
+/// One exact step of the walk distribution: next[v] = sum_{u ~ v} x[u]/d(u),
+/// with per-step laziness (stay probability) `laziness`.
+void walk_distribution_step(const graph::Graph& g,
+                            const std::vector<double>& x,
+                            std::vector<double>& next,
+                            double laziness = 0.0);
+
+/// Total-variation distance between a distribution and the stationary
+/// distribution pi(u) = deg(u)/2m.
+double tv_distance_to_stationary(const graph::Graph& g,
+                                 const std::vector<double>& x);
+
+/// Exact eps-mixing time of the lazy random walk from `source`: the first t
+/// with TV(P^t delta_source, pi) <= eps. Deterministic (repeated mat-vec);
+/// cost O(t m). Returns max_steps + 1 if not mixed within the budget.
+std::uint64_t exact_mixing_time(const graph::Graph& g,
+                                graph::VertexId source, double eps = 0.25,
+                                double laziness = 0.5,
+                                std::uint64_t max_steps = 1u << 20);
+
+}  // namespace cobra::spectral

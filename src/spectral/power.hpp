@@ -1,0 +1,30 @@
+// Deflated power iteration for the paper's lambda = max_{i>=2} |mu_i| of the
+// walk matrix, computed on the symmetric similar matrix
+// N = D^{-1/2} A D^{-1/2}.
+//
+// We iterate N^2 on the orthogonal complement of the known principal
+// eigenvector (sqrt(deg)): N^2's dominant eigenvalue on that subspace is
+// exactly lambda^2, and squaring makes the method converge even when the
+// spectrum contains a +-lambda pair (bipartite graphs).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace cobra::spectral {
+
+struct PowerResult {
+  double lambda = 0.0;      // max_{i >= 2} |mu_i|, in [0, 1]
+  std::uint32_t iterations = 0;
+  bool converged = false;
+};
+
+/// Runs at most `max_iterations` squared-operator steps, stopping when the
+/// Rayleigh estimate changes by < `tolerance`.
+PowerResult power_lambda(const graph::Graph& g, rng::Rng& rng,
+                         std::uint32_t max_iterations = 2000,
+                         double tolerance = 1e-10);
+
+}  // namespace cobra::spectral

@@ -1,0 +1,122 @@
+#include "spectral/spectral.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "rng/stream.hpp"
+#include "spectral/dense.hpp"
+#include "spectral/lanczos.hpp"
+#include "spectral/power.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::spectral {
+
+SpectralInfo compute_lambda(const graph::Graph& g, std::uint64_t seed,
+                            graph::VertexId dense_threshold) {
+  SpectralInfo info;
+  const graph::VertexId n = g.num_vertices();
+  COBRA_CHECK(n >= 2);
+  if (n <= dense_threshold) {
+    const auto spectrum = walk_spectrum_dense(g);  // ascending
+    const double mu2 = spectrum[spectrum.size() - 2];
+    const double mu_min = spectrum.front();
+    info.lambda = std::max(std::fabs(mu2), std::fabs(mu_min));
+    info.exact = true;
+  } else {
+    rng::Rng rng = rng::make_stream(seed, /*stream_id=*/0x5eed);
+    const LanczosResult lz = lanczos_extremes(g, rng);
+    if (lz.converged) {
+      info.lambda = lz.lambda;
+    } else {
+      // Lanczos hit its step cap without stabilising; fall back to the
+      // squared power iteration, which is slower but monotone.
+      rng::Rng rng2 = rng::make_stream(seed, /*stream_id=*/0x5eed + 1);
+      info.lambda = power_lambda(g, rng2).lambda;
+    }
+    info.exact = false;
+  }
+  info.lambda = std::min(1.0, std::max(0.0, info.lambda));
+  info.gap = 1.0 - info.lambda;
+  return info;
+}
+
+double lambda_complete(graph::VertexId n) {
+  COBRA_CHECK(n >= 2);
+  return 1.0 / static_cast<double>(n - 1);
+}
+
+double lambda_cycle(graph::VertexId n) {
+  COBRA_CHECK(n >= 3);
+  if (n % 2 == 0) return 1.0;  // bipartite: mu_min = -1
+  return std::cos(std::numbers::pi / static_cast<double>(n));
+}
+
+double lambda2_cycle(graph::VertexId n) {
+  COBRA_CHECK(n >= 3);
+  return std::cos(2.0 * std::numbers::pi / static_cast<double>(n));
+}
+
+double lambda_hypercube(std::uint32_t d) {
+  COBRA_CHECK(d >= 1);
+  return 1.0;  // bipartite
+}
+
+double lambda2_hypercube(std::uint32_t d) {
+  COBRA_CHECK(d >= 1);
+  return 1.0 - 2.0 / static_cast<double>(d);
+}
+
+double lambda_lazy_hypercube(std::uint32_t d) {
+  COBRA_CHECK(d >= 1);
+  return 1.0 - 1.0 / static_cast<double>(d);
+}
+
+double lambda_complete_bipartite() { return 1.0; }
+
+double lambda_path(graph::VertexId n) {
+  COBRA_CHECK(n >= 2);
+  return 1.0;  // bipartite
+}
+
+double lambda2_path(graph::VertexId n) {
+  COBRA_CHECK(n >= 2);
+  // Normalised adjacency of P_n has eigenvalues cos(k pi/(n-1)), k=0..n-1.
+  return std::cos(std::numbers::pi / static_cast<double>(n - 1));
+}
+
+double lambda2_torus(graph::VertexId side, std::uint32_t dim) {
+  COBRA_CHECK(side >= 3 && dim >= 1);
+  // Walk eigenvalues are averages of per-axis cycle eigenvalues:
+  // mu = (1/D) sum_j cos(2 pi k_j / side); the second largest takes one
+  // k_j = 1 and the rest 0.
+  const double c = std::cos(2.0 * std::numbers::pi / static_cast<double>(side));
+  const double d = static_cast<double>(dim);
+  return ((d - 1.0) + c) / d;
+}
+
+double lambda_petersen() { return 2.0 / 3.0; }
+
+std::optional<double> theory_lambda(const graph::Graph& g) {
+  const std::string& name = g.name();
+  const graph::VertexId n = g.num_vertices();
+  auto starts_with = [&](const char* prefix) {
+    return name.rfind(prefix, 0) == 0;
+  };
+  if (starts_with("complete_bipartite(")) return lambda_complete_bipartite();
+  if (starts_with("complete(")) return lambda_complete(n);
+  if (starts_with("cycle(")) return lambda_cycle(n);
+  if (starts_with("path(")) return lambda_path(n);
+  if (starts_with("star(")) return 1.0;  // K_{1,n-1} is complete bipartite
+  if (starts_with("hypercube(")) return lambda_hypercube(1);
+  if (name == "petersen") return lambda_petersen();
+  return std::nullopt;
+}
+
+double gap_condition_margin(double lambda, graph::VertexId n) {
+  COBRA_CHECK(n >= 2);
+  const double threshold =
+      std::sqrt(std::log(static_cast<double>(n)) / static_cast<double>(n));
+  return (1.0 - lambda) / threshold;
+}
+
+}  // namespace cobra::spectral

@@ -1,0 +1,71 @@
+#include "spectral/tridiag.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace cobra::spectral {
+
+namespace {
+double hypot_stable(double a, double b) { return std::hypot(a, b); }
+}  // namespace
+
+std::vector<double> tridiagonal_eigenvalues(std::vector<double> diag,
+                                            std::vector<double> off) {
+  const std::size_t n = diag.size();
+  if (n == 0) return {};
+  COBRA_CHECK(off.size() + 1 == n || (n == 1 && off.empty()));
+  if (n == 1) return diag;
+
+  // Classic TQLI (Numerical Recipes / EISPACK tql1) without eigenvectors.
+  std::vector<double>& d = diag;
+  std::vector<double> e(n, 0.0);
+  std::copy(off.begin(), off.end(), e.begin());  // e[0..n-2], e[n-1] = 0
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        COBRA_CHECK_MSG(++iterations <= 64,
+                        "tridiagonal QL failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);  // Wilkinson shift
+        double r = hypot_stable(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = hypot_stable(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+        }
+        if (r == 0.0 && m > l + 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+}  // namespace cobra::spectral

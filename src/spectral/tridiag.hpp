@@ -1,0 +1,14 @@
+// Symmetric tridiagonal eigenvalues (the reduction target of Lanczos).
+#pragma once
+
+#include <vector>
+
+namespace cobra::spectral {
+
+/// Eigenvalues (ascending) of the symmetric tridiagonal matrix with
+/// diagonal `diag` (size k) and off-diagonal `off` (size k-1), via the
+/// implicit QL algorithm with Wilkinson shifts (no eigenvectors).
+std::vector<double> tridiagonal_eigenvalues(std::vector<double> diag,
+                                            std::vector<double> off);
+
+}  // namespace cobra::spectral

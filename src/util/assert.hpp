@@ -1,0 +1,53 @@
+// Lightweight runtime checking macros.
+//
+// COBRA_CHECK is always on (benchmarks included): simulation code validates
+// its inputs once per run, never in inner loops, so the cost is negligible.
+// COBRA_DCHECK compiles away in release builds and may appear in hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cobra::util {
+
+/// Thrown by COBRA_CHECK on failure. Carries file/line and the failed
+/// expression so tests can assert on misuse without aborting the process.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace cobra::util
+
+#define COBRA_CHECK(expr)                                                 \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::cobra::util::check_failed(#expr, __FILE__, __LINE__, "");         \
+  } while (0)
+
+#define COBRA_CHECK_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream cobra_check_os_;                                 \
+      cobra_check_os_ << msg;                                             \
+      ::cobra::util::check_failed(#expr, __FILE__, __LINE__,              \
+                                  cobra_check_os_.str());                 \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define COBRA_DCHECK(expr) ((void)0)
+#else
+#define COBRA_DCHECK(expr) COBRA_CHECK(expr)
+#endif

@@ -1,0 +1,53 @@
+#include "util/bitset.hpp"
+
+#include <algorithm>
+
+namespace cobra::util {
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  return false;
+}
+
+std::size_t DynamicBitset::find_first() const {
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if (words_[w] != 0)
+      return (w << 6) + static_cast<std::size_t>(std::countr_zero(words_[w]));
+  return size_;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t i) const {
+  ++i;
+  if (i >= size_) return size_;
+  std::size_t w = i >> 6;
+  std::uint64_t word = words_[w] & (~0ull << (i & 63));
+  while (true) {
+    if (word != 0)
+      return (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+    if (++w >= words_.size()) return size_;
+    word = words_[w];
+  }
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  COBRA_CHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  COBRA_CHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
+  COBRA_CHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  trim_tail();
+  return *this;
+}
+
+}  // namespace cobra::util

@@ -1,0 +1,129 @@
+// DynamicBitset: a fixed-capacity, runtime-sized bit vector tuned for the
+// visited/infected-set bookkeeping in the process simulators.
+//
+// Differences from std::vector<bool>:
+//   * word-level access (popcount, fast reset, union/intersection),
+//   * set_and_test() for branch-free "first visit" detection,
+//   * explicit 64-bit word storage so the compiler can vectorise.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace cobra::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  explicit DynamicBitset(std::size_t size, bool value = false)
+      : size_(size), words_(word_count(size), value ? ~0ull : 0ull) {
+    trim_tail();
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void resize(std::size_t size, bool value = false) {
+    const std::size_t old_words = words_.size();
+    size_ = size;
+    words_.resize(word_count(size), value ? ~0ull : 0ull);
+    if (value && !words_.empty() && old_words > 0 && old_words <= words_.size()) {
+      // Bits of the old tail word beyond the previous size must be set too.
+      // Simplicity over cleverness: refill entirely when growing with ones.
+      for (std::size_t w = old_words - 1; w < words_.size(); ++w)
+        words_[w] = ~0ull;
+    }
+    trim_tail();
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    COBRA_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1ull;
+  }
+
+  void set(std::size_t i) {
+    COBRA_DCHECK(i < size_);
+    words_[i >> 6] |= 1ull << (i & 63);
+  }
+
+  void reset(std::size_t i) {
+    COBRA_DCHECK(i < size_);
+    words_[i >> 6] &= ~(1ull << (i & 63));
+  }
+
+  /// Sets bit i; returns true iff the bit was previously clear.
+  /// This is the hot operation for "newly visited vertex" detection.
+  bool set_and_test(std::size_t i) {
+    COBRA_DCHECK(i < size_);
+    const std::uint64_t mask = 1ull << (i & 63);
+    std::uint64_t& w = words_[i >> 6];
+    const bool was_clear = (w & mask) == 0;
+    w |= mask;
+    return was_clear;
+  }
+
+  /// Clears every bit.
+  void reset_all() { std::fill(words_.begin(), words_.end(), 0ull); }
+
+  /// Sets every bit.
+  void set_all() {
+    std::fill(words_.begin(), words_.end(), ~0ull);
+    trim_tail();
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t c = 0;
+    for (const std::uint64_t w : words_) c += std::popcount(w);
+    return c;
+  }
+
+  [[nodiscard]] bool all() const { return count() == size_; }
+  [[nodiscard]] bool none() const {
+    for (const std::uint64_t w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  [[nodiscard]] bool any() const { return !none(); }
+
+  /// True iff this and `other` share at least one set bit.
+  [[nodiscard]] bool intersects(const DynamicBitset& other) const;
+
+  /// Index of the lowest set bit, or size() when none.
+  [[nodiscard]] std::size_t find_first() const;
+
+  /// Index of the lowest set bit strictly greater than i, or size().
+  [[nodiscard]] std::size_t find_next(std::size_t i) const;
+
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator^=(const DynamicBitset& other);
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Raw word storage (read-only), for word-parallel consumers.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+
+ private:
+  static std::size_t word_count(std::size_t size) { return (size + 63) / 64; }
+
+  // Keeps bits past `size_` clear so count()/all()/== stay meaningful.
+  void trim_tail() {
+    const std::size_t tail = size_ & 63;
+    if (tail != 0 && !words_.empty())
+      words_.back() &= (1ull << tail) - 1;
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace cobra::util

@@ -1,0 +1,98 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace cobra::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+  std::size_t columns = 0;
+  std::size_t cells_in_row = 0;
+  bool row_open = false;
+};
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> header)
+    : impl_(new Impl) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  impl_->out.open(path, std::ios::trunc);
+  COBRA_CHECK_MSG(impl_->out.good(), "cannot open CSV file " << path);
+  impl_->columns = header.size();
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) impl_->out << ',';
+    impl_->out << csv_escape(header[i]);
+  }
+  impl_->out << '\n';
+}
+
+CsvWriter::~CsvWriter() {
+  if (impl_ != nullptr) close();
+}
+
+void CsvWriter::end_row_if_open() {
+  if (impl_->row_open) {
+    impl_->out << '\n';
+    impl_->row_open = false;
+    impl_->cells_in_row = 0;
+  }
+}
+
+CsvWriter& CsvWriter::row() {
+  COBRA_CHECK(impl_ != nullptr);
+  end_row_if_open();
+  impl_->row_open = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(const std::string& cell) {
+  COBRA_CHECK(impl_ != nullptr && impl_->row_open);
+  COBRA_CHECK_MSG(impl_->cells_in_row < impl_->columns,
+                  "more cells than header columns");
+  if (impl_->cells_in_row) impl_->out << ',';
+  impl_->out << csv_escape(cell);
+  ++impl_->cells_in_row;
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(double value) {
+  return add(format_double(value, 6));
+}
+
+CsvWriter& CsvWriter::add(std::int64_t value) {
+  return add(std::to_string(value));
+}
+
+CsvWriter& CsvWriter::add(std::uint64_t value) {
+  return add(std::to_string(value));
+}
+
+void CsvWriter::close() {
+  if (impl_ == nullptr) return;
+  end_row_if_open();
+  impl_->out.flush();
+  delete impl_;
+  impl_ = nullptr;
+}
+
+}  // namespace cobra::util

@@ -1,0 +1,43 @@
+// Minimal CSV writing for experiment result archiving.
+//
+// Every bench/exp_* binary writes its rows to bench_results/<name>.csv so
+// EXPERIMENTS.md numbers are regenerable and plottable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cobra::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (directories are created as needed) and emits
+  /// the header line. Throws CheckError on I/O failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  CsvWriter& row();
+  CsvWriter& add(const std::string& cell);
+  CsvWriter& add(double value);
+  CsvWriter& add(std::int64_t value);
+  CsvWriter& add(std::uint64_t value);
+  CsvWriter& add(int value) { return add(static_cast<std::int64_t>(value)); }
+
+  /// Flushes and closes; further writes are invalid.
+  void close();
+
+ private:
+  void end_row_if_open();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Quotes a CSV field if it contains separators/quotes/newlines.
+std::string csv_escape(const std::string& field);
+
+}  // namespace cobra::util

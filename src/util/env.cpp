@@ -1,0 +1,54 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace cobra::util {
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return value;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::int64_t>(value);
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr || *raw == '\0') ? fallback : std::string(raw);
+}
+
+double scale() {
+  const double s = env_double("COBRA_SCALE", 1.0);
+  return s > 0.0 ? s : 1.0;
+}
+
+std::int64_t scaled(std::int64_t base, std::int64_t min_value) {
+  const double s = scale();
+  const double v = static_cast<double>(base) * s;
+  return std::max<std::int64_t>(min_value, static_cast<std::int64_t>(v));
+}
+
+int max_threads() {
+  const auto hw = static_cast<std::int64_t>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  const std::int64_t cap = env_int("COBRA_THREADS", hw);
+  return static_cast<int>(std::clamp<std::int64_t>(cap, 1, 1024));
+}
+
+std::uint64_t global_seed() {
+  return static_cast<std::uint64_t>(env_int("COBRA_SEED", 20170724));
+}
+
+}  // namespace cobra::util

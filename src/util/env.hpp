@@ -1,0 +1,34 @@
+// Environment-variable configuration shared by benches and examples.
+//
+// The experiment harness sizes its workloads by a single multiplier so the
+// whole suite can be scaled up (overnight run) or down (CI smoke) without
+// editing code:
+//   COBRA_SCALE    — positive double, default 1.0
+//   COBRA_THREADS  — max worker threads for Monte-Carlo; default: hardware
+//   COBRA_SEED     — global base seed for experiments; default 20170724
+//                    (the paper's presentation date at SPAA'17).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cobra::util {
+
+/// Reads an environment variable; returns `fallback` when unset or invalid.
+double env_double(const char* name, double fallback);
+std::int64_t env_int(const char* name, std::int64_t fallback);
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Global experiment scale multiplier (COBRA_SCALE).
+double scale();
+
+/// Scales an integer quantity by COBRA_SCALE, keeping at least `min_value`.
+std::int64_t scaled(std::int64_t base, std::int64_t min_value = 1);
+
+/// Worker thread cap (COBRA_THREADS), at least 1.
+int max_threads();
+
+/// Base seed for experiments (COBRA_SEED).
+std::uint64_t global_seed();
+
+}  // namespace cobra::util

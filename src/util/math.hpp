@@ -1,0 +1,72 @@
+// Small integer/floating-point helpers shared across modules.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace cobra::util {
+
+/// floor(log2(x)) for x >= 1.
+constexpr std::uint32_t floor_log2(std::uint64_t x) {
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(x | 1));
+}
+
+/// ceil(log2(x)) for x >= 1; ceil_log2(1) == 0.
+constexpr std::uint32_t ceil_log2(std::uint64_t x) {
+  return x <= 1 ? 0u : floor_log2(x - 1) + 1;
+}
+
+constexpr bool is_power_of_two(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+template <typename T>
+constexpr T sq(T x) {
+  return x * x;
+}
+
+/// Integer power by repeated squaring.
+constexpr std::uint64_t ipow(std::uint64_t base, std::uint32_t exp) {
+  std::uint64_t r = 1;
+  while (exp != 0) {
+    if (exp & 1u) r *= base;
+    base *= base;
+    exp >>= 1;
+  }
+  return r;
+}
+
+/// Relative closeness test for floating-point comparisons in tests and
+/// iterative-solver stopping rules.
+inline bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                         double abs_tol = 1e-12) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+/// Natural log of n, guarded so bound formulas behave for tiny n.
+inline double safe_log(double n) { return std::log(std::max(n, 2.0)); }
+
+/// H_n = 1 + 1/2 + ... + 1/n (harmonic number), used by random-walk
+/// baselines (e.g. expected cover time of K_n is (n-1) H_{n-1}).
+inline double harmonic(std::uint64_t n) {
+  // Exact summation below the switch point; asymptotic expansion above.
+  if (n == 0) return 0.0;
+  if (n < 1024) {
+    double h = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+    return h;
+  }
+  const double x = static_cast<double>(n);
+  constexpr double kEulerGamma = 0.57721566490153286061;
+  return std::log(x) + kEulerGamma + 1.0 / (2 * x) - 1.0 / (12 * x * x);
+}
+
+}  // namespace cobra::util

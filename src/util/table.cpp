@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace cobra::util {
+
+std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  COBRA_CHECK(!header_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  COBRA_CHECK_MSG(!rows_.empty(), "call row() before add()");
+  COBRA_CHECK_MSG(rows_.back().size() < header_.size(),
+                  "row has more cells than header columns");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(double value, int decimals) {
+  return add(format_double(value, decimals));
+}
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+
+Table& Table::rule() {
+  rules_.push_back(rows_.size());
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  const auto total = [&] {
+    std::size_t t = 0;
+    for (const std::size_t w : width) t += w + 3;
+    return t > 1 ? t - 1 : t;
+  }();
+  const std::string rule_line(total, '-');
+
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << std::string(width[c] - cell.size(), ' ') << cell;
+      if (c + 1 < header_.size()) os << " | ";
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  os << rule_line << '\n';
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(rules_.begin(), rules_.end(), r) != rules_.end() && r != 0)
+      os << rule_line << '\n';
+    print_row(rows_[r]);
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace cobra::util

@@ -1,0 +1,53 @@
+// Console table rendering for experiment output.
+//
+// Experiments print paper-style tables: a header row, aligned numeric
+// columns, optional rule lines. Cells are stored as strings; numeric
+// convenience overloads format with sensible defaults.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cobra::util {
+
+/// Formats a double with `digits` significant-looking decimals, trimming
+/// trailing zeros ("12.50" -> "12.5", "3.00" -> "3").
+std::string format_double(double value, int decimals = 3);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add() calls append cells to it.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double value, int decimals = 3);
+  Table& add(std::int64_t value);
+  Table& add(std::uint64_t value);
+  Table& add(int value) { return add(static_cast<std::int64_t>(value)); }
+
+  /// Inserts a horizontal rule before the next row.
+  Table& rule();
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  /// Renders with single-space-padded, right-aligned columns.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> rules_;  // row indices preceded by a rule
+};
+
+}  // namespace cobra::util

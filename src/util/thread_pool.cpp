@@ -1,0 +1,60 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+#include "util/assert.hpp"
+
+namespace cobra::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  COBRA_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_index(
+    std::size_t count, const std::function<void(std::size_t)>& f) {
+  if (count == 0) return;
+  // Dynamic scheduling over a shared atomic counter: replicate costs vary a
+  // lot (cover times are heavy-tailed), so static chunking would straggle.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  std::vector<std::future<void>> futures;
+  const std::size_t lanes = std::min(count, workers_.size());
+  futures.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    futures.push_back(submit([next, count, &f] {
+      while (true) {
+        const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        f(i);
+      }
+    }));
+  }
+  for (auto& fut : futures) fut.get();
+}
+
+}  // namespace cobra::util

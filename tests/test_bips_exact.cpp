@@ -1,0 +1,151 @@
+#include "core/bips_exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/bips.hpp"
+#include "graph/generators.hpp"
+#include "rng/stream.hpp"
+#include "sim/stats.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::core {
+namespace {
+
+double total_mass(const SubsetDistribution& d) {
+  return std::accumulate(d.begin(), d.end(), 0.0);
+}
+
+TEST(BipsExact, InitialDistributionIsPointMass) {
+  const graph::Graph g = graph::cycle(5);
+  const auto dist = bips_initial_distribution(g, 2);
+  EXPECT_EQ(dist.size(), 32u);
+  EXPECT_DOUBLE_EQ(dist[1u << 2], 1.0);
+  EXPECT_NEAR(total_mass(dist), 1.0, 1e-15);
+}
+
+TEST(BipsExact, StepPreservesMass) {
+  const graph::Graph g = graph::petersen();
+  ProcessOptions opt;
+  auto dist = bips_initial_distribution(g, 0);
+  for (int t = 0; t < 4; ++t) {
+    dist = bips_exact_step(g, 0, dist, opt);
+    EXPECT_NEAR(total_mass(dist), 1.0, 1e-12) << "round " << t;
+  }
+}
+
+TEST(BipsExact, SourceAlwaysInfectedInSupport) {
+  const graph::Graph g = graph::cycle(6);
+  ProcessOptions opt;
+  auto dist = bips_initial_distribution(g, 3);
+  for (int t = 0; t < 5; ++t) dist = bips_exact_step(g, 3, dist, opt);
+  for (SubsetMask a = 0; a < dist.size(); ++a)
+    if (dist[a] > 0.0) EXPECT_TRUE((a >> 3) & 1u);
+}
+
+TEST(BipsExact, TwoVertexGraphHandComputed) {
+  // P_2, source 0: vertex 1 always selects vertex 0, so A_1 = {0,1} surely.
+  const graph::Graph g = graph::path(2);
+  ProcessOptions opt;
+  EXPECT_DOUBLE_EQ(bips_exact_infection_cdf(g, 0, 0, opt), 0.0);
+  EXPECT_DOUBLE_EQ(bips_exact_infection_cdf(g, 0, 1, opt), 1.0);
+  EXPECT_DOUBLE_EQ(bips_exact_expected_infection_time(g, 0, opt), 1.0);
+}
+
+TEST(BipsExact, PathThreeHandComputed) {
+  // P_3 = 0-1-2, source 0 (end). Vertex 1 has neighbours {0,2}; with b=2 it
+  // catches from A={0} with p = 1-(1/2)^2 = 3/4. Vertex 2's only neighbour
+  // is 1 (not infected at t=0), so A_1 = {0,1} w.p. 3/4, {0} w.p. 1/4.
+  const graph::Graph g = graph::path(3);
+  ProcessOptions opt;
+  const auto d1 = bips_exact_distribution(g, 0, 1, opt);
+  EXPECT_NEAR(d1[0b001], 0.25, 1e-12);
+  EXPECT_NEAR(d1[0b011], 0.75, 1e-12);
+  EXPECT_NEAR(total_mass(d1), 1.0, 1e-12);
+}
+
+TEST(BipsExact, InfectionCdfMonotone) {
+  const graph::Graph g = graph::cycle(7);
+  ProcessOptions opt;
+  double prev = 0.0;
+  for (std::uint64_t T = 0; T <= 20; ++T) {
+    const double cdf = bips_exact_infection_cdf(g, 0, T, opt);
+    EXPECT_GE(cdf + 1e-12, prev);
+    prev = cdf;
+  }
+  EXPECT_GT(prev, 0.9);  // C_7 infects fast
+}
+
+TEST(BipsExact, MissProbabilityDecreasesWithTime) {
+  const graph::Graph g = graph::petersen();
+  ProcessOptions opt;
+  const std::vector<graph::VertexId> c_set = {7};
+  double prev = 1.0;
+  for (std::uint64_t T = 0; T <= 8; ++T) {
+    const double miss = bips_exact_miss_probability(g, 0, c_set, T, opt);
+    EXPECT_LE(miss - 1e-12, prev);
+    prev = miss;
+  }
+  EXPECT_LT(prev, 0.1);
+}
+
+TEST(BipsExact, MatchesMonteCarloDistributionOfFullInfection) {
+  const graph::Graph g = graph::cycle(5);
+  ProcessOptions opt;
+  const std::uint64_t T = 4;
+  const double exact_cdf = bips_exact_infection_cdf(g, 0, T, opt);
+
+  constexpr int kReps = 4000;
+  int full = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto rng = rng::make_stream(313, static_cast<std::uint64_t>(rep));
+    BipsProcess p(g, 0);
+    for (std::uint64_t t = 0; t < T; ++t) p.step(rng);
+    if (p.fully_infected()) ++full;
+  }
+  const auto ci = sim::wilson_interval(static_cast<std::uint64_t>(full),
+                                       kReps, 3.3);  // ~99.9%
+  EXPECT_TRUE(ci.contains(exact_cdf))
+      << "exact " << exact_cdf << " not in [" << ci.low << ", " << ci.high
+      << "]";
+}
+
+TEST(BipsExact, ExpectedInfectionTimeMatchesMonteCarlo) {
+  const graph::Graph g = graph::star(5);
+  ProcessOptions opt;
+  const double exact = bips_exact_expected_infection_time(g, 0, opt);
+
+  constexpr int kReps = 4000;
+  std::vector<double> times;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto rng = rng::make_stream(414, static_cast<std::uint64_t>(rep));
+    BipsProcess p(g, 0);
+    times.push_back(static_cast<double>(*p.run_until_full(rng, 100000)));
+  }
+  const double mc = sim::mean(times);
+  const double se = std::sqrt(sim::variance(times) / kReps);
+  EXPECT_NEAR(mc, exact, 5 * se) << "exact " << exact << " MC " << mc;
+}
+
+TEST(BipsExact, ExpectedTimeWithRhoBranchingSlower) {
+  const graph::Graph g = graph::cycle(6);
+  ProcessOptions b2;
+  ProcessOptions slow;
+  slow.branching = Branching::one_plus_rho(0.25);
+  EXPECT_LT(bips_exact_expected_infection_time(g, 0, b2),
+            bips_exact_expected_infection_time(g, 0, slow));
+}
+
+TEST(BipsExact, SizeLimitsEnforced) {
+  ProcessOptions opt;
+  const graph::Graph big = graph::cycle(20);
+  EXPECT_THROW(bips_initial_distribution(big, 0), util::CheckError);
+  const graph::Graph medium = graph::cycle(12);
+  EXPECT_THROW(bips_exact_expected_infection_time(medium, 0, opt),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace cobra::core

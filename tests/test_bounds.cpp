@@ -1,0 +1,135 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::core {
+namespace {
+
+TEST(Bounds, Thm11Formula) {
+  // m + dmax^2 ln n.
+  EXPECT_NEAR(bound_thm11_general(100, 200, 5),
+              200.0 + 25.0 * std::log(100.0), 1e-9);
+}
+
+TEST(Bounds, Thm11DominatedByEdgesOnSparseBoundedDegree) {
+  // Cycle: m = n, dmax = 2 -> bound ~ n + 4 ln n = O(n).
+  const double b = bound_thm11_general(1 << 20, 1 << 20, 2);
+  EXPECT_LT(b, 1.1 * static_cast<double>(1 << 20));
+}
+
+TEST(Bounds, Thm12Formula) {
+  // (r/(1-lambda) + r^2) ln n.
+  EXPECT_NEAR(bound_thm12_regular(100, 4, 0.5),
+              (4.0 / 0.5 + 16.0) * std::log(100.0), 1e-9);
+  EXPECT_THROW(bound_thm12_regular(100, 4, 1.0), util::CheckError);
+}
+
+TEST(Bounds, Thm12ImprovesPodc16ForSmallGap) {
+  // When 1 - lambda = o(1/sqrt(r)) the new bound wins; check a concrete
+  // instance: r = 100, gap = 0.01 (so 1/gap^3 = 1e6 vs r/gap = 1e4).
+  const std::uint64_t n = 1 << 16;
+  const double lambda = 0.99;
+  EXPECT_LT(bound_thm12_regular(n, 100, lambda),
+            bound_podc16_regular(n, lambda));
+}
+
+TEST(Bounds, Podc16WinsForLargeGapSmallDegreeRegime) {
+  // Conversely with r^2 >> 1/gap^2 the old bound can be smaller:
+  // r = 1000, gap = 0.5.
+  const std::uint64_t n = 1 << 16;
+  EXPECT_GT(bound_thm12_regular(n, 1000, 0.5),
+            bound_podc16_regular(n, 0.5));
+}
+
+TEST(Bounds, HypercubeHierarchyLog8Log4Log3) {
+  // The paper's flagship example: Q_d with r = log2 n, gap = Theta(1/log n),
+  // phi = Theta(1/log n):
+  //   SPAA'16 O(log^8 n) >> PODC'16 O(log^4 n) >> Thm 1.2 O(log^3 n).
+  const std::uint32_t d = 14;
+  const std::uint64_t n = 1ull << d;
+  const double gap = 1.0 / static_cast<double>(d);  // lazy hypercube gap
+  const double lambda = 1.0 - gap;
+  const double phi = 1.0 / static_cast<double>(d);  // Theta(1/log n)
+  const double b_new = bound_thm12_regular(n, d, lambda);
+  const double b_podc = bound_podc16_regular(n, lambda);
+  const double b_spaa = bound_spaa16_regular(n, d, phi);
+  EXPECT_LT(b_new, b_podc);
+  EXPECT_LT(b_podc, b_spaa);
+}
+
+TEST(Bounds, GeneralBoundHierarchy) {
+  // Thm 1.1's O(n^2 log n) improves SPAA'16's O(n^{11/4} log n) for every n:
+  // with m <= n^2/2 and dmax <= n, thm11 <= n^2(1/2 + ln n).
+  for (const std::uint64_t n : {1ull << 8, 1ull << 12, 1ull << 16}) {
+    const double worst_thm11 = bound_thm11_general(n, n * (n - 1) / 2,
+                                                   static_cast<std::uint32_t>(n - 1));
+    EXPECT_LT(worst_thm11, bound_spaa16_general(n));
+  }
+}
+
+TEST(Bounds, GridBounds) {
+  EXPECT_NEAR(bound_spaa16_grid(1u << 10, 2), 4.0 * 32.0, 1e-9);
+  EXPECT_NEAR(bound_dutta_grid(1u << 10, 2), 32.0, 1e-9);
+}
+
+TEST(Bounds, DuttaFormulas) {
+  EXPECT_NEAR(bound_dutta_complete(1024), std::log(1024.0), 1e-12);
+  EXPECT_NEAR(bound_dutta_expander(1024),
+              std::log(1024.0) * std::log(1024.0), 1e-12);
+}
+
+TEST(Bounds, LowerBound) {
+  EXPECT_DOUBLE_EQ(bound_lower(1024, 4), 10.0);   // log2 dominates
+  EXPECT_DOUBLE_EQ(bound_lower(1024, 50), 50.0);  // diameter dominates
+}
+
+TEST(Bounds, RhoScaling) {
+  EXPECT_DOUBLE_EQ(rho_scaling(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(rho_scaling(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(rho_scaling(0.1), 100.0);
+  EXPECT_THROW(rho_scaling(0.0), util::CheckError);
+}
+
+TEST(Bounds, GapCondition) {
+  // gap 0.5 on n = 1024: sqrt(ln n / n) ~ 0.082, condition holds for C = 1.
+  EXPECT_TRUE(gap_condition_holds(1024, 0.5));
+  // gap 0.001 fails.
+  EXPECT_FALSE(gap_condition_holds(1024, 0.999));
+}
+
+TEST(Bounds, ReportAppliesTheRightBounds) {
+  const auto regular = bound_report(graph::petersen(), 2.0 / 3.0, 0.4, 2, {});
+  bool has_thm12 = false;
+  for (const auto& b : regular)
+    if (b.name.find("thm1.2") != std::string::npos) {
+      EXPECT_TRUE(b.applicable);
+      has_thm12 = true;
+    }
+  EXPECT_TRUE(has_thm12);
+
+  const auto irregular =
+      bound_report(graph::star(10), {}, {}, 2, {});
+  for (const auto& b : irregular)
+    if (b.name.find("thm1.2") != std::string::npos)
+      EXPECT_FALSE(b.applicable);
+}
+
+TEST(Bounds, MonotoneInN) {
+  double prev11 = 0.0, prev_spaa = 0.0;
+  for (std::uint64_t n = 16; n <= 1 << 16; n <<= 2) {
+    const double b11 = bound_thm11_general(n, n, 3);
+    const double bs = bound_spaa16_general(n);
+    EXPECT_GT(b11, prev11);
+    EXPECT_GT(bs, prev_spaa);
+    prev11 = b11;
+    prev_spaa = bs;
+  }
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,239 @@
+#include "core/cobra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "rng/stream.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace cobra::core {
+namespace {
+
+rng::Rng test_rng(std::uint64_t salt) { return rng::make_stream(1001, salt); }
+
+TEST(Cobra, TwoVertexGraphCoversInOneRound) {
+  const graph::Graph g = graph::path(2);
+  CobraProcess p(g);
+  auto rng = test_rng(0);
+  for (int rep = 0; rep < 50; ++rep) {
+    p.reset(graph::VertexId{0});
+    const auto cover = p.run_until_cover(rng, 10);
+    ASSERT_TRUE(cover.has_value());
+    EXPECT_EQ(*cover, 1u);  // the only neighbour receives both particles
+  }
+}
+
+TEST(Cobra, StartVertexVisitedAtRoundZero) {
+  const graph::Graph g = graph::cycle(5);
+  CobraProcess p(g);
+  p.reset(graph::VertexId{3});
+  EXPECT_TRUE(p.is_visited(3));
+  EXPECT_EQ(p.num_visited(), 1u);
+  EXPECT_EQ(p.round(), 0u);
+  EXPECT_EQ(p.active().size(), 1u);
+  EXPECT_EQ(p.active()[0], 3u);
+}
+
+TEST(Cobra, MultiStartDeduplicates) {
+  const graph::Graph g = graph::cycle(6);
+  CobraProcess p(g);
+  const std::vector<graph::VertexId> start = {1, 4, 1, 4, 1};
+  p.reset(std::span<const graph::VertexId>(start.data(), start.size()));
+  EXPECT_EQ(p.active().size(), 2u);
+  EXPECT_EQ(p.num_visited(), 2u);
+}
+
+TEST(Cobra, ActiveSetIsDuplicateFreeEachRound) {
+  const graph::Graph g = graph::complete(12);
+  CobraProcess p(g);
+  auto rng = test_rng(1);
+  p.reset(graph::VertexId{0});
+  for (int t = 0; t < 10; ++t) {
+    p.step(rng);
+    std::set<graph::VertexId> unique(p.active().begin(), p.active().end());
+    EXPECT_EQ(unique.size(), p.active().size());
+    for (const auto u : p.active()) EXPECT_TRUE(p.is_active(u));
+  }
+}
+
+TEST(Cobra, ActiveSetAtMostDoublesWithB2) {
+  // |C_{t+1}| <= 2 |C_t| is the paper's doubling lower-bound argument.
+  const graph::Graph g = graph::complete(64);
+  CobraProcess p(g);
+  auto rng = test_rng(2);
+  p.reset(graph::VertexId{0});
+  while (!p.all_visited() && p.round() < 100) {
+    const std::size_t before = p.active().size();
+    p.step(rng);
+    EXPECT_LE(p.active().size(), 2 * before);
+  }
+}
+
+TEST(Cobra, CoverAtLeastLowerBound) {
+  // cover >= log2(n) (doubling) and >= eccentricity of the start.
+  const graph::Graph g = graph::cycle(32);
+  CobraProcess p(g);
+  auto rng = test_rng(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    p.reset(graph::VertexId{0});
+    const auto cover = p.run_until_cover(rng, 100000);
+    ASSERT_TRUE(cover.has_value());
+    EXPECT_GE(*cover, 16u);  // eccentricity of any vertex in C_32
+    EXPECT_GE(*cover, util::ceil_log2(32));
+  }
+}
+
+TEST(Cobra, VisitedSetIsMonotone) {
+  const graph::Graph g = graph::petersen();
+  CobraProcess p(g);
+  auto rng = test_rng(4);
+  p.reset(graph::VertexId{0});
+  std::uint32_t previous = p.num_visited();
+  for (int t = 0; t < 30; ++t) {
+    p.step(rng);
+    EXPECT_GE(p.num_visited(), previous);
+    previous = p.num_visited();
+  }
+}
+
+TEST(Cobra, TransmissionAccountingForIntegerB) {
+  const graph::Graph g = graph::complete(16);
+  for (const std::uint32_t b : {1u, 2u, 3u}) {
+    ProcessOptions opt;
+    opt.branching = Branching::integer(b);
+    CobraProcess p(g, opt);
+    auto rng = test_rng(5 + b);
+    p.reset(graph::VertexId{0});
+    std::uint64_t active_sum = 0;
+    for (int t = 0; t < 8; ++t) {
+      active_sum += p.active().size();
+      p.step(rng);
+    }
+    EXPECT_EQ(p.transmissions(), active_sum * b);
+  }
+}
+
+TEST(Cobra, BernoulliBranchingTransmissionsBracketed) {
+  ProcessOptions opt;
+  opt.branching = Branching::one_plus_rho(0.5);
+  const graph::Graph g = graph::complete(16);
+  CobraProcess p(g, opt);
+  auto rng = test_rng(9);
+  p.reset(graph::VertexId{0});
+  std::uint64_t active_sum = 0;
+  for (int t = 0; t < 10; ++t) {
+    active_sum += p.active().size();
+    p.step(rng);
+  }
+  EXPECT_GE(p.transmissions(), active_sum);
+  EXPECT_LE(p.transmissions(), 2 * active_sum);
+}
+
+TEST(Cobra, DeterministicGivenSameStream) {
+  const graph::Graph g = graph::hypercube(5);
+  CobraProcess p1(g), p2(g);
+  auto rng1 = test_rng(10);
+  auto rng2 = test_rng(10);
+  p1.reset(graph::VertexId{7});
+  p2.reset(graph::VertexId{7});
+  const auto c1 = p1.run_until_cover(rng1, 100000);
+  const auto c2 = p2.run_until_cover(rng2, 100000);
+  ASSERT_TRUE(c1.has_value() && c2.has_value());
+  EXPECT_EQ(*c1, *c2);
+  EXPECT_EQ(p1.transmissions(), p2.transmissions());
+}
+
+TEST(Cobra, HitOfStartIsZero) {
+  const graph::Graph g = graph::cycle(9);
+  CobraProcess p(g);
+  auto rng = test_rng(11);
+  p.reset(graph::VertexId{4});
+  const auto hit = p.run_until_hit(rng, 4, 100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0u);
+}
+
+TEST(Cobra, TimeoutReturnsNullopt) {
+  const graph::Graph g = graph::cycle(64);
+  CobraProcess p(g);
+  auto rng = test_rng(12);
+  p.reset(graph::VertexId{0});
+  // 3 rounds cannot reach the antipode of a 64-cycle.
+  EXPECT_FALSE(p.run_until_cover(rng, 3).has_value());
+  EXPECT_FALSE(p.run_until_hit(rng, 32, 3).has_value());
+}
+
+TEST(Cobra, LazyWalkStaysPut) {
+  ProcessOptions opt;
+  opt.laziness = 0.999;  // nearly always self-select
+  const graph::Graph g = graph::path(4);
+  CobraProcess p(g, opt);
+  auto rng = test_rng(13);
+  p.reset(graph::VertexId{0});
+  p.step(rng);
+  // With laziness ~1 the particle almost surely stayed at 0.
+  EXPECT_EQ(p.active().size(), 1u);
+}
+
+TEST(Cobra, B1IsASingleParticleWalk) {
+  ProcessOptions opt;
+  opt.branching = Branching::integer(1);
+  const graph::Graph g = graph::cycle(12);
+  CobraProcess p(g, opt);
+  auto rng = test_rng(14);
+  p.reset(graph::VertexId{0});
+  for (int t = 0; t < 50; ++t) {
+    p.step(rng);
+    EXPECT_EQ(p.active().size(), 1u);  // never branches
+  }
+}
+
+TEST(Cobra, CompleteGraphCoversFast) {
+  // K_64 should cover in ~2 log2(64) = 12 rounds, far below 100.
+  const graph::Graph g = graph::complete(64);
+  CobraProcess p(g);
+  auto rng = test_rng(15);
+  p.reset(graph::VertexId{0});
+  const auto cover = p.run_until_cover(rng, 100);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_LE(*cover, 40u);
+}
+
+TEST(Cobra, RejectsInvalidConfig) {
+  const graph::Graph g = graph::path(3);
+  ProcessOptions opt;
+  opt.laziness = 1.0;
+  EXPECT_THROW(CobraProcess(g, opt), util::CheckError);
+  ProcessOptions opt2;
+  opt2.branching.base = 0;
+  EXPECT_THROW(CobraProcess(g, opt2), util::CheckError);
+}
+
+TEST(Cobra, RejectsIsolatedVertexGraph) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const graph::Graph g = std::move(b).build();
+  EXPECT_THROW(CobraProcess{g}, util::CheckError);
+}
+
+TEST(Cobra, ResetClearsState) {
+  const graph::Graph g = graph::complete(8);
+  CobraProcess p(g);
+  auto rng = test_rng(16);
+  p.reset(graph::VertexId{0});
+  p.run_until_cover(rng, 100);
+  EXPECT_TRUE(p.all_visited());
+  p.reset(graph::VertexId{2});
+  EXPECT_EQ(p.num_visited(), 1u);
+  EXPECT_EQ(p.round(), 0u);
+  EXPECT_EQ(p.transmissions(), 0u);
+  EXPECT_TRUE(p.is_visited(2));
+  EXPECT_FALSE(p.is_visited(0));
+}
+
+}  // namespace
+}  // namespace cobra::core

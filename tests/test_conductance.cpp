@@ -1,0 +1,93 @@
+#include "spectral/conductance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spectral/dense.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::spectral {
+namespace {
+
+TEST(ExactConductance, CompleteGraph) {
+  // phi(K_n) at a balanced cut S (|S| = n/2): cut = (n/2)^2,
+  // d(S) = (n/2)(n-1); phi = (n/2)/(n-1).
+  const auto n = 6u;
+  EXPECT_NEAR(exact_conductance(graph::complete(n)),
+              (n / 2.0) / (n - 1.0), 1e-12);
+}
+
+TEST(ExactConductance, CycleIsTwoOverN) {
+  // Best cut: contiguous arc of n/2 vertices, 2 cut edges, volume n.
+  EXPECT_NEAR(exact_conductance(graph::cycle(8)), 2.0 / 8.0, 1e-12);
+  EXPECT_NEAR(exact_conductance(graph::cycle(12)), 2.0 / 12.0, 1e-12);
+}
+
+TEST(ExactConductance, StarIsOne) {
+  EXPECT_NEAR(exact_conductance(graph::star(7)), 1.0, 1e-12);
+}
+
+TEST(ExactConductance, PathBottleneck) {
+  // Best cut of P_n is the middle edge: cut 1, volume ~ n - 1.
+  // For P_6 (degree sum 10): S = first 3 vertices, d(S) = 5, cut = 1.
+  EXPECT_NEAR(exact_conductance(graph::path(6)), 1.0 / 5.0, 1e-12);
+}
+
+TEST(ExactConductance, BarbellIsSmall) {
+  const double phi = exact_conductance(graph::barbell(5, 1));
+  // One bridge edge over clique volume >= 20.
+  EXPECT_LE(phi, 1.0 / 20.0 + 1e-12);
+  EXPECT_GT(phi, 0.0);
+}
+
+TEST(CutConductance, MatchesManualCount) {
+  const graph::Graph g = graph::cycle(8);
+  // Contiguous arc {0,1,2,3}: 2 cut edges, volume 8.
+  EXPECT_NEAR(cut_conductance(g, {0, 1, 2, 3}), 0.25, 1e-12);
+  // Alternating set {0,2,4,6}: every edge is cut: 8/8 = 1.
+  EXPECT_NEAR(cut_conductance(g, {0, 2, 4, 6}), 1.0, 1e-12);
+}
+
+TEST(CutConductance, RejectsEmptyAndFull) {
+  const graph::Graph g = graph::cycle(5);
+  EXPECT_THROW(cut_conductance(g, {}), util::CheckError);
+  EXPECT_THROW(cut_conductance(g, {0, 1, 2, 3, 4}), util::CheckError);
+}
+
+TEST(SweepConductance, UpperBoundsExact) {
+  for (const graph::Graph& g :
+       {graph::cycle(12), graph::complete(8), graph::barbell(5, 1),
+        graph::path(10), graph::petersen()}) {
+    const double exact = exact_conductance(g);
+    const double estimate = estimate_conductance(g, /*seed=*/7);
+    EXPECT_GE(estimate + 1e-12, exact) << g.name();
+  }
+}
+
+TEST(SweepConductance, FindsBarbellBottleneck) {
+  // The spectral sweep should locate the bridge cut (or near it).
+  const graph::Graph g = graph::barbell(6, 1);
+  const double exact = exact_conductance(g);
+  const double estimate = estimate_conductance(g, 3);
+  EXPECT_LT(estimate, 4 * exact + 1e-9);
+}
+
+TEST(Cheeger, InequalityHolds) {
+  // phi^2 / 2 <= 1 - mu2 <= 2 phi for the walk matrix's second-largest
+  // eigenvalue mu2 (Cheeger for the normalised Laplacian).
+  for (const graph::Graph& g :
+       {graph::cycle(10), graph::complete(8), graph::petersen(),
+        graph::barbell(4, 1), graph::hypercube(3), graph::path(8)}) {
+    const auto eig = walk_spectrum_dense(g);
+    const double mu2 = eig[eig.size() - 2];
+    const double gap = 1.0 - mu2;
+    const double phi = exact_conductance(g);
+    EXPECT_LE(phi * phi / 2.0, gap + 1e-9) << g.name();
+    EXPECT_LE(gap, 2.0 * phi + 1e-9) << g.name();
+  }
+}
+
+}  // namespace
+}  // namespace cobra::spectral

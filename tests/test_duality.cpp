@@ -1,0 +1,177 @@
+// Theorem 1.3 is the paper's bridge between COBRA and BIPS; these tests
+// verify it three ways:
+//   1. exactly, per sampled selection table (the coupling in the proof),
+//   2. statistically, with independent Monte-Carlo estimates of both sides,
+//   3. against the exact small-n BIPS distribution (closed numbers).
+#include "core/duality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bips_exact.hpp"
+#include "core/cobra.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+#include "sim/stats.hpp"
+
+namespace cobra::core {
+namespace {
+
+struct DualityCase {
+  std::string name;
+  graph::Graph g;
+  graph::VertexId v;
+  std::vector<graph::VertexId> c_set;
+  std::uint64_t rounds;
+};
+
+std::vector<DualityCase> duality_cases() {
+  rng::Rng rng = rng::make_stream(616, 0);
+  std::vector<DualityCase> cases;
+  cases.push_back({"petersen", graph::petersen(), 0, {7}, 3});
+  cases.push_back({"cycle7", graph::cycle(7), 2, {5, 6}, 4});
+  cases.push_back({"path6", graph::path(6), 0, {5}, 5});
+  cases.push_back({"star6", graph::star(6), 3, {0, 5}, 2});
+  cases.push_back({"complete5", graph::complete(5), 1, {0}, 1});
+  cases.push_back(
+      {"gnp", graph::connected_erdos_renyi(12, 2.5, rng), 4, {0, 11}, 3});
+  cases.push_back({"vInC", graph::cycle(5), 2, {2, 3}, 2});  // v ∈ C edge case
+  return cases;
+}
+
+TEST(Duality, CoupledIndicatorsAgreeForEverySampledTable) {
+  // The proof's coupling: same ω, time-reversed. Exact, not statistical.
+  for (const auto& tc : duality_cases()) {
+    ProcessOptions opt;
+    for (int rep = 0; rep < 300; ++rep) {
+      auto rng = rng::make_stream(717, static_cast<std::uint64_t>(rep));
+      const SelectionTable table(tc.g, tc.rounds, opt, rng);
+      const bool cobra_side =
+          cobra_visits_with_table(tc.g, tc.c_set, tc.v, table);
+      const bool bips_side =
+          bips_infects_with_table(tc.g, tc.v, tc.c_set, table);
+      ASSERT_EQ(cobra_side, bips_side)
+          << tc.name << " rep " << rep << ": coupling identity violated";
+    }
+  }
+}
+
+TEST(Duality, CoupledIndicatorsAgreeWithRhoBranching) {
+  // Theorem 1.3 holds for any b = 1 + rho (paper Section 1).
+  ProcessOptions opt;
+  opt.branching = Branching::one_plus_rho(0.4);
+  const graph::Graph g = graph::petersen();
+  const std::vector<graph::VertexId> c_set = {3, 8};
+  for (int rep = 0; rep < 300; ++rep) {
+    auto rng = rng::make_stream(818, static_cast<std::uint64_t>(rep));
+    const SelectionTable table(g, 4, opt, rng);
+    EXPECT_EQ(cobra_visits_with_table(g, c_set, 0, table),
+              bips_infects_with_table(g, 0, c_set, table));
+  }
+}
+
+TEST(Duality, CoupledIndicatorsAgreeWithLaziness) {
+  ProcessOptions opt;
+  opt.laziness = 0.5;
+  const graph::Graph g = graph::cycle(6);  // bipartite: laziness matters
+  const std::vector<graph::VertexId> c_set = {3};
+  for (int rep = 0; rep < 300; ++rep) {
+    auto rng = rng::make_stream(919, static_cast<std::uint64_t>(rep));
+    const SelectionTable table(g, 5, opt, rng);
+    EXPECT_EQ(cobra_visits_with_table(g, c_set, 0, table),
+              bips_infects_with_table(g, 0, c_set, table));
+  }
+}
+
+TEST(Duality, MonteCarloSidesStatisticallyEqual) {
+  for (const auto& tc : duality_cases()) {
+    ProcessOptions opt;
+    const auto est =
+        check_duality(tc.g, tc.v, tc.c_set, tc.rounds, opt, 2000, 2020);
+    EXPECT_EQ(est.coupled_disagreements, 0u) << tc.name;
+    const auto k1 = static_cast<std::uint64_t>(
+        est.cobra_miss * static_cast<double>(est.replicates) + 0.5);
+    const auto k2 = static_cast<std::uint64_t>(
+        est.bips_miss * static_cast<double>(est.replicates) + 0.5);
+    const double z =
+        sim::two_proportion_z(k1, est.replicates, k2, est.replicates);
+    EXPECT_LT(std::fabs(z), 4.5)
+        << tc.name << ": cobra " << est.cobra_miss << " bips "
+        << est.bips_miss;
+  }
+}
+
+TEST(Duality, CobraSurvivalMatchesExactBips) {
+  // P̂(Hit(v) > T | C_0 = C), estimated from COBRA runs, must match the
+  // EXACT number from the BIPS subset DP (Theorem 1.3).
+  const graph::Graph g = graph::petersen();
+  const graph::VertexId v = 0;
+  const std::vector<graph::VertexId> c_set = {6};
+  ProcessOptions opt;
+  for (const std::uint64_t T : {1ull, 2ull, 4ull}) {
+    const double exact = bips_exact_miss_probability(g, v, c_set, T, opt);
+    constexpr int kReps = 3000;
+    int misses = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto rng = rng::make_stream(2121 + T, static_cast<std::uint64_t>(rep));
+      CobraProcess p(g, opt);
+      p.reset(std::span<const graph::VertexId>(c_set.data(), c_set.size()));
+      if (!p.run_until_hit(rng, v, T).has_value()) ++misses;
+    }
+    const auto ci = sim::wilson_interval(static_cast<std::uint64_t>(misses),
+                                         kReps, 3.5);
+    EXPECT_TRUE(ci.contains(exact))
+        << "T=" << T << " exact=" << exact << " ci=[" << ci.low << ","
+        << ci.high << "]";
+  }
+}
+
+TEST(Duality, VInCMakesBothSidesCertain) {
+  // If v ∈ C then Hit(v) = 0 <= T and A_T ∩ C ⊇ {v}: both sides are
+  // deterministic.
+  const graph::Graph g = graph::cycle(8);
+  ProcessOptions opt;
+  const std::vector<graph::VertexId> c_set = {3, 4};
+  const auto est = check_duality(g, 3, c_set, 2, opt, 200, 11);
+  EXPECT_EQ(est.coupled_disagreements, 0u);
+  EXPECT_DOUBLE_EQ(est.cobra_miss, 0.0);
+  EXPECT_DOUBLE_EQ(est.bips_miss, 0.0);
+}
+
+TEST(SelectionTable, ShapeAndValidity) {
+  const graph::Graph g = graph::petersen();
+  ProcessOptions opt;
+  auto rng = rng::make_stream(3030, 0);
+  const SelectionTable table(g, 5, opt, rng);
+  EXPECT_EQ(table.rounds(), 5u);
+  EXPECT_EQ(table.num_vertices(), 10u);
+  for (std::uint64_t t = 1; t <= 5; ++t)
+    for (graph::VertexId u = 0; u < 10; ++u) {
+      const auto sel = table.selections(u, t);
+      EXPECT_EQ(sel.size(), 2u);  // b = 2, no laziness
+      for (const auto w : sel) EXPECT_TRUE(g.has_edge(u, w));
+    }
+}
+
+TEST(SelectionTable, RhoBranchingVariableFanout) {
+  const graph::Graph g = graph::cycle(6);
+  ProcessOptions opt;
+  opt.branching = Branching::one_plus_rho(0.5);
+  auto rng = rng::make_stream(3131, 0);
+  const SelectionTable table(g, 50, opt, rng);
+  std::size_t ones = 0, twos = 0;
+  for (std::uint64_t t = 1; t <= 50; ++t)
+    for (graph::VertexId u = 0; u < 6; ++u) {
+      const auto k = table.selections(u, t).size();
+      ASSERT_TRUE(k == 1 || k == 2);
+      (k == 1 ? ones : twos) += 1;
+    }
+  // rho = 0.5: both fan-outs should occur roughly equally (300 slots).
+  EXPECT_GT(ones, 90u);
+  EXPECT_GT(twos, 90u);
+}
+
+}  // namespace
+}  // namespace cobra::core

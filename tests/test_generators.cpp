@@ -1,0 +1,211 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace cobra::graph {
+namespace {
+
+TEST(Generators, Complete) {
+  const Graph g = complete(7);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 21u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 6u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(*exact_diameter(g), 1u);
+  EXPECT_FALSE(is_bipartite(g));
+  EXPECT_EQ(g.name(), "complete(7)");
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = cycle(10);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(*exact_diameter(g), 5u);
+  EXPECT_TRUE(is_bipartite(g));          // even cycle
+  EXPECT_FALSE(is_bipartite(cycle(9)));  // odd cycle
+  EXPECT_EQ(*exact_diameter(cycle(9)), 4u);
+}
+
+TEST(Generators, Path) {
+  const Graph g = path(8);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(*exact_diameter(g), 7u);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, Star) {
+  const Graph g = star(9);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(g.degree(0), 8u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_EQ(*exact_diameter(g), 2u);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_EQ(g.degree(0), 4u);  // left side sees all of right
+  EXPECT_EQ(g.degree(3), 3u);  // right side sees all of left
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(*exact_diameter(g), 2u);
+  // No edges within a side.
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(3, 4));
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);  // n d / 2
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(*exact_diameter(g), 4u);
+  // Neighbours differ in exactly one bit.
+  for (VertexId u = 0; u < 16; ++u)
+    for (const VertexId v : g.neighbors(u))
+      EXPECT_EQ(std::popcount(u ^ v), 1);
+}
+
+TEST(Generators, GridNonTorus) {
+  const Graph g = grid({4, 3}, /*torus=*/false);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 4u * 2);  // 9 horizontal + 8 vertical
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(*exact_diameter(g), 5u);  // (4-1)+(3-1)
+  EXPECT_FALSE(g.is_regular());
+}
+
+TEST(Generators, Torus) {
+  const Graph g = grid({4, 4}, /*torus=*/true);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  EXPECT_EQ(*exact_diameter(g), 4u);  // 2 + 2
+}
+
+TEST(Generators, TorusSideTwoHasNoDoubleEdge) {
+  const Graph g = grid({2, 3}, /*torus=*/true);
+  // Axis of length 2 contributes a single edge per pair (no wrap duplicate).
+  EXPECT_EQ(g.num_vertices(), 6u);
+  for (VertexId u = 0; u < 6; ++u)
+    EXPECT_LE(g.degree(u), 3u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, TorusPowerMatchesGrid) {
+  const Graph a = torus_power(5, 2);
+  const Graph b = grid({5, 5}, /*torus=*/true);
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(*exact_diameter(a), *exact_diameter(b));
+}
+
+TEST(Generators, OneDimensionalTorusIsCycle) {
+  const Graph t = torus_power(7, 1);
+  const Graph c = cycle(7);
+  EXPECT_EQ(t.num_edges(), c.num_edges());
+  EXPECT_EQ(*exact_diameter(t), *exact_diameter(c));
+}
+
+TEST(Generators, BinaryTree) {
+  const Graph g = binary_tree(15);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(g.degree(0), 2u);   // root
+  EXPECT_EQ(g.degree(14), 1u);  // leaf
+  EXPECT_EQ(*exact_diameter(g), 6u);  // leaf-to-leaf through root
+}
+
+TEST(Generators, KaryTree) {
+  const Graph g = kary_tree(13, 3);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Barbell) {
+  const Graph g = barbell(5, 1);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 2u * 10 + 1);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.max_degree(), 5u);  // bridge endpoints
+  EXPECT_EQ(g.min_degree(), 4u);
+}
+
+TEST(Generators, BarbellLongBridge) {
+  const Graph g = barbell(4, 5);
+  EXPECT_EQ(g.num_vertices(), 2u * 4 + 4);  // 4 interior path vertices
+  EXPECT_EQ(g.num_edges(), 2u * 6 + 5);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Lollipop) {
+  const Graph g = lollipop(6, 4);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 15u + 4);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(9), 1u);  // tail end
+}
+
+TEST(Generators, Circulant) {
+  const Graph g = circulant(10, {1, 2});
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(g.num_edges(), 20u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CirculantHalfOffsetDeduplicates) {
+  // Offset n/2 pairs i with i+n/2 once, giving degree 2k-1, not 2k.
+  const Graph g = circulant(8, {1, 4});
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.num_edges(), 12u);
+}
+
+TEST(Generators, Petersen) {
+  const Graph g = petersen();
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(is_bipartite(g));
+  EXPECT_EQ(*exact_diameter(g), 2u);
+  // Petersen has girth 5: no triangles and no 4-cycles through edge checks.
+  for (VertexId u = 0; u < 10; ++u)
+    for (const VertexId v : g.neighbors(u))
+      for (const VertexId w : g.neighbors(v))
+        if (w != u) EXPECT_FALSE(g.has_edge(u, w));
+}
+
+TEST(Generators, ArgumentValidation) {
+  EXPECT_THROW(complete(1), util::CheckError);
+  EXPECT_THROW(cycle(2), util::CheckError);
+  EXPECT_THROW(path(1), util::CheckError);
+  EXPECT_THROW(hypercube(0), util::CheckError);
+  EXPECT_THROW(grid({1}, false), util::CheckError);
+  EXPECT_THROW(barbell(2, 1), util::CheckError);
+  EXPECT_THROW(circulant(10, {6}), util::CheckError);  // offset > n/2
+}
+
+}  // namespace
+}  // namespace cobra::graph

@@ -1,0 +1,102 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::graph {
+namespace {
+
+Graph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  return std::move(b).build("triangle");
+}
+
+TEST(Graph, BasicCounts) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree_sum(), 6u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.min_degree(), 2u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.name(), "triangle");
+}
+
+TEST(Graph, NeighborsSortedAndSymmetric) {
+  const Graph g = triangle();
+  for (VertexId u = 0; u < 3; ++u) {
+    const auto nbrs = g.neighbors(u);
+    EXPECT_EQ(nbrs.size(), 2u);
+    for (std::size_t j = 1; j < nbrs.size(); ++j)
+      EXPECT_LT(nbrs[j - 1], nbrs[j]);
+    for (const VertexId v : nbrs) EXPECT_TRUE(g.has_edge(v, u));
+  }
+}
+
+TEST(Graph, HasEdge) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 3));
+}
+
+TEST(Graph, NeighborByIndex) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.neighbor(0, 0), 1u);
+  EXPECT_EQ(g.neighbor(0, 1), 2u);
+}
+
+TEST(Graph, SetDegree) {
+  const Graph g = triangle();
+  const std::vector<VertexId> s = {0, 1};
+  EXPECT_EQ(g.set_degree(s), 4u);
+  const std::vector<VertexId> all = {0, 1, 2};
+  EXPECT_EQ(g.set_degree(all), g.degree_sum());
+}
+
+TEST(Graph, EdgesListsEachEdgeOnce) {
+  const Graph g = triangle();
+  const auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 3u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(Graph, ConstructorValidation) {
+  // Self-loop rejected.
+  EXPECT_THROW(Graph({0, 2}, {0, 0}), util::CheckError);
+  // Offsets/adjacency mismatch rejected.
+  EXPECT_THROW(Graph({0, 1}, {0, 1}), util::CheckError);
+  // Unsorted adjacency rejected.
+  EXPECT_THROW(Graph({0, 2, 3, 5}, {2, 1, 0, 0, 0}), util::CheckError);
+  // Out-of-range neighbour rejected.
+  EXPECT_THROW(Graph({0, 1, 2}, {5, 0}), util::CheckError);
+}
+
+TEST(Graph, IrregularDegreeStats) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_FALSE(g.is_regular());
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace cobra::graph

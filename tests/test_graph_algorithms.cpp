@@ -1,0 +1,122 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace cobra::graph {
+namespace {
+
+TEST(BfsDistances, PathDistances) {
+  const Graph g = path(6);
+  const auto dist = bfs_distances(g, 0);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsDistances, HypercubeIsHamming) {
+  const Graph g = hypercube(5);
+  const auto dist = bfs_distances(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(dist[v], static_cast<std::uint32_t>(std::popcount(v)));
+}
+
+TEST(BfsDistances, UnreachableMarked) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Connectivity, DetectsDisconnection) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(count_components(g), 2u);
+  EXPECT_TRUE(is_connected(cycle(5)));
+  EXPECT_EQ(count_components(cycle(5)), 1u);
+}
+
+TEST(Connectivity, SingletonComponentsCounted) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(count_components(g), 4u);  // {0,1}, {2}, {3}, {4}
+}
+
+TEST(Bipartite, KnownFamilies) {
+  EXPECT_TRUE(is_bipartite(cycle(8)));
+  EXPECT_FALSE(is_bipartite(cycle(7)));
+  EXPECT_TRUE(is_bipartite(hypercube(3)));
+  EXPECT_TRUE(is_bipartite(path(5)));
+  EXPECT_TRUE(is_bipartite(star(6)));
+  EXPECT_TRUE(is_bipartite(complete_bipartite(3, 5)));
+  EXPECT_FALSE(is_bipartite(complete(4)));
+  EXPECT_FALSE(is_bipartite(petersen()));
+  EXPECT_TRUE(is_bipartite(binary_tree(10)));
+}
+
+TEST(Eccentricity, CycleAndStar) {
+  EXPECT_EQ(*eccentricity(cycle(10), 0), 5u);
+  EXPECT_EQ(*eccentricity(star(8), 0), 1u);   // centre
+  EXPECT_EQ(*eccentricity(star(8), 3), 2u);   // leaf
+}
+
+TEST(Eccentricity, DisconnectedReturnsNullopt) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_FALSE(eccentricity(g, 0).has_value());
+}
+
+TEST(ExactDiameter, KnownValues) {
+  EXPECT_EQ(*exact_diameter(complete(9)), 1u);
+  EXPECT_EQ(*exact_diameter(path(12)), 11u);
+  EXPECT_EQ(*exact_diameter(cycle(12)), 6u);
+  EXPECT_EQ(*exact_diameter(hypercube(6)), 6u);
+  EXPECT_EQ(*exact_diameter(star(20)), 2u);
+  EXPECT_EQ(*exact_diameter(petersen()), 2u);
+}
+
+TEST(ExactDiameter, RefusesOverBudget) {
+  const Graph g = cycle(100);
+  EXPECT_FALSE(exact_diameter(g, /*work_limit=*/10).has_value());
+}
+
+TEST(PseudoDiameter, LowerBoundsExact) {
+  for (const Graph& g :
+       {cycle(30), path(30), star(30), hypercube(4), petersen()}) {
+    const auto exact = exact_diameter(g);
+    ASSERT_TRUE(exact.has_value());
+    const auto pseudo = pseudo_diameter(g);
+    EXPECT_LE(pseudo, *exact);
+    EXPECT_GE(pseudo, *exact / 2);  // double sweep is 2-approximate
+  }
+}
+
+TEST(PseudoDiameter, ExactOnTreesAndPaths) {
+  EXPECT_EQ(pseudo_diameter(path(40)), 39u);
+  EXPECT_EQ(pseudo_diameter(binary_tree(31)), 8u);
+}
+
+TEST(DiameterEstimate, UsesExactWhenAffordable) {
+  const auto est = diameter_estimate(cycle(50));
+  EXPECT_TRUE(est.exact);
+  EXPECT_EQ(est.value, 25u);
+}
+
+TEST(DegreeStats, Values) {
+  const auto s = degree_stats(star(5));
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 8.0 / 5.0);
+}
+
+}  // namespace
+}  // namespace cobra::graph

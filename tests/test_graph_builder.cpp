@@ -1,0 +1,69 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace cobra::graph {
+namespace {
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), util::CheckError);
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), util::CheckError);
+  EXPECT_THROW(b.add_edge(7, 0), util::CheckError);
+}
+
+TEST(GraphBuilder, RejectsDuplicateByDefault) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // same undirected edge
+  EXPECT_THROW(std::move(b).build(), util::CheckError);
+}
+
+TEST(GraphBuilder, DeduplicatePolicyKeepsOneCopy) {
+  GraphBuilder b(3, DuplicatePolicy::kDeduplicate);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(1, 2);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(GraphBuilder, BuildsCorrectCsr) {
+  GraphBuilder b(5);
+  b.add_edge(4, 0);
+  b.add_edge(2, 1);
+  b.add_edge(0, 2);
+  const Graph g = std::move(b).build("test");
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_EQ(g.min_degree(), 0u);
+}
+
+TEST(GraphBuilder, EdgeCountTracking) {
+  GraphBuilder b(10);
+  EXPECT_EQ(b.num_edges_added(), 0u);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  EXPECT_EQ(b.num_edges_added(), 2u);
+}
+
+TEST(GraphBuilder, IsolatedVerticesAllowedAtBuildLevel) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+}  // namespace
+}  // namespace cobra::graph

@@ -1,0 +1,77 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::graph {
+namespace {
+
+TEST(GraphIo, RoundTripThroughStream) {
+  const Graph original = petersen();
+  std::stringstream buffer;
+  write_edge_list(original, buffer);
+  const Graph loaded = read_edge_list(buffer, "petersen");
+  EXPECT_EQ(loaded.num_vertices(), original.num_vertices());
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+  EXPECT_EQ(loaded.edges(), original.edges());
+}
+
+TEST(GraphIo, RoundTripThroughFile) {
+  const std::string path = "test_io_roundtrip.edges";
+  const Graph original = hypercube(4);
+  write_edge_list_file(original, path);
+  const Graph loaded = read_edge_list_file(path);
+  EXPECT_EQ(loaded.edges(), original.edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream in;
+  in << "# a comment\n\n3 2\n# another\n0 1\n1 2\n";
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIo, RejectsMissingHeader) {
+  std::stringstream in;
+  in << "# only comments\n";
+  EXPECT_THROW(read_edge_list(in), util::CheckError);
+}
+
+TEST(GraphIo, RejectsEdgeCountMismatch) {
+  std::stringstream in;
+  in << "3 5\n0 1\n";
+  EXPECT_THROW(read_edge_list(in), util::CheckError);
+}
+
+TEST(GraphIo, RejectsOutOfRangeVertex) {
+  std::stringstream in;
+  in << "3 1\n0 7\n";
+  EXPECT_THROW(read_edge_list(in), util::CheckError);
+}
+
+TEST(GraphIo, RejectsMalformedEdgeLine) {
+  std::stringstream in;
+  in << "3 1\n0\n";
+  EXPECT_THROW(read_edge_list(in), util::CheckError);
+}
+
+TEST(GraphIo, RejectsSelfLoop) {
+  std::stringstream in;
+  in << "3 1\n1 1\n";
+  EXPECT_THROW(read_edge_list(in), util::CheckError);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("definitely_not_here.edges"),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace cobra::graph

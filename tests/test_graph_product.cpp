@@ -1,0 +1,119 @@
+#include "graph/product.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "spectral/dense.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::graph {
+namespace {
+
+TEST(CartesianProduct, StructuralCounts) {
+  const Graph g1 = cycle(5);
+  const Graph g2 = path(3);
+  const Graph p = cartesian_product(g1, g2);
+  EXPECT_EQ(p.num_vertices(), 15u);
+  // m = m1*n2 + m2*n1 = 5*3 + 2*5 = 25.
+  EXPECT_EQ(p.num_edges(), 25u);
+  EXPECT_TRUE(is_connected(p));
+}
+
+TEST(CartesianProduct, DegreesAdd) {
+  const Graph g1 = star(4);   // degrees 3,1,1,1
+  const Graph g2 = cycle(3);  // degrees 2
+  const Graph p = cartesian_product(g1, g2);
+  for (VertexId u1 = 0; u1 < 4; ++u1)
+    for (VertexId u2 = 0; u2 < 3; ++u2)
+      EXPECT_EQ(p.degree(u1 + 4 * u2), g1.degree(u1) + g2.degree(u2));
+}
+
+TEST(CartesianProduct, K2PowerIsHypercube) {
+  const Graph k2 = complete(2);
+  const Graph q4 = cartesian_power(k2, 4);
+  const Graph reference = hypercube(4);
+  EXPECT_EQ(q4.num_vertices(), reference.num_vertices());
+  EXPECT_EQ(q4.num_edges(), reference.num_edges());
+  // Same degree sequence and diameter (isomorphic in fact; the id encoding
+  // of cartesian_power is exactly binary, so the edge sets coincide).
+  EXPECT_EQ(q4.edges(), reference.edges());
+}
+
+TEST(CartesianProduct, CyclePowerIsTorus) {
+  const Graph c5 = cycle(5);
+  const Graph t = cartesian_power(c5, 2);
+  const Graph reference = torus_power(5, 2);
+  EXPECT_EQ(t.num_vertices(), reference.num_vertices());
+  EXPECT_EQ(t.num_edges(), reference.num_edges());
+  EXPECT_EQ(*exact_diameter(t), *exact_diameter(reference));
+}
+
+TEST(CartesianProduct, PowerOneIsIdentity) {
+  const Graph g = petersen();
+  const Graph p = cartesian_power(g, 1);
+  EXPECT_EQ(p.edges(), g.edges());
+}
+
+TEST(CartesianProduct, SpectralProductRule) {
+  // Walk spectrum of the product of regular graphs = all weighted means.
+  const Graph g1 = cycle(4);      // walk eigenvalues {1, 0, 0, -1}
+  const Graph g2 = complete(3);   // {1, -1/2, -1/2}
+  const Graph p = cartesian_product(g1, g2);
+  const auto spectrum = spectral::walk_spectrum_dense(p);
+
+  std::vector<double> expected;
+  const auto s1 = spectral::walk_spectrum_dense(g1);
+  const auto s2 = spectral::walk_spectrum_dense(g2);
+  for (const double mu1 : s1)
+    for (const double mu2 : s2)
+      expected.push_back(cartesian_walk_eigenvalue(mu1, 2, mu2, 2));
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(spectrum.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(spectrum[i], expected[i], 1e-9);
+}
+
+TEST(TensorProduct, StructuralCounts) {
+  const Graph g1 = cycle(5);
+  const Graph g2 = complete(3);
+  const Graph t = tensor_product(g1, g2);
+  EXPECT_EQ(t.num_vertices(), 15u);
+  // Each vertex has degree d1*d2 = 2*2 = 4.
+  EXPECT_TRUE(t.is_regular());
+  EXPECT_EQ(t.max_degree(), 4u);
+  // Both factors non-bipartite (odd cycle, K_3) -> connected.
+  EXPECT_TRUE(is_connected(t));
+}
+
+TEST(TensorProduct, BipartiteFactorDisconnects) {
+  // Tensor of two bipartite graphs is disconnected (two parity classes).
+  const Graph t = tensor_product(cycle(4), cycle(6));
+  EXPECT_GT(count_components(t), 1u);
+}
+
+TEST(TensorProduct, SpectralProductRule) {
+  const Graph g1 = complete(3);
+  const Graph g2 = petersen();
+  const Graph t = tensor_product(g1, g2);
+  const auto spectrum = spectral::walk_spectrum_dense(t);
+  std::vector<double> expected;
+  for (const double mu1 : spectral::walk_spectrum_dense(g1))
+    for (const double mu2 : spectral::walk_spectrum_dense(g2))
+      expected.push_back(tensor_walk_eigenvalue(mu1, mu2));
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(spectrum.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(spectrum[i], expected[i], 1e-9);
+}
+
+TEST(Products, SizeGuards) {
+  const Graph big = cycle(70000);
+  EXPECT_THROW(cartesian_product(big, big), util::CheckError);
+}
+
+}  // namespace
+}  // namespace cobra::graph

@@ -1,0 +1,141 @@
+// End-to-end integration: miniature versions of the bench experiments,
+// checking that measured behaviour is consistent with the paper's claims at
+// small scale (full-scale reproduction lives in bench/).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/random_walk.hpp"
+#include "core/bounds.hpp"
+#include "core/duality.hpp"
+#include "core/estimators.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+#include "sim/stats.hpp"
+#include "spectral/spectral.hpp"
+
+namespace cobra::core {
+namespace {
+
+TEST(Integration, Thm11BoundHoldsOnHeterogeneousFamilies) {
+  // Measured p95 cover time <= bound with constant 1 at these sizes (the
+  // bound's constants are generous; this guards against gross regressions).
+  rng::Rng grng = rng::make_stream(818181, 0);
+  const graph::Graph cases[] = {
+      graph::path(128),      graph::cycle(128),   graph::star(128),
+      graph::binary_tree(127), graph::lollipop(12, 32),
+      graph::connected_erdos_renyi(128, 2.0, grng)};
+  for (const auto& g : cases) {
+    const auto samples = estimate_cobra_cover(g, ProcessOptions{}, 0, 24,
+                                              rng::derive_seed(1, 1),
+                                              10'000'000);
+    ASSERT_EQ(samples.timeouts, 0u) << g.name();
+    const double p95 = sim::quantile(samples.rounds, 0.95);
+    const double bound =
+        bound_thm11_general(g.num_vertices(), g.num_edges(), g.max_degree());
+    // The theorem's constant is 16(C+4); testing with constant 2 already
+    // guards regressions while leaving room for frontier-speed families
+    // (cycles cover in ~n rounds vs the bound's m + dmax^2 ln n = n + O(1)).
+    EXPECT_LE(p95, 2 * bound) << g.name() << ": p95 " << p95 << " vs "
+                              << bound;
+  }
+}
+
+TEST(Integration, Thm12BoundHoldsOnRegularGraphs) {
+  rng::Rng grng = rng::make_stream(828282, 0);
+  for (const std::uint32_t r : {3u, 4u, 8u}) {
+    const graph::Graph g = graph::connected_random_regular(128, r, grng);
+    const auto info = spectral::compute_lambda(g);
+    ASSERT_LT(info.lambda, 1.0);
+    const auto samples = estimate_cobra_cover(g, ProcessOptions{}, 0, 24,
+                                              rng::derive_seed(2, r),
+                                              1'000'000);
+    ASSERT_EQ(samples.timeouts, 0u);
+    const double p95 = sim::quantile(samples.rounds, 0.95);
+    const double bound =
+        bound_thm12_regular(g.num_vertices(), r, info.lambda);
+    EXPECT_LE(p95, bound) << "r=" << r;
+  }
+}
+
+TEST(Integration, CobraBeatsSingleRandomWalkOnCycle) {
+  // The motivation experiment: branching reduces cover time dramatically.
+  const graph::Graph g = graph::cycle(128);
+  const auto cobra_samples = estimate_cobra_cover(
+      g, ProcessOptions{}, 0, 16, rng::derive_seed(3, 0), 1'000'000);
+  ASSERT_EQ(cobra_samples.timeouts, 0u);
+  std::vector<double> walk_times;
+  for (int rep = 0; rep < 16; ++rep) {
+    auto rng = rng::make_stream(rng::derive_seed(3, 1),
+                                static_cast<std::uint64_t>(rep));
+    walk_times.push_back(static_cast<double>(
+        baselines::random_walk_cover(g, 0, rng, 1u << 26).steps));
+  }
+  EXPECT_LT(sim::mean(cobra_samples.rounds) * 10, sim::mean(walk_times));
+}
+
+TEST(Integration, LazyCobraCoversHypercubeNearLogCubedBound) {
+  // The paper's hypercube example: Thm 1.2 gives O(log^3 n) with the lazy
+  // process (gap 1/d). Check measured cover <= (r/gap + r^2) ln n.
+  const std::uint32_t d = 7;
+  const graph::Graph g = graph::hypercube(d);
+  ProcessOptions opt;
+  opt.laziness = 0.5;
+  const auto samples = estimate_cobra_cover(g, opt, 0, 16,
+                                            rng::derive_seed(4, 0), 100000);
+  ASSERT_EQ(samples.timeouts, 0u);
+  const double lambda = spectral::lambda_lazy_hypercube(d);
+  const double bound = bound_thm12_regular(g.num_vertices(), d, lambda);
+  EXPECT_LE(sim::quantile(samples.rounds, 0.95), bound);
+}
+
+TEST(Integration, DualityOnMidSizeGraph) {
+  rng::Rng grng = rng::make_stream(838383, 1);
+  const graph::Graph g = graph::connected_random_regular(40, 3, grng);
+  const std::vector<graph::VertexId> c_set = {1, 17};
+  const auto est = check_duality(g, 0, c_set, 5, ProcessOptions{}, 600,
+                                 rng::derive_seed(5, 0));
+  EXPECT_EQ(est.coupled_disagreements, 0u);
+  const auto k1 = static_cast<std::uint64_t>(est.cobra_miss * 600 + 0.5);
+  const auto k2 = static_cast<std::uint64_t>(est.bips_miss * 600 + 0.5);
+  EXPECT_LT(std::fabs(sim::two_proportion_z(k1, 600, k2, 600)), 4.5);
+}
+
+TEST(Integration, InfectionAndCoverScaleTogether) {
+  // Theorems 1.4/1.5 transfer BIPS infection bounds to COBRA cover bounds;
+  // on a fixed graph the two quantities should be the same order.
+  const graph::Graph g = graph::torus_power(8, 2);  // 64-vertex torus
+  const auto cover = estimate_cobra_cover(g, ProcessOptions{}, 0, 24,
+                                          rng::derive_seed(6, 0), 1'000'000);
+  const auto infect = estimate_bips_infection(g, BipsOptions{}, 0, 24,
+                                              rng::derive_seed(6, 1),
+                                              1'000'000);
+  ASSERT_EQ(cover.timeouts, 0u);
+  ASSERT_EQ(infect.timeouts, 0u);
+  const double ratio =
+      sim::mean(cover.rounds) / sim::mean(infect.rounds);
+  EXPECT_GT(ratio, 0.1);
+  EXPECT_LT(ratio, 10.0);
+}
+
+TEST(Integration, CoverRespectsLowerBoundEverywhere) {
+  rng::Rng grng = rng::make_stream(848484, 0);
+  const graph::Graph cases[] = {graph::complete(64), graph::cycle(64),
+                                graph::hypercube(6),
+                                graph::connected_random_regular(64, 3, grng)};
+  for (const auto& g : cases) {
+    const auto diam = graph::diameter_estimate(g);
+    const double lower = bound_lower(g.num_vertices(), diam.value);
+    const auto samples = estimate_cobra_cover(g, ProcessOptions{}, 0, 16,
+                                              rng::derive_seed(7, 0),
+                                              1'000'000);
+    ASSERT_EQ(samples.timeouts, 0u);
+    for (const double r : samples.rounds)
+      EXPECT_GE(r, std::floor(lower)) << g.name();
+  }
+}
+
+}  // namespace
+}  // namespace cobra::core

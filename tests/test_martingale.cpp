@@ -1,0 +1,147 @@
+#include "core/martingale.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+#include "sim/stats.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::core {
+namespace {
+
+MartingaleTrace run_trace(const graph::Graph& g, std::uint64_t salt,
+                          std::uint64_t max_rounds = 10000) {
+  auto rng = rng::make_stream(6006, salt);
+  return run_bips_serialized(g, 0, ProcessOptions{}, max_rounds, rng);
+}
+
+TEST(Martingale, CompletesOnSmallGraphs) {
+  for (const graph::Graph& g :
+       {graph::petersen(), graph::cycle(12), graph::path(8),
+        graph::star(9)}) {
+    const auto trace = run_trace(g, 1);
+    EXPECT_TRUE(trace.completed) << g.name();
+    EXPECT_EQ(trace.infected_degree.back(), g.degree_sum()) << g.name();
+  }
+}
+
+TEST(Martingale, IdentityEq14HoldsExactly) {
+  // d(A_t) = d(v) + sum of Y_l — an exact algebraic identity of the
+  // serialisation (paper eq. (14)).
+  for (const graph::Graph& g :
+       {graph::petersen(), graph::lollipop(5, 3), graph::cycle(10),
+        graph::complete(8)}) {
+    for (std::uint64_t salt = 0; salt < 5; ++salt) {
+      const auto trace = run_trace(g, salt);
+      EXPECT_DOUBLE_EQ(trace_identity_violation(g, 0, trace), 0.0)
+          << g.name();
+    }
+  }
+}
+
+TEST(Martingale, ConditionalMeansRespectEq18) {
+  // E(Y_l | past) >= 1/2 for b = 2, per step (paper eq. (18)).
+  const auto trace = run_trace(graph::lollipop(6, 4), 2);
+  for (const auto& step : trace.steps)
+    EXPECT_GE(step.conditional_mean, 0.5 - 1e-12)
+        << "vertex " << step.vertex << " round " << step.round;
+}
+
+TEST(Martingale, IncrementsBoundedByMaxDegree) {
+  const graph::Graph g = graph::barbell(5, 2);
+  const auto trace = run_trace(g, 3);
+  for (const auto& step : trace.steps)
+    EXPECT_LE(std::fabs(step.y), static_cast<double>(g.max_degree()));
+}
+
+TEST(Martingale, EmpiricalDriftAtLeastHalf) {
+  // Averaged over many runs, the realised mean of Y_l must be >= 1/2 - noise
+  // (it is >= the conditional floor pointwise in expectation).
+  std::vector<double> ys;
+  for (std::uint64_t salt = 0; salt < 40; ++salt) {
+    const auto trace = run_trace(graph::cycle(16), 100 + salt);
+    for (const auto& step : trace.steps) ys.push_back(step.y);
+  }
+  ASSERT_GT(ys.size(), 200u);
+  const double m = sim::mean(ys);
+  const double se = std::sqrt(sim::variance(ys) / static_cast<double>(ys.size()));
+  EXPECT_GT(m, 0.5 - 4 * se);
+}
+
+TEST(Martingale, SourceStepsAreDeterministicJoins) {
+  const auto trace = run_trace(graph::star(7), 4);
+  for (const auto& step : trace.steps)
+    if (step.is_source) {
+      EXPECT_TRUE(step.joined);
+      EXPECT_DOUBLE_EQ(step.y, static_cast<double>(step.degree) -
+                                    static_cast<double>(
+                                        step.infected_neighbors));
+      EXPECT_GE(step.y, 1.0);  // source in C means d_A(v) <= d(v) - 1
+    }
+}
+
+TEST(Martingale, CandidatesHaveUninfectedNeighbor) {
+  const auto trace = run_trace(graph::petersen(), 5);
+  for (const auto& step : trace.steps)
+    EXPECT_LT(step.infected_neighbors, step.degree);
+}
+
+TEST(Martingale, RoundStepCountsMatchStepRecords) {
+  const auto trace = run_trace(graph::cycle(14), 6);
+  std::size_t total = 0;
+  for (const auto c : trace.round_step_counts) total += c;
+  EXPECT_EQ(total, trace.steps.size());
+  // Steps are recorded in round order with ascending vertex ids per round.
+  std::size_t index = 0;
+  for (std::uint64_t t = 0; t < trace.rounds; ++t) {
+    for (std::uint64_t s = 0; s < trace.round_step_counts[t]; ++s) {
+      EXPECT_EQ(trace.steps[index].round, t + 1);
+      if (s > 0)
+        EXPECT_LT(trace.steps[index - 1].vertex, trace.steps[index].vertex);
+      ++index;
+    }
+  }
+}
+
+TEST(Martingale, DriftFloorByBranching) {
+  ProcessOptions b2;
+  EXPECT_DOUBLE_EQ(drift_floor(b2), 0.5);
+  ProcessOptions rho;
+  rho.branching = Branching::one_plus_rho(0.6);
+  EXPECT_DOUBLE_EQ(drift_floor(rho), 0.3);
+}
+
+TEST(Martingale, RhoBranchingDriftRespectsFloor) {
+  ProcessOptions opt;
+  opt.branching = Branching::one_plus_rho(0.5);
+  auto rng = rng::make_stream(7007, 0);
+  const auto trace =
+      run_bips_serialized(graph::cycle(12), 0, opt, 10000, rng);
+  EXPECT_TRUE(trace.completed);
+  for (const auto& step : trace.steps)
+    if (!step.is_source)
+      EXPECT_GE(step.conditional_mean, drift_floor(opt) - 1e-12);
+}
+
+TEST(Martingale, RejectsLaziness) {
+  ProcessOptions opt;
+  opt.laziness = 0.5;
+  auto rng = rng::make_stream(8008, 0);
+  EXPECT_THROW(run_bips_serialized(graph::cycle(6), 0, opt, 10, rng),
+               util::CheckError);
+}
+
+TEST(Martingale, LargeRandomRegularCompletes) {
+  auto grng = rng::make_stream(9009, 0);
+  const graph::Graph g = graph::connected_random_regular(64, 4, grng);
+  const auto trace = run_trace(g, 7, 100000);
+  EXPECT_TRUE(trace.completed);
+  EXPECT_DOUBLE_EQ(trace_identity_violation(g, 0, trace), 0.0);
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,88 @@
+#include "spectral/mixing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spectral/dense.hpp"
+#include "spectral/spectral.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::spectral {
+namespace {
+
+TEST(Mixing, RelaxationTime) {
+  EXPECT_DOUBLE_EQ(relaxation_time(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(relaxation_time(0.0), 1.0);
+  EXPECT_THROW(relaxation_time(1.0), util::CheckError);
+}
+
+TEST(Mixing, DistributionStepPreservesMass) {
+  const graph::Graph g = graph::petersen();
+  std::vector<double> x(10, 0.0), next;
+  x[3] = 1.0;
+  walk_distribution_step(g, x, next, 0.5);
+  double total = 0.0;
+  for (const double v : next) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Lazy walk keeps half the mass in place.
+  EXPECT_NEAR(next[3], 0.5, 1e-12);
+}
+
+TEST(Mixing, StationaryIsFixedPoint) {
+  const graph::Graph g = graph::star(6);
+  const double two_m = static_cast<double>(g.degree_sum());
+  std::vector<double> pi(g.num_vertices()), next;
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u)
+    pi[u] = static_cast<double>(g.degree(u)) / two_m;
+  walk_distribution_step(g, pi, next, 0.0);
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u)
+    EXPECT_NEAR(next[u], pi[u], 1e-12);
+  EXPECT_NEAR(tv_distance_to_stationary(g, pi), 0.0, 1e-12);
+}
+
+TEST(Mixing, TvDistanceOfPointMass) {
+  const graph::Graph g = graph::cycle(4);  // pi uniform = 1/4
+  std::vector<double> x(4, 0.0);
+  x[0] = 1.0;
+  EXPECT_NEAR(tv_distance_to_stationary(g, x), 0.75, 1e-12);
+}
+
+TEST(Mixing, CompleteGraphMixesInstantly) {
+  const graph::Graph g = graph::complete(64);
+  // After one non-lazy step from a vertex the distribution is uniform on
+  // the other 63 vertices: TV = 1/64-ish; with eps 0.25 that's mixed at t=1.
+  EXPECT_LE(exact_mixing_time(g, 0, 0.25, 0.0), 1u);
+}
+
+TEST(Mixing, CycleMixesSlowly) {
+  const auto t_small = exact_mixing_time(graph::cycle(16), 0);
+  const auto t_large = exact_mixing_time(graph::cycle(64), 0);
+  // Theta(n^2) scaling: 4x the size => ~16x the time; demand >= 8x.
+  EXPECT_GE(t_large, 8 * t_small);
+}
+
+TEST(Mixing, SpectralBoundDominatesExact) {
+  // t_mix(eps) <= t_rel ln(1/(eps pi_min)) for reversible lazy chains.
+  for (const graph::Graph& g :
+       {graph::complete(16), graph::petersen(), graph::cycle(15),
+        graph::torus_power(5, 2)}) {
+    // Lazy-walk lambda: (1 + mu)/2 for every eigenvalue mu, so
+    // lambda_lazy = (1 + mu_2)/2.
+    const auto spectrum = walk_spectrum_dense(g);
+    const double mu2 = spectrum[spectrum.size() - 2];
+    const double lambda_lazy = (1.0 + mu2) / 2.0;
+    const double bound = mixing_time_bound(g, lambda_lazy, 0.25);
+    const auto exact = exact_mixing_time(g, 0, 0.25, 0.5);
+    EXPECT_LE(static_cast<double>(exact), bound + 1.0) << g.name();
+  }
+}
+
+TEST(Mixing, UnmixedBudgetReported) {
+  const graph::Graph g = graph::cycle(128);
+  EXPECT_EQ(exact_mixing_time(g, 0, 0.25, 0.5, /*max_steps=*/3), 4u);
+}
+
+}  // namespace
+}  // namespace cobra::spectral

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/flooding.hpp"
+#include "baselines/pull_gossip.hpp"
+#include "baselines/push_gossip.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "rng/stream.hpp"
+#include "sim/stats.hpp"
+
+namespace cobra::baselines {
+namespace {
+
+TEST(PullGossip, CoversCompleteGraph) {
+  const graph::Graph g = graph::complete(128);
+  for (int rep = 0; rep < 20; ++rep) {
+    auto rng = rng::make_stream(411, static_cast<std::uint64_t>(rep));
+    const auto r = pull_gossip_cover(g, 0, rng, 10000);
+    ASSERT_TRUE(r.completed);
+    // Pull on K_n: slow start (each round one expected new adopter until
+    // the informed set grows), then doubling; generous cap.
+    EXPECT_LE(r.rounds, 400u);
+  }
+}
+
+TEST(PullGossip, SynchronousSemantics) {
+  // On P_3 = 0-1-2 with start 0, vertex 2 cannot be informed in round 1
+  // (its only neighbour 1 is uninformed at the round start).
+  const graph::Graph g = graph::path(3);
+  for (int rep = 0; rep < 200; ++rep) {
+    auto rng = rng::make_stream(412, static_cast<std::uint64_t>(rep));
+    const auto r = pull_gossip_cover(g, 0, rng, 10000);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GE(r.rounds, 2u);
+  }
+}
+
+TEST(PushPull, FasterThanEitherAloneOnStar) {
+  // Star from a leaf: push alone needs the centre to draw each leaf
+  // (coupon collector); pull alone informs the centre then all leaves pull
+  // within a couple of rounds. Push-pull ~ pull.
+  const graph::Graph g = graph::star(64);
+  constexpr int kReps = 60;
+  std::vector<double> push_r, pull_r, pp_r;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto r1 = rng::make_stream(413, static_cast<std::uint64_t>(rep));
+    push_r.push_back(static_cast<double>(
+        push_gossip_cover(g, 1, r1, 1u << 20).rounds));
+    auto r2 = rng::make_stream(414, static_cast<std::uint64_t>(rep));
+    pull_r.push_back(static_cast<double>(
+        pull_gossip_cover(g, 1, r2, 1u << 20).rounds));
+    auto r3 = rng::make_stream(415, static_cast<std::uint64_t>(rep));
+    pp_r.push_back(static_cast<double>(
+        push_pull_gossip_cover(g, 1, r3, 1u << 20).rounds));
+  }
+  EXPECT_LT(sim::mean(pull_r), sim::mean(push_r));
+  EXPECT_LE(sim::mean(pp_r), sim::mean(pull_r) + 1.0);
+}
+
+TEST(PushPull, LogarithmicOnComplete) {
+  const graph::Graph g = graph::complete(512);
+  for (int rep = 0; rep < 20; ++rep) {
+    auto rng = rng::make_stream(416, static_cast<std::uint64_t>(rep));
+    const auto r = push_pull_gossip_cover(g, 0, rng, 1000);
+    ASSERT_TRUE(r.completed);
+    EXPECT_LE(r.rounds, 30u);  // ~ log2 n + O(log log n)
+  }
+}
+
+TEST(Flooding, RoundsEqualEccentricityExactly) {
+  struct Case {
+    graph::Graph g;
+    graph::VertexId start;
+  };
+  const Case cases[] = {
+      {graph::path(17), 0},
+      {graph::cycle(12), 3},
+      {graph::hypercube(5), 0},
+      {graph::star(9), 4},
+      {graph::petersen(), 0},
+  };
+  for (const auto& c : cases) {
+    const auto r = flooding_cover(c.g, c.start, 1u << 20);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.rounds, *graph::eccentricity(c.g, c.start)) << c.g.name();
+  }
+}
+
+TEST(Flooding, TransmissionCountMatchesDefinition) {
+  // On K_4 from vertex 0: round 1 sends d(0) = 3 messages, done.
+  const auto r = flooding_cover(graph::complete(4), 0, 100);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.rounds, 1u);
+  EXPECT_EQ(r.transmissions, 3u);
+}
+
+TEST(Flooding, DisconnectedGraphReported) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const graph::Graph g = std::move(b).build();
+  const auto r = flooding_cover(g, 0, 100);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(Flooding, IsTheRoundLowerEnvelope) {
+  // No protocol can beat flooding in rounds; check vs push gossip.
+  const graph::Graph g = graph::torus_power(7, 2);
+  const auto flood = flooding_cover(g, 0, 1u << 20);
+  for (int rep = 0; rep < 10; ++rep) {
+    auto rng = rng::make_stream(417, static_cast<std::uint64_t>(rep));
+    const auto push = push_gossip_cover(g, 0, rng, 1u << 20);
+    ASSERT_TRUE(push.completed);
+    EXPECT_GE(push.rounds, flood.rounds);
+  }
+}
+
+}  // namespace
+}  // namespace cobra::baselines

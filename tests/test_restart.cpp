@@ -1,0 +1,90 @@
+#include "core/restart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "rng/stream.hpp"
+#include "sim/stats.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::core {
+namespace {
+
+TEST(Restart, ExpectationBoundFormula) {
+  EXPECT_DOUBLE_EQ(restart_expectation_bound(100.0, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(restart_expectation_bound(100.0, 0.5), 200.0);
+  EXPECT_THROW(restart_expectation_bound(100.0, 1.0), util::CheckError);
+  EXPECT_THROW(restart_expectation_bound(0.0, 0.5), util::CheckError);
+}
+
+TEST(Restart, CompletesWithinFirstEpochWhenGenerous) {
+  const graph::Graph g = graph::complete(64);
+  CobraProcess p(g);
+  auto rng = rng::make_stream(9292, 0);
+  p.reset(graph::VertexId{0});
+  const auto r = run_cover_with_restarts(p, rng, /*epoch_rounds=*/1000);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.epochs, 1u);
+  EXPECT_LE(r.total_rounds, 1000u);
+}
+
+TEST(Restart, TinyEpochsStillTerminate) {
+  // Epochs of 1 round degenerate to plain stepping; the scheme must still
+  // finish and count epochs = total rounds.
+  const graph::Graph g = graph::cycle(16);
+  CobraProcess p(g);
+  auto rng = rng::make_stream(9293, 0);
+  p.reset(graph::VertexId{0});
+  const auto r = run_cover_with_restarts(p, rng, 1);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.epochs, r.total_rounds);
+}
+
+TEST(Restart, EpochBudgetRespected) {
+  const graph::Graph g = graph::cycle(64);
+  CobraProcess p(g);
+  auto rng = rng::make_stream(9294, 0);
+  p.reset(graph::VertexId{0});
+  const auto r = run_cover_with_restarts(p, rng, /*epoch_rounds=*/2,
+                                         /*max_epochs=*/3);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.epochs, 3u);
+  EXPECT_EQ(r.total_rounds, 6u);
+}
+
+TEST(Restart, MeanEpochsMatchGeometricPrediction) {
+  // With epoch length = the q-quantile of the cover distribution, the mean
+  // number of epochs should be close to 1/q (geometric with success q) —
+  // slightly better because later epochs start from a large visited set.
+  const graph::Graph g = graph::torus_power(9, 2);
+  constexpr int kReps = 300;
+
+  // Calibrate the median.
+  std::vector<double> covers;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto rng = rng::make_stream(9295, static_cast<std::uint64_t>(rep));
+    CobraProcess p(g);
+    p.reset(graph::VertexId{0});
+    covers.push_back(static_cast<double>(*p.run_until_cover(rng, 100000)));
+  }
+  const auto epoch =
+      static_cast<std::uint64_t>(sim::quantile(covers, 0.5));
+
+  std::vector<double> epochs;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto rng = rng::make_stream(9296, static_cast<std::uint64_t>(rep));
+    CobraProcess p(g);
+    p.reset(graph::VertexId{0});
+    const auto r = run_cover_with_restarts(p, rng, epoch);
+    EXPECT_TRUE(r.completed);
+    epochs.push_back(static_cast<double>(r.epochs));
+  }
+  // Success probability per epoch ~ 0.5 => mean epochs <= 2 + slack; and it
+  // must exceed 1 (the median leaves ~half the runs unfinished).
+  const double mean_epochs = sim::mean(epochs);
+  EXPECT_GT(mean_epochs, 1.05);
+  EXPECT_LT(mean_epochs, 2.5);
+}
+
+}  // namespace
+}  // namespace cobra::core

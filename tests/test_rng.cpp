@@ -1,0 +1,185 @@
+#include "rng/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace cobra::rng {
+namespace {
+
+TEST(SplitMix64, ReferenceSequence) {
+  // Reference values for seed 1234567 from the public-domain splitmix64.c.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ull);
+  EXPECT_EQ(sm.next(), 3203168211198807973ull);
+  EXPECT_EQ(sm.next(), 9817491932198370423ull);
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, FirstOutputFromKnownState) {
+  // From state {1,2,3,4}: result = rotl(2*5, 7) * 9 = 1280 * 9.
+  Xoshiro256ss x(std::array<std::uint64_t, 4>{1, 2, 3, 4});
+  EXPECT_EQ(x.next(), 11520ull);
+}
+
+TEST(Xoshiro, DeterministicFromSeed) {
+  Xoshiro256ss a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, JumpProducesDisjointPrefix) {
+  Xoshiro256ss a(7);
+  Xoshiro256ss b(7);
+  b.jump();
+  std::set<std::uint64_t> from_a;
+  for (int i = 0; i < 4096; ++i) from_a.insert(a.next());
+  int collisions = 0;
+  for (int i = 0; i < 4096; ++i)
+    if (from_a.count(b.next()) != 0) ++collisions;
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(42);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  // Chi-square against uniform over 16 buckets; 150k draws. The 99.9%
+  // critical value for 15 dof is ~37.7; use 60 for slack.
+  Rng rng(2024);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 150000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 60.0);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  const double p = static_cast<double>(hits) / kDraws;
+  EXPECT_NEAR(p, 0.3, 0.01);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(7);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v.begin(), v.end());
+  std::vector<int> sorted(v);
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ShuffleMixes) {
+  Rng rng(8);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v.begin(), v.end());
+  int fixed_points = 0;
+  for (int i = 0; i < 100; ++i)
+    if (v[i] == i) ++fixed_points;
+  EXPECT_LT(fixed_points, 15);  // E[fixed points] = 1
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(9);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto x : sample) EXPECT_LT(x, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(10);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleRejectsOversizedK) {
+  Rng rng(11);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), util::CheckError);
+}
+
+TEST(Rng, PickReturnsMemberUniformly) {
+  Rng rng(12);
+  const std::vector<int> items = {10, 20, 30, 40};
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 40000; ++i) {
+    const int x = rng.pick(std::span<const int>(items));
+    counts[static_cast<std::size_t>(x / 10 - 1)]++;
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+}  // namespace
+}  // namespace cobra::rng

@@ -1,0 +1,72 @@
+#include "rng/discrete.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cobra::rng {
+namespace {
+
+TEST(AliasTable, NormalisesProbabilities) {
+  AliasTable t({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(t.probability(1), 0.75);
+}
+
+TEST(AliasTable, SingleOutcome) {
+  AliasTable t({5.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.sample(rng), 0u);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  AliasTable t({0.0, 1.0, 0.0, 2.0});
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = t.sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTable, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasTable t(weights);
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[t.sample(rng)];
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / 10.0;
+    const double observed = static_cast<double>(counts[i]) / kDraws;
+    EXPECT_NEAR(observed, expected, 0.01) << "outcome " << i;
+  }
+}
+
+TEST(AliasTable, UniformWeightsAreUniform) {
+  AliasTable t(std::vector<double>(10, 1.0));
+  Rng rng(4);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[t.sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, kDraws / 10, 600);
+}
+
+TEST(AliasTable, RejectsBadInput) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), util::CheckError);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), util::CheckError);
+  EXPECT_THROW(AliasTable({1.0, -1.0}), util::CheckError);
+}
+
+TEST(AliasTable, HighlySkewedWeights) {
+  AliasTable t({1e-6, 1.0});
+  Rng rng(5);
+  int rare = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i)
+    if (t.sample(rng) == 0) ++rare;
+  // Expected ~0.1 hits; allow a small count but not a systematic excess.
+  EXPECT_LT(rare, 10);
+}
+
+}  // namespace
+}  // namespace cobra::rng

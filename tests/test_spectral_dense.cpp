@@ -1,0 +1,109 @@
+#include "spectral/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "graph/generators.hpp"
+
+namespace cobra::spectral {
+namespace {
+
+TEST(Jacobi, DiagonalMatrixUnchanged) {
+  DenseSymmetric a(3);
+  a.at(0, 0) = 3.0;
+  a.at(1, 1) = -1.0;
+  a.at(2, 2) = 0.5;
+  const auto eig = jacobi_eigenvalues(a);
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig[1], 0.5, 1e-12);
+  EXPECT_NEAR(eig[2], 3.0, 1e-12);
+}
+
+TEST(Jacobi, TwoByTwoClosedForm) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  DenseSymmetric a(2);
+  a.at(0, 0) = 2.0;
+  a.at(1, 1) = 2.0;
+  a.set_symmetric(0, 1, 1.0);
+  const auto eig = jacobi_eigenvalues(a);
+  EXPECT_NEAR(eig[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig[1], 3.0, 1e-12);
+}
+
+TEST(Jacobi, TraceAndSumPreserved) {
+  DenseSymmetric a(5);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = i; j < 5; ++j)
+      a.set_symmetric(i, j, std::sin(static_cast<double>(i * 7 + j + 1)));
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) trace += a.at(i, i);
+  const auto eig = jacobi_eigenvalues(a);
+  double sum = 0.0;
+  for (const double e : eig) sum += e;
+  EXPECT_NEAR(sum, trace, 1e-10);
+}
+
+TEST(WalkSpectrum, CompleteGraph) {
+  // P(K_n) has eigenvalues 1 and -1/(n-1) (multiplicity n-1).
+  const auto eig = walk_spectrum_dense(graph::complete(6));
+  ASSERT_EQ(eig.size(), 6u);
+  EXPECT_NEAR(eig.back(), 1.0, 1e-10);
+  for (std::size_t i = 0; i + 1 < eig.size(); ++i)
+    EXPECT_NEAR(eig[i], -0.2, 1e-10);
+}
+
+TEST(WalkSpectrum, CycleCosines) {
+  const graph::VertexId n = 8;
+  const auto eig = walk_spectrum_dense(graph::cycle(n));
+  // Eigenvalues are cos(2 pi k / n), k = 0..n-1 (with multiplicities).
+  std::vector<double> expected;
+  for (graph::VertexId k = 0; k < n; ++k)
+    expected.push_back(std::cos(2.0 * std::numbers::pi * k / n));
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(eig[i], expected[i], 1e-10);
+}
+
+TEST(WalkSpectrum, PetersenKnownSpectrum) {
+  // Adjacency spectrum {3, 1^5, (-2)^4} -> walk spectrum {1, (1/3)^5,
+  // (-2/3)^4}.
+  const auto eig = walk_spectrum_dense(graph::petersen());
+  ASSERT_EQ(eig.size(), 10u);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(eig[i], -2.0 / 3.0, 1e-10);
+  for (int i = 4; i < 9; ++i) EXPECT_NEAR(eig[i], 1.0 / 3.0, 1e-10);
+  EXPECT_NEAR(eig[9], 1.0, 1e-10);
+}
+
+TEST(WalkSpectrum, HypercubeSpectrum) {
+  // Q_d walk eigenvalues: (d - 2k)/d with multiplicity binom(d, k).
+  const std::uint32_t d = 4;
+  const auto eig = walk_spectrum_dense(graph::hypercube(d));
+  ASSERT_EQ(eig.size(), 16u);
+  EXPECT_NEAR(eig.front(), -1.0, 1e-10);
+  EXPECT_NEAR(eig.back(), 1.0, 1e-10);
+  // Second largest is 1 - 2/d = 0.5 (multiplicity 4).
+  EXPECT_NEAR(eig[14], 0.5, 1e-10);
+  EXPECT_NEAR(eig[11], 0.5, 1e-10);
+}
+
+TEST(WalkSpectrum, StarIsPlusMinusOneAndZeros) {
+  const auto eig = walk_spectrum_dense(graph::star(7));
+  ASSERT_EQ(eig.size(), 7u);
+  EXPECT_NEAR(eig.front(), -1.0, 1e-10);
+  EXPECT_NEAR(eig.back(), 1.0, 1e-10);
+  for (std::size_t i = 1; i + 1 < eig.size(); ++i)
+    EXPECT_NEAR(eig[i], 0.0, 1e-10);
+}
+
+TEST(WalkSpectrum, BipartiteSymmetry) {
+  // Bipartite graphs have spectra symmetric about 0.
+  const auto eig = walk_spectrum_dense(graph::complete_bipartite(3, 4));
+  const std::size_t n = eig.size();
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(eig[i], -eig[n - 1 - i], 1e-10);
+}
+
+}  // namespace
+}  // namespace cobra::spectral

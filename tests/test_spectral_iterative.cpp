@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+#include "spectral/dense.hpp"
+#include "spectral/lanczos.hpp"
+#include "spectral/power.hpp"
+#include "spectral/spectral.hpp"
+
+namespace cobra::spectral {
+namespace {
+
+double dense_lambda(const graph::Graph& g) {
+  const auto eig = walk_spectrum_dense(g);  // ascending
+  return std::max(std::fabs(eig.front()),
+                  std::fabs(eig[eig.size() - 2]));
+}
+
+class IterativeVsDense : public ::testing::TestWithParam<int> {};
+
+graph::Graph graph_case(int id) {
+  rng::Rng rng = rng::make_stream(4242, static_cast<std::uint64_t>(id));
+  switch (id) {
+    case 0: return graph::complete(24);
+    case 1: return graph::cycle(21);            // odd cycle
+    case 2: return graph::cycle(20);            // even (bipartite)
+    case 3: return graph::petersen();
+    case 4: return graph::hypercube(5);         // bipartite
+    case 5: return graph::star(30);
+    case 6: return graph::lollipop(8, 6);
+    case 7: return graph::connected_random_regular(40, 3, rng);
+    case 8: return graph::connected_random_regular(50, 6, rng);
+    case 9: return graph::connected_erdos_renyi(40, 2.0, rng);
+    case 10: return graph::torus_power(5, 2);
+    case 11: return graph::barbell(6, 3);
+    default: return graph::path(17);
+  }
+}
+
+TEST_P(IterativeVsDense, PowerIterationMatchesJacobi) {
+  const graph::Graph g = graph_case(GetParam());
+  const double expected = dense_lambda(g);
+  rng::Rng rng = rng::make_stream(1, static_cast<std::uint64_t>(GetParam()));
+  const PowerResult pr = power_lambda(g, rng, 20000, 1e-12);
+  EXPECT_NEAR(pr.lambda, expected, 2e-4) << g.name();
+}
+
+TEST_P(IterativeVsDense, LanczosMatchesJacobi) {
+  const graph::Graph g = graph_case(GetParam());
+  const double expected = dense_lambda(g);
+  rng::Rng rng = rng::make_stream(2, static_cast<std::uint64_t>(GetParam()));
+  const LanczosResult lz = lanczos_extremes(g, rng);
+  EXPECT_NEAR(lz.lambda, expected, 1e-6) << g.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, IterativeVsDense,
+                         ::testing::Range(0, 13));
+
+TEST(ComputeLambda, DensePathIsExact) {
+  const auto info = compute_lambda(graph::petersen());
+  EXPECT_TRUE(info.exact);
+  EXPECT_NEAR(info.lambda, 2.0 / 3.0, 1e-10);
+  EXPECT_NEAR(info.gap, 1.0 / 3.0, 1e-10);
+}
+
+TEST(ComputeLambda, IterativePathAgreesWithDense) {
+  // Force the iterative path by setting the dense threshold to 0.
+  const graph::Graph g = graph::hypercube(6);
+  const auto exact = compute_lambda(g, 1, /*dense_threshold=*/256);
+  const auto iterative = compute_lambda(g, 1, /*dense_threshold=*/0);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_FALSE(iterative.exact);
+  EXPECT_NEAR(exact.lambda, iterative.lambda, 1e-6);
+  EXPECT_NEAR(exact.lambda, 1.0, 1e-10);  // bipartite
+}
+
+TEST(ComputeLambda, LambdaInUnitInterval) {
+  for (int id = 0; id < 13; ++id) {
+    const auto info = compute_lambda(graph_case(id));
+    EXPECT_GE(info.lambda, 0.0);
+    EXPECT_LE(info.lambda, 1.0);
+    EXPECT_NEAR(info.gap, 1.0 - info.lambda, 1e-15);
+  }
+}
+
+TEST(Lanczos, ExtremesBracketSpectrum) {
+  const graph::Graph g = graph::complete(30);
+  rng::Rng rng = rng::make_stream(3, 0);
+  const LanczosResult lz = lanczos_extremes(g, rng);
+  // K_30: mu2 = mu_min = -1/29.
+  EXPECT_NEAR(lz.mu2, -1.0 / 29.0, 1e-8);
+  EXPECT_NEAR(lz.mu_min, -1.0 / 29.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace cobra::spectral

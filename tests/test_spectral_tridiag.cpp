@@ -1,0 +1,68 @@
+#include "spectral/tridiag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "spectral/dense.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::spectral {
+namespace {
+
+TEST(Tridiag, EmptyAndSingleton) {
+  EXPECT_TRUE(tridiagonal_eigenvalues({}, {}).empty());
+  const auto one = tridiagonal_eigenvalues({4.2}, {});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 4.2);
+}
+
+TEST(Tridiag, DiagonalOnly) {
+  const auto eig = tridiagonal_eigenvalues({3.0, -1.0, 2.0}, {0.0, 0.0});
+  EXPECT_NEAR(eig[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig[2], 3.0, 1e-12);
+}
+
+TEST(Tridiag, PathAdjacencyClosedForm) {
+  // Tridiagonal with zero diagonal and unit off-diagonal (path adjacency)
+  // has eigenvalues 2 cos(k pi / (n+1)), k = 1..n.
+  const std::size_t n = 12;
+  std::vector<double> diag(n, 0.0), off(n - 1, 1.0);
+  const auto eig = tridiagonal_eigenvalues(diag, off);
+  std::vector<double> expected;
+  for (std::size_t k = 1; k <= n; ++k)
+    expected.push_back(
+        2.0 * std::cos(static_cast<double>(k) * std::numbers::pi /
+                       static_cast<double>(n + 1)));
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(eig[i], expected[i], 1e-10);
+}
+
+TEST(Tridiag, MatchesJacobiOnRandomTridiagonal) {
+  const std::size_t n = 20;
+  std::vector<double> diag(n), off(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    diag[i] = std::sin(static_cast<double>(3 * i + 1));
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    off[i] = std::cos(static_cast<double>(2 * i + 5));
+
+  DenseSymmetric a(n);
+  for (std::size_t i = 0; i < n; ++i) a.at(i, i) = diag[i];
+  for (std::size_t i = 0; i + 1 < n; ++i) a.set_symmetric(i, i + 1, off[i]);
+
+  const auto ql = tridiagonal_eigenvalues(diag, off);
+  const auto jacobi = jacobi_eigenvalues(a);
+  ASSERT_EQ(ql.size(), jacobi.size());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ql[i], jacobi[i], 1e-9);
+}
+
+TEST(Tridiag, RejectsBadSizes) {
+  EXPECT_THROW(tridiagonal_eigenvalues({1.0, 2.0}, {}),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace cobra::spectral

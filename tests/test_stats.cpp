@@ -1,0 +1,140 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/stream.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::sim {
+namespace {
+
+TEST(Stats, MeanVarianceKnownValues) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Stats, SummaryFields) {
+  const std::vector<double> xs = {5, 1, 3, 2, 4};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+}
+
+TEST(Stats, SummarySingleton) {
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+}
+
+TEST(Stats, LinearFitPerfectLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 2.0);
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitNoisyR2BelowOne) {
+  std::vector<double> xs, ys;
+  auto rng = rng::make_stream(212, 0);
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + 10.0 * (rng.uniform01() - 0.5));
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.1);
+  EXPECT_LT(fit.r2, 1.0);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(Stats, LogLogFitRecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x = 2; x <= 1024; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(0.7 * std::pow(x, 1.5));
+  }
+  const LinearFit fit = loglog_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.5, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 0.7, 1e-10);
+}
+
+TEST(Stats, LogLogRejectsNonPositive) {
+  EXPECT_THROW(loglog_fit({1.0, -2.0}, {1.0, 1.0}), util::CheckError);
+  EXPECT_THROW(loglog_fit({1.0, 2.0}, {0.0, 1.0}), util::CheckError);
+}
+
+TEST(Stats, WilsonIntervalProperties) {
+  const Interval ci = wilson_interval(50, 100);
+  EXPECT_TRUE(ci.contains(0.5));
+  EXPECT_GT(ci.low, 0.3);
+  EXPECT_LT(ci.high, 0.7);
+  // Extremes stay in [0, 1].
+  const Interval zero = wilson_interval(0, 100);
+  EXPECT_GE(zero.low, 0.0);
+  EXPECT_GT(zero.high, 0.0);
+  const Interval one = wilson_interval(100, 100);
+  EXPECT_LE(one.high, 1.0);
+  EXPECT_LT(one.low, 1.0);
+}
+
+TEST(Stats, WilsonNarrowsWithSamples) {
+  const Interval small = wilson_interval(5, 10);
+  const Interval large = wilson_interval(500, 1000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(Stats, IntervalOverlap) {
+  const Interval a{0.1, 0.3}, b{0.25, 0.5}, c{0.4, 0.6};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(c));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Stats, TwoProportionZ) {
+  EXPECT_DOUBLE_EQ(two_proportion_z(50, 100, 50, 100), 0.0);
+  EXPECT_GT(two_proportion_z(90, 100, 50, 100), 5.0);
+  EXPECT_LT(two_proportion_z(50, 100, 90, 100), -5.0);
+  EXPECT_DOUBLE_EQ(two_proportion_z(0, 50, 0, 70), 0.0);  // degenerate
+}
+
+TEST(Stats, BootstrapCiContainsTrueMean) {
+  auto rng = rng::make_stream(213, 0);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.uniform01());
+  auto ci_rng = rng::make_stream(214, 0);
+  const Interval ci = bootstrap_mean_ci(xs, 500, 0.05, ci_rng);
+  EXPECT_TRUE(ci.contains(mean(xs)));
+  EXPECT_LT(ci.high - ci.low, 0.15);
+}
+
+TEST(Stats, PreconditionsThrow) {
+  EXPECT_THROW(mean({}), util::CheckError);
+  EXPECT_THROW(variance({1.0}), util::CheckError);
+  EXPECT_THROW(quantile({}, 0.5), util::CheckError);
+  EXPECT_THROW(quantile({1.0}, 1.5), util::CheckError);
+}
+
+}  // namespace
+}  // namespace cobra::sim

@@ -1,0 +1,61 @@
+#include "sim/survival.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace cobra::sim {
+namespace {
+
+TEST(Survival, CurveOfDistinctValues) {
+  const auto curve = survival_curve({1.0, 2.0, 3.0, 4.0});
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0].t, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].probability, 0.75);
+  EXPECT_DOUBLE_EQ(curve[1].probability, 0.5);
+  EXPECT_DOUBLE_EQ(curve[2].probability, 0.25);
+  EXPECT_DOUBLE_EQ(curve[3].probability, 0.0);
+}
+
+TEST(Survival, CurveHandlesTies) {
+  const auto curve = survival_curve({2.0, 2.0, 2.0, 5.0});
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].t, 2.0);
+  EXPECT_DOUBLE_EQ(curve[0].probability, 0.25);
+  EXPECT_DOUBLE_EQ(curve[1].t, 5.0);
+  EXPECT_DOUBLE_EQ(curve[1].probability, 0.0);
+}
+
+TEST(Survival, CurveIsMonotoneNonIncreasing) {
+  const auto curve = survival_curve({5, 3, 9, 1, 3, 7, 7, 2});
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i - 1].t, curve[i].t);
+    EXPECT_GE(curve[i - 1].probability, curve[i].probability);
+  }
+}
+
+TEST(Survival, ExceedanceCountsStrictly) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const auto e = exceedance_probability(xs, 3.0);
+  EXPECT_EQ(e.exceeding, 2u);
+  EXPECT_DOUBLE_EQ(e.probability, 0.4);
+  EXPECT_TRUE(e.ci.contains(0.4));
+  const auto none = exceedance_probability(xs, 10.0);
+  EXPECT_EQ(none.exceeding, 0u);
+  EXPECT_GE(none.ci.low, 0.0);
+}
+
+TEST(Survival, WhpRoundCountIsUpperQuantile) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_NEAR(whp_round_count(xs, 0.05), 95.05, 0.2);
+  EXPECT_THROW(whp_round_count(xs, 0.0), util::CheckError);
+}
+
+TEST(Survival, EmptyRejected) {
+  EXPECT_THROW(survival_curve({}), util::CheckError);
+  EXPECT_THROW(exceedance_probability({}, 1.0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace cobra::sim

@@ -1,0 +1,76 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "rng/stream.hpp"
+#include "util/assert.hpp"
+
+namespace cobra::core {
+namespace {
+
+TEST(CobraTrace, RecordsEveryRound) {
+  const graph::Graph g = graph::complete(32);
+  auto rng = rng::make_stream(7171, 0);
+  const auto trace =
+      run_cobra_trace(g, ProcessOptions{}, 0, 100000, rng);
+  ASSERT_TRUE(trace.covered);
+  ASSERT_GE(trace.rounds.size(), 2u);
+  EXPECT_EQ(trace.rounds.front().round, 0u);
+  EXPECT_EQ(trace.rounds.front().visited, 1u);
+  EXPECT_EQ(trace.rounds.front().active, 1u);
+  // Rounds are consecutive; visited is monotone; transmissions monotone.
+  for (std::size_t i = 1; i < trace.rounds.size(); ++i) {
+    EXPECT_EQ(trace.rounds[i].round, trace.rounds[i - 1].round + 1);
+    EXPECT_GE(trace.rounds[i].visited, trace.rounds[i - 1].visited);
+    EXPECT_GE(trace.rounds[i].transmissions,
+              trace.rounds[i - 1].transmissions);
+    EXPECT_EQ(trace.rounds[i].visited - trace.rounds[i - 1].visited,
+              trace.rounds[i].new_visits);
+  }
+  EXPECT_EQ(trace.rounds.back().visited, g.num_vertices());
+}
+
+TEST(CobraTrace, RoundsToFraction) {
+  const graph::Graph g = graph::complete(64);
+  auto rng = rng::make_stream(7172, 0);
+  const auto trace = run_cobra_trace(g, ProcessOptions{}, 0, 100000, rng);
+  ASSERT_TRUE(trace.covered);
+  const auto t50 = trace.rounds_to_fraction(0.5, 64);
+  const auto t100 = trace.rounds_to_fraction(1.0, 64);
+  EXPECT_LE(t50, t100);
+  EXPECT_EQ(t100, trace.rounds.back().round);
+}
+
+TEST(CobraTrace, ProfileOrdering) {
+  const graph::Graph g = graph::torus_power(9, 2);
+  auto rng = rng::make_stream(7173, 0);
+  const auto trace = run_cobra_trace(g, ProcessOptions{}, 0, 100000, rng);
+  ASSERT_TRUE(trace.covered);
+  const auto profile = summarize_trace(trace, g.num_vertices());
+  EXPECT_LE(profile.to_half, profile.to_ninety);
+  EXPECT_LE(profile.to_ninety, profile.to_cover);
+  EXPECT_GE(profile.peak_active, 1u);
+  EXPECT_LE(profile.peak_active, g.num_vertices());
+  EXPECT_GE(profile.tail_fraction, 0.0);
+  EXPECT_LE(profile.tail_fraction, 1.0);
+}
+
+TEST(CobraTrace, UncoveredTraceFlagged) {
+  const graph::Graph g = graph::cycle(128);
+  auto rng = rng::make_stream(7174, 0);
+  const auto trace = run_cobra_trace(g, ProcessOptions{}, 0, 3, rng);
+  EXPECT_FALSE(trace.covered);
+  EXPECT_THROW(summarize_trace(trace, g.num_vertices()), util::CheckError);
+}
+
+TEST(CobraTrace, PeakActiveBoundedByDoubling) {
+  const graph::Graph g = graph::complete(128);
+  auto rng = rng::make_stream(7175, 0);
+  const auto trace = run_cobra_trace(g, ProcessOptions{}, 0, 100000, rng);
+  for (std::size_t i = 1; i < trace.rounds.size(); ++i)
+    EXPECT_LE(trace.rounds[i].active, 2 * trace.rounds[i - 1].active);
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,133 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cobra::util {
+namespace {
+
+TEST(Bitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+  EXPECT_FALSE(b.all());
+}
+
+TEST(Bitset, SetTestReset) {
+  DynamicBitset b(130);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitset, SetAndTestReportsFirstSet) {
+  DynamicBitset b(10);
+  EXPECT_TRUE(b.set_and_test(3));   // was clear
+  EXPECT_FALSE(b.set_and_test(3));  // already set
+  EXPECT_TRUE(b.test(3));
+}
+
+TEST(Bitset, ConstructedAllOnesRespectsSize) {
+  DynamicBitset b(70, true);
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_TRUE(b.all());
+}
+
+TEST(Bitset, SetAllAndResetAll) {
+  DynamicBitset b(65);
+  b.set_all();
+  EXPECT_EQ(b.count(), 65u);
+  EXPECT_TRUE(b.all());
+  b.reset_all();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(Bitset, FindFirstAndNext) {
+  DynamicBitset b(200);
+  EXPECT_EQ(b.find_first(), 200u);
+  b.set(5);
+  b.set(64);
+  b.set(199);
+  EXPECT_EQ(b.find_first(), 5u);
+  EXPECT_EQ(b.find_next(5), 64u);
+  EXPECT_EQ(b.find_next(64), 199u);
+  EXPECT_EQ(b.find_next(199), 200u);
+}
+
+TEST(Bitset, IterationVisitsAllSetBits) {
+  DynamicBitset b(500);
+  const std::vector<std::size_t> expected = {0, 1, 63, 64, 65, 127, 128, 311,
+                                             499};
+  for (const std::size_t i : expected) b.set(i);
+  std::vector<std::size_t> seen;
+  for (std::size_t i = b.find_first(); i < b.size(); i = b.find_next(i))
+    seen.push_back(i);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Bitset, Intersects) {
+  DynamicBitset a(100), b(100);
+  a.set(10);
+  b.set(11);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(10);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(Bitset, BitwiseOps) {
+  DynamicBitset a(66), b(66);
+  a.set(0);
+  a.set(65);
+  b.set(1);
+  b.set(65);
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(65));
+  DynamicBitset x = a;
+  x ^= b;
+  EXPECT_EQ(x.count(), 2u);
+  EXPECT_TRUE(x.test(0));
+  EXPECT_TRUE(x.test(1));
+}
+
+TEST(Bitset, MismatchedSizesThrow) {
+  DynamicBitset a(10), b(11);
+  EXPECT_THROW(a |= b, CheckError);
+}
+
+TEST(Bitset, EqualityIncludesSize) {
+  DynamicBitset a(10), b(10), c(11);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  a.set(3);
+  EXPECT_FALSE(a == b);
+  b.set(3);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Bitset, ZeroSized) {
+  DynamicBitset b(0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.find_first(), 0u);
+}
+
+}  // namespace
+}  // namespace cobra::util

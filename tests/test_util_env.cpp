@@ -1,0 +1,69 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace cobra::util {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("COBRA_TEST_VAR");
+    unsetenv("COBRA_SCALE");
+    unsetenv("COBRA_THREADS");
+  }
+};
+
+TEST_F(EnvTest, DoubleFallback) {
+  unsetenv("COBRA_TEST_VAR");
+  EXPECT_DOUBLE_EQ(env_double("COBRA_TEST_VAR", 2.5), 2.5);
+  setenv("COBRA_TEST_VAR", "7.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("COBRA_TEST_VAR", 2.5), 7.25);
+  setenv("COBRA_TEST_VAR", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(env_double("COBRA_TEST_VAR", 2.5), 2.5);
+}
+
+TEST_F(EnvTest, IntFallback) {
+  unsetenv("COBRA_TEST_VAR");
+  EXPECT_EQ(env_int("COBRA_TEST_VAR", 42), 42);
+  setenv("COBRA_TEST_VAR", "-17", 1);
+  EXPECT_EQ(env_int("COBRA_TEST_VAR", 42), -17);
+}
+
+TEST_F(EnvTest, StringFallback) {
+  unsetenv("COBRA_TEST_VAR");
+  EXPECT_EQ(env_string("COBRA_TEST_VAR", "dflt"), "dflt");
+  setenv("COBRA_TEST_VAR", "value", 1);
+  EXPECT_EQ(env_string("COBRA_TEST_VAR", "dflt"), "value");
+}
+
+TEST_F(EnvTest, ScaleIgnoresNonPositive) {
+  setenv("COBRA_SCALE", "-3", 1);
+  EXPECT_DOUBLE_EQ(scale(), 1.0);
+  setenv("COBRA_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(scale(), 2.5);
+}
+
+TEST_F(EnvTest, ScaledAppliesMultiplierAndFloor) {
+  setenv("COBRA_SCALE", "0.001", 1);
+  EXPECT_EQ(scaled(100, 5), 5);
+  setenv("COBRA_SCALE", "3", 1);
+  EXPECT_EQ(scaled(100, 5), 300);
+}
+
+TEST_F(EnvTest, MaxThreadsAtLeastOne) {
+  setenv("COBRA_THREADS", "0", 1);
+  EXPECT_GE(max_threads(), 1);
+  setenv("COBRA_THREADS", "4", 1);
+  EXPECT_EQ(max_threads(), 4);
+}
+
+TEST_F(EnvTest, GlobalSeedDefault) {
+  unsetenv("COBRA_SEED");
+  EXPECT_EQ(global_seed(), 20170724ull);
+}
+
+}  // namespace
+}  // namespace cobra::util

@@ -1,0 +1,96 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cobra::util {
+namespace {
+
+TEST(UtilMath, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(~0ull), 63u);
+}
+
+TEST(UtilMath, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1ull << 40), 40u);
+  EXPECT_EQ(ceil_log2((1ull << 40) + 1), 41u);
+}
+
+TEST(UtilMath, FloorAndCeilAgreeOnPowersOfTwo) {
+  for (std::uint32_t k = 0; k < 60; ++k) {
+    const std::uint64_t x = 1ull << k;
+    EXPECT_EQ(floor_log2(x), k);
+    EXPECT_EQ(ceil_log2(x), k);
+  }
+}
+
+TEST(UtilMath, IsPowerOfTwo) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_TRUE(is_power_of_two(1ull << 50));
+  EXPECT_FALSE(is_power_of_two((1ull << 50) + 2));
+}
+
+TEST(UtilMath, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+  EXPECT_EQ(ceil_div(5, 5), 1u);
+  EXPECT_EQ(ceil_div(6, 5), 2u);
+}
+
+TEST(UtilMath, Ipow) {
+  EXPECT_EQ(ipow(2, 0), 1u);
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(3, 4), 81u);
+  EXPECT_EQ(ipow(10, 6), 1000000u);
+  EXPECT_EQ(ipow(1, 63), 1u);
+}
+
+TEST(UtilMath, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+  EXPECT_TRUE(approx_equal(1e6, 1e6 * (1 + 1e-10)));
+}
+
+TEST(UtilMath, HarmonicSmallValues) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(10), 2.9289682539682538, 1e-12);
+}
+
+TEST(UtilMath, HarmonicAsymptoticMatchesExactAtSwitch) {
+  // The asymptotic branch (n >= 1024) must agree with direct summation.
+  double exact = 0.0;
+  for (std::uint64_t i = 1; i <= 5000; ++i) exact += 1.0 / static_cast<double>(i);
+  EXPECT_NEAR(harmonic(5000), exact, 1e-9);
+}
+
+TEST(UtilMath, SafeLogGuardsTinyInputs) {
+  EXPECT_DOUBLE_EQ(safe_log(1.0), std::log(2.0));
+  EXPECT_DOUBLE_EQ(safe_log(0.0), std::log(2.0));
+  EXPECT_DOUBLE_EQ(safe_log(100.0), std::log(100.0));
+}
+
+TEST(UtilMath, Square) {
+  EXPECT_EQ(sq(4), 16);
+  EXPECT_DOUBLE_EQ(sq(1.5), 2.25);
+}
+
+}  // namespace
+}  // namespace cobra::util

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace cobra::util {
+namespace {
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(12.5, 2), "12.5");
+  EXPECT_EQ(format_double(3.0, 2), "3");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(0.1254, 3), "0.125");
+  EXPECT_EQ(format_double(-1.50, 2), "-1.5");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(std::int64_t{1});
+  t.row().add("b").add(std::int64_t{12345});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"a", "b"});
+  t.row().add("1").add("2");
+  EXPECT_THROW(t.add("3"), CheckError);
+}
+
+TEST(Table, RejectsAddBeforeRow) {
+  Table t({"a"});
+  EXPECT_THROW(t.add("x"), CheckError);
+}
+
+TEST(Table, ShortRowsRenderBlank) {
+  Table t({"a", "b", "c"});
+  t.row().add("only");
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = "test_output_csv_writer.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.row().add(std::int64_t{1}).add(2.5);
+    w.row().add(std::string("a,b")).add(std::int64_t{3});
+    w.close();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"a,b\",3");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsOverfullRow) {
+  const std::string path = "test_output_csv_overfull.csv";
+  CsvWriter w(path, {"only"});
+  w.row().add("x");
+  EXPECT_THROW(w.add("y"), CheckError);
+  w.close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cobra::util

@@ -1,0 +1,68 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace cobra::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  auto f1 = pool.submit([] { return 7; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 7);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for_index(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.parallel_for_index(0, [](std::size_t) {
+    FAIL() << "must not be called";
+  }));
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManySmallTasksSum) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 100; ++i)
+    futures.push_back(pool.submit([&total, i] {
+      total.fetch_add(i, std::memory_order_relaxed);
+    }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(total.load(), 5050);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::mutex m;
+  pool.parallel_for_index(10, [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(m);
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order.size(), 10u);
+}
+
+}  // namespace
+}  // namespace cobra::util
