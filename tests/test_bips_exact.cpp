@@ -41,8 +41,11 @@ TEST(BipsExact, SourceAlwaysInfectedInSupport) {
   ProcessOptions opt;
   auto dist = bips_initial_distribution(g, 3);
   for (int t = 0; t < 5; ++t) dist = bips_exact_step(g, 3, dist, opt);
-  for (SubsetMask a = 0; a < dist.size(); ++a)
-    if (dist[a] > 0.0) EXPECT_TRUE((a >> 3) & 1u);
+  for (SubsetMask a = 0; a < dist.size(); ++a) {
+    if (dist[a] > 0.0) {
+      EXPECT_TRUE((a >> 3) & 1u);
+    }
+  }
 }
 
 TEST(BipsExact, TwoVertexGraphHandComputed) {

@@ -114,9 +114,11 @@ TEST(Bounds, ReportAppliesTheRightBounds) {
 
   const auto irregular =
       bound_report(graph::star(10), {}, {}, 2, {});
-  for (const auto& b : irregular)
-    if (b.name.find("thm1.2") != std::string::npos)
+  for (const auto& b : irregular) {
+    if (b.name.find("thm1.2") != std::string::npos) {
       EXPECT_FALSE(b.applicable);
+    }
+  }
 }
 
 TEST(Bounds, MonotoneInN) {

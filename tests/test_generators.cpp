@@ -194,7 +194,9 @@ TEST(Generators, Petersen) {
   for (VertexId u = 0; u < 10; ++u)
     for (const VertexId v : g.neighbors(u))
       for (const VertexId w : g.neighbors(v))
-        if (w != u) EXPECT_FALSE(g.has_edge(u, w));
+        if (w != u) {
+          EXPECT_FALSE(g.has_edge(u, w));
+        }
 }
 
 TEST(Generators, ArgumentValidation) {

@@ -100,8 +100,9 @@ TEST(Martingale, RoundStepCountsMatchStepRecords) {
   for (std::uint64_t t = 0; t < trace.rounds; ++t) {
     for (std::uint64_t s = 0; s < trace.round_step_counts[t]; ++s) {
       EXPECT_EQ(trace.steps[index].round, t + 1);
-      if (s > 0)
+      if (s > 0) {
         EXPECT_LT(trace.steps[index - 1].vertex, trace.steps[index].vertex);
+      }
       ++index;
     }
   }
@@ -122,9 +123,11 @@ TEST(Martingale, RhoBranchingDriftRespectsFloor) {
   const auto trace =
       run_bips_serialized(graph::cycle(12), 0, opt, 10000, rng);
   EXPECT_TRUE(trace.completed);
-  for (const auto& step : trace.steps)
-    if (!step.is_source)
+  for (const auto& step : trace.steps) {
+    if (!step.is_source) {
       EXPECT_GE(step.conditional_mean, drift_floor(opt) - 1e-12);
+    }
+  }
 }
 
 TEST(Martingale, RejectsLaziness) {

@@ -47,8 +47,11 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_pair(15u, 15u), std::make_pair(31u, 15u),
                       std::make_pair(45u, 31u), std::make_pair(63u, 63u)),
     [](const auto& info) {
-      return "c" + std::to_string(info.param.first) + "x" +
-             std::to_string(info.param.second);
+      std::string name = "c";
+      name += std::to_string(info.param.first);
+      name += 'x';
+      name += std::to_string(info.param.second);
+      return name;
     });
 
 TEST(SpectralProducts, HypercubeViaK2PowersAtScale) {
