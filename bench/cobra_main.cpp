@@ -1,0 +1,7 @@
+// The unified experiment runner: list/run/merge over every registered
+// bench/exp_* experiment. See `cobra --help` or README.md.
+#include "runner/cli.hpp"
+
+int main(int argc, char** argv) {
+  return cobra::runner::cli_main(argc - 1, argv + 1);
+}

@@ -7,8 +7,13 @@
 //     forever (unbounded cumulative traffic);
 //   COBRA b = 2: near-gossip speed with <= 2 transmissions per active
 //     vertex per round and information allowed to die out locally.
+//
+// Registry unit: one cell per graph; the cell emits one row per protocol.
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "baselines/flooding.hpp"
 #include "baselines/multi_walk.hpp"
@@ -19,140 +24,165 @@
 #include "graph/generators.hpp"
 #include "graph/random_generators.hpp"
 #include "rng/stream.hpp"
+#include "runner/registry.hpp"
 #include "sim/experiment.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/stats.hpp"
 #include "util/env.hpp"
-#include "util/table.hpp"
 
-int main() {
-  using namespace cobra;
+namespace {
+using namespace cobra;
+
+struct Case {
+  std::string label;
+  std::function<graph::Graph(rng::Rng&)> make;
+};
+
+const std::vector<Case>& cases() {
+  static const std::vector<Case> kCases = {
+      {"complete(256)", [](rng::Rng&) { return graph::complete(256); }},
+      {"regular(512,4)",
+       [](rng::Rng& rng) {
+         return graph::connected_random_regular(512, 4, rng);
+       }},
+      {"torus(16x16)", [](rng::Rng&) { return graph::torus_power(16, 2); }},
+      {"cycle(256)", [](rng::Rng&) { return graph::cycle(256); }},
+  };
+  return kCases;
+}
+
+void run_case(std::size_t index, runner::CellContext& ctx) {
   const std::uint64_t seed = util::global_seed();
   const std::uint64_t reps = sim::default_replicates(16);
+  const Case& c = cases()[index];
 
-  sim::Experiment exp(
+  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 97), index);
+  const graph::Graph g = c.make(grng);
+  const auto k = static_cast<std::uint32_t>(std::ceil(
+      std::log2(static_cast<double>(g.num_vertices()))));
+
+  // COBRA b = 2.
+  {
+    std::vector<double> rounds(reps), msgs(reps);
+    sim::parallel_replicates(
+        reps, rng::derive_seed(seed, 201), [&](std::uint64_t i,
+                                               rng::Rng& rng) {
+          core::CobraProcess p(g);
+          p.reset(graph::VertexId{0});
+          rounds[i] = static_cast<double>(
+              p.run_until_cover(rng, 1ull << 32).value());
+          msgs[i] = static_cast<double>(p.transmissions());
+        });
+    const auto s = sim::summarize(rounds);
+    ctx.row().add(c.label).add("COBRA b=2").add(s.mean, 1).add(s.p95, 1)
+        .add(sim::mean(msgs), 0);
+  }
+  // Simple random walk.
+  {
+    std::vector<double> rounds(reps);
+    sim::parallel_replicates(
+        reps, rng::derive_seed(seed, 202), [&](std::uint64_t i,
+                                               rng::Rng& rng) {
+          rounds[i] = static_cast<double>(
+              baselines::random_walk_cover(g, 0, rng, 1ull << 34).steps);
+        });
+    const auto s = sim::summarize(rounds);
+    ctx.row().add("").add("random walk b=1").add(s.mean, 1).add(s.p95, 1)
+        .add(s.mean, 0);
+  }
+  // k independent walks.
+  {
+    std::vector<double> rounds(reps), msgs(reps);
+    sim::parallel_replicates(
+        reps, rng::derive_seed(seed, 203), [&](std::uint64_t i,
+                                               rng::Rng& rng) {
+          const auto r =
+              baselines::multi_walk_cover(g, 0, k, rng, 1ull << 32);
+          rounds[i] = static_cast<double>(r.rounds);
+          msgs[i] = static_cast<double>(r.transmissions);
+        });
+    const auto s = sim::summarize(rounds);
+    ctx.row().add("").add(std::to_string(k) + " indep walks")
+        .add(s.mean, 1).add(s.p95, 1).add(sim::mean(msgs), 0);
+  }
+  // Push gossip.
+  {
+    std::vector<double> rounds(reps), msgs(reps);
+    sim::parallel_replicates(
+        reps, rng::derive_seed(seed, 204), [&](std::uint64_t i,
+                                               rng::Rng& rng) {
+          const auto r = baselines::push_gossip_cover(g, 0, rng, 1ull << 26);
+          rounds[i] = static_cast<double>(r.rounds);
+          msgs[i] = static_cast<double>(r.transmissions);
+        });
+    const auto s = sim::summarize(rounds);
+    ctx.row().add("").add("push gossip").add(s.mean, 1).add(s.p95, 1)
+        .add(sim::mean(msgs), 0);
+  }
+  // Pull and push-pull gossip.
+  {
+    std::vector<double> rounds(reps), msgs(reps);
+    sim::parallel_replicates(
+        reps, rng::derive_seed(seed, 205), [&](std::uint64_t i,
+                                               rng::Rng& rng) {
+          const auto r = baselines::pull_gossip_cover(g, 0, rng, 1ull << 26);
+          rounds[i] = static_cast<double>(r.rounds);
+          msgs[i] = static_cast<double>(r.transmissions);
+        });
+    const auto s = sim::summarize(rounds);
+    ctx.row().add("").add("pull gossip").add(s.mean, 1).add(s.p95, 1)
+        .add(sim::mean(msgs), 0);
+  }
+  {
+    std::vector<double> rounds(reps), msgs(reps);
+    sim::parallel_replicates(
+        reps, rng::derive_seed(seed, 206), [&](std::uint64_t i,
+                                               rng::Rng& rng) {
+          const auto r =
+              baselines::push_pull_gossip_cover(g, 0, rng, 1ull << 26);
+          rounds[i] = static_cast<double>(r.rounds);
+          msgs[i] = static_cast<double>(r.transmissions);
+        });
+    const auto s = sim::summarize(rounds);
+    ctx.row().add("").add("push-pull gossip").add(s.mean, 1).add(s.p95, 1)
+        .add(sim::mean(msgs), 0);
+  }
+  // Deterministic flooding (round-optimal broadcast; maximal traffic).
+  {
+    const auto r = baselines::flooding_cover(g, 0, 1ull << 26);
+    ctx.row().add("").add("flooding (det.)")
+        .add(static_cast<double>(r.rounds), 1)
+        .add(static_cast<double>(r.rounds), 1)
+        .add(static_cast<double>(r.transmissions), 0);
+  }
+}
+
+runner::ExperimentDef make_baselines() {
+  runner::ExperimentDef def;
+  def.name = "baselines";
+  def.description =
+      "E12: COBRA b=2 vs random walk, k independent walks, gossip "
+      "variants and flooding — rounds and transmissions";
+  def.tables = {{
       "exp_baselines",
       "E12: COBRA b=2 vs random walk (b=1) vs k independent walks vs push "
       "gossip — rounds to cover and total transmissions.",
-      {"graph", "protocol", "rounds mean", "rounds p95", "msgs mean"});
-
-  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 97), 0);
-  struct Case {
-    std::string label;
-    graph::Graph g;
+      {"graph", "protocol", "rounds mean", "rounds p95", "msgs mean"}}};
+  def.cells = [] {
+    std::vector<runner::CellDef> out;
+    for (std::size_t i = 0; i < cases().size(); ++i) {
+      out.push_back({cases()[i].label, cases()[i].label,
+                     [i](runner::CellContext& ctx) { run_case(i, ctx); }});
+    }
+    return out;
   };
-  const Case cases[] = {
-      {"complete(256)", graph::complete(256)},
-      {"regular(512,4)", graph::connected_random_regular(512, 4, grng)},
-      {"torus(16x16)", graph::torus_power(16, 2)},
-      {"cycle(256)", graph::cycle(256)},
-  };
-
-  for (const auto& c : cases) {
-    const graph::Graph& g = c.g;
-    const auto k = static_cast<std::uint32_t>(std::ceil(
-        std::log2(static_cast<double>(g.num_vertices()))));
-
-    // COBRA b = 2.
-    {
-      std::vector<double> rounds(reps), msgs(reps);
-      sim::parallel_replicates(
-          reps, rng::derive_seed(seed, 201), [&](std::uint64_t i,
-                                                 rng::Rng& rng) {
-            core::CobraProcess p(g);
-            p.reset(graph::VertexId{0});
-            rounds[i] = static_cast<double>(
-                p.run_until_cover(rng, 1ull << 32).value());
-            msgs[i] = static_cast<double>(p.transmissions());
-          });
-      const auto s = sim::summarize(rounds);
-      exp.row().add(c.label).add("COBRA b=2").add(s.mean, 1).add(s.p95, 1)
-          .add(sim::mean(msgs), 0);
-    }
-    // Simple random walk.
-    {
-      std::vector<double> rounds(reps);
-      sim::parallel_replicates(
-          reps, rng::derive_seed(seed, 202), [&](std::uint64_t i,
-                                                 rng::Rng& rng) {
-            rounds[i] = static_cast<double>(
-                baselines::random_walk_cover(g, 0, rng, 1ull << 34).steps);
-          });
-      const auto s = sim::summarize(rounds);
-      exp.row().add("").add("random walk b=1").add(s.mean, 1).add(s.p95, 1)
-          .add(s.mean, 0);
-    }
-    // k independent walks.
-    {
-      std::vector<double> rounds(reps), msgs(reps);
-      sim::parallel_replicates(
-          reps, rng::derive_seed(seed, 203), [&](std::uint64_t i,
-                                                 rng::Rng& rng) {
-            const auto r =
-                baselines::multi_walk_cover(g, 0, k, rng, 1ull << 32);
-            rounds[i] = static_cast<double>(r.rounds);
-            msgs[i] = static_cast<double>(r.transmissions);
-          });
-      const auto s = sim::summarize(rounds);
-      exp.row().add("").add(std::to_string(k) + " indep walks")
-          .add(s.mean, 1).add(s.p95, 1).add(sim::mean(msgs), 0);
-    }
-    // Push gossip.
-    {
-      std::vector<double> rounds(reps), msgs(reps);
-      sim::parallel_replicates(
-          reps, rng::derive_seed(seed, 204), [&](std::uint64_t i,
-                                                 rng::Rng& rng) {
-            const auto r = baselines::push_gossip_cover(g, 0, rng, 1ull << 26);
-            rounds[i] = static_cast<double>(r.rounds);
-            msgs[i] = static_cast<double>(r.transmissions);
-          });
-      const auto s = sim::summarize(rounds);
-      exp.row().add("").add("push gossip").add(s.mean, 1).add(s.p95, 1)
-          .add(sim::mean(msgs), 0);
-    }
-    // Pull and push-pull gossip.
-    {
-      std::vector<double> rounds(reps), msgs(reps);
-      sim::parallel_replicates(
-          reps, rng::derive_seed(seed, 205), [&](std::uint64_t i,
-                                                 rng::Rng& rng) {
-            const auto r = baselines::pull_gossip_cover(g, 0, rng, 1ull << 26);
-            rounds[i] = static_cast<double>(r.rounds);
-            msgs[i] = static_cast<double>(r.transmissions);
-          });
-      const auto s = sim::summarize(rounds);
-      exp.row().add("").add("pull gossip").add(s.mean, 1).add(s.p95, 1)
-          .add(sim::mean(msgs), 0);
-    }
-    {
-      std::vector<double> rounds(reps), msgs(reps);
-      sim::parallel_replicates(
-          reps, rng::derive_seed(seed, 206), [&](std::uint64_t i,
-                                                 rng::Rng& rng) {
-            const auto r =
-                baselines::push_pull_gossip_cover(g, 0, rng, 1ull << 26);
-            rounds[i] = static_cast<double>(r.rounds);
-            msgs[i] = static_cast<double>(r.transmissions);
-          });
-      const auto s = sim::summarize(rounds);
-      exp.row().add("").add("push-pull gossip").add(s.mean, 1).add(s.p95, 1)
-          .add(sim::mean(msgs), 0);
-    }
-    // Deterministic flooding (round-optimal broadcast; maximal traffic).
-    {
-      const auto r = baselines::flooding_cover(g, 0, 1ull << 26);
-      exp.row().add("").add("flooding (det.)")
-          .add(static_cast<double>(r.rounds), 1)
-          .add(static_cast<double>(r.rounds), 1)
-          .add(static_cast<double>(r.transmissions), 0);
-    }
-    exp.rule();
-  }
-
-  exp.note("expected shape: COBRA within a small factor of push gossip in "
-           "rounds, >= 10x faster than the single walk everywhere, with "
-           "bounded per-vertex per-round traffic.");
-  exp.finish();
-  return 0;
+  def.notes = {
+      "expected shape: COBRA within a small factor of push gossip in "
+      "rounds, >= 10x faster than the single walk everywhere, with "
+      "bounded per-vertex per-round traffic."};
+  return def;
 }
+
+const runner::Registration reg(make_baselines);
+
+}  // namespace

@@ -5,9 +5,14 @@
 //     — verified on per-round candidate sets;
 //   * infection time infec(v) obeys the same (1)/(2) bounds as cover(u)
 //     (that is exactly how Theorems 1.1/1.2 are proved).
+//
+// Registry unit: one cell per graph instance.
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/bips.hpp"
 #include "core/bounds.hpp"
@@ -15,107 +20,138 @@
 #include "graph/generators.hpp"
 #include "graph/random_generators.hpp"
 #include "rng/stream.hpp"
+#include "runner/registry.hpp"
 #include "sim/experiment.hpp"
 #include "sim/stats.hpp"
 #include "spectral/spectral.hpp"
 #include "util/env.hpp"
-#include "util/table.hpp"
 
-int main() {
-  using namespace cobra;
+namespace {
+using namespace cobra;
+
+struct Case {
+  std::string label;
+  std::function<graph::Graph(rng::Rng&)> make;
+  bool regular_bound;
+};
+
+const std::vector<Case>& cases() {
+  static const std::vector<Case> kCases = {
+      {"complete(512)", [](rng::Rng&) { return graph::complete(512); },
+       true},
+      {"regular(1024,8)",
+       [](rng::Rng& rng) {
+         return graph::connected_random_regular(1024, 8, rng);
+       },
+       true},
+      {"torus(33x33)", [](rng::Rng&) { return graph::torus_power(33, 2); },
+       true},
+      {"lollipop(24,200)",
+       [](rng::Rng&) { return graph::lollipop(24, 200); }, false},
+      {"barabasi_albert(512)",
+       [](rng::Rng& rng) { return graph::barabasi_albert(512, 3, rng); },
+       false},
+  };
+  return kCases;
+}
+
+void run_case(std::size_t index, runner::CellContext& ctx) {
   const std::uint64_t seed = util::global_seed();
   const std::uint64_t reps = sim::default_replicates(48);
+  const Case& c = cases()[index];
 
-  sim::Experiment exp(
+  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 91), index);
+  const graph::Graph g = c.make(grng);
+  const double n = static_cast<double>(g.num_vertices());
+  const auto spec = spectral::compute_lambda(g, seed);
+
+  // Infection-time samples vs the applicable theorem bound.
+  const double bound =
+      c.regular_bound && spec.lambda < 1.0
+          ? core::bound_thm12_regular(g.num_vertices(), g.max_degree(),
+                                      spec.lambda)
+          : core::bound_thm11_general(g.num_vertices(), g.num_edges(),
+                                      g.max_degree());
+  const auto samples = core::estimate_bips_infection(
+      g, core::BipsOptions{}, 0, reps, rng::derive_seed(seed, 92),
+      static_cast<std::uint64_t>(100.0 * bound) + 10000);
+  const auto s = sim::summarize(samples.rounds);
+
+  // Lemma 4.1 on the averaged curve: observed growth factor vs predicted
+  // (valid for regular graphs; reported for all as a descriptive stat).
+  const std::uint64_t horizon =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(s.p95) + 2, 4000);
+  const auto curve = core::average_bips_growth(
+      g, core::BipsOptions{}, 0, horizon, reps,
+      rng::derive_seed(seed, 93));
+  double min_growth_ratio = 1e9;
+  for (std::size_t t = 0; t + 1 < curve.size(); ++t) {
+    if (curve[t] >= 0.75 * n) break;  // lemma bites below saturation
+    const double predicted =
+        curve[t] *
+        (1.0 + (1.0 - spec.lambda * spec.lambda) * (1.0 - curve[t] / n));
+    if (predicted > 0)
+      min_growth_ratio = std::min(min_growth_ratio,
+                                  curve[t + 1] / predicted);
+  }
+
+  // Corollary 5.2 on one trajectory: |C_t| vs |A_{t-1}| (1-lambda)/2.
+  double min_cand_ratio = 1e9;
+  {
+    auto rng = rng::make_stream(rng::derive_seed(seed, 94), 0);
+    core::BipsProcess p(g, 0);
+    for (std::uint64_t t = 0; t < horizon; ++t) {
+      if (p.infected_count() > g.num_vertices() / 2) break;
+      const double floor_size = static_cast<double>(p.infected_count()) *
+                                (1.0 - spec.lambda) / 2.0;
+      const double cand = static_cast<double>(p.candidate_set().size());
+      if (floor_size > 0)
+        min_cand_ratio = std::min(min_cand_ratio, cand / floor_size);
+      p.step(rng);
+      if (p.fully_infected()) break;
+    }
+  }
+
+  ctx.row().add(c.label)
+      .add(static_cast<std::uint64_t>(g.num_vertices()))
+      .add(spec.lambda, 4)
+      .add(s.mean, 1).add(s.p95, 1).add(bound, 0).add(s.p95 / bound, 4)
+      .add(min_growth_ratio, 3).add(min_cand_ratio, 2);
+  if (samples.timeouts > 0)
+    ctx.note(c.label + ": " + std::to_string(samples.timeouts) +
+             " timeouts!");
+}
+
+runner::ExperimentDef make_bips_growth() {
+  runner::ExperimentDef def;
+  def.name = "bips_growth";
+  def.description =
+      "E9: BIPS infection times vs Theorems 1.4/1.5 plus the Lemma 4.1 "
+      "growth and Corollary 5.2 candidate-set guarantees";
+  def.tables = {{
       "exp_bips_growth",
       "Theorems 1.4/1.5 + Lemma 4.1 + Corollary 5.2: BIPS infection times "
       "against the paper bounds, and the per-round growth/candidate-set "
       "guarantees.",
       {"graph", "n", "lambda", "infec mean", "infec p95", "bound",
-       "p95/bound", "min growth ratio", "min cand ratio"});
-
-  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 91), 0);
-  struct Case {
-    std::string label;
-    graph::Graph g;
-    bool regular_bound;
-  };
-  const Case cases[] = {
-      {"complete(512)", graph::complete(512), true},
-      {"regular(1024,8)", graph::connected_random_regular(1024, 8, grng),
-       true},
-      {"torus(33x33)", graph::torus_power(33, 2), true},
-      {"lollipop(24,200)", graph::lollipop(24, 200), false},
-      {"barabasi_albert(512)", graph::barabasi_albert(512, 3, grng), false},
-  };
-
-  for (const auto& c : cases) {
-    const graph::Graph& g = c.g;
-    const double n = static_cast<double>(g.num_vertices());
-    const auto spec = spectral::compute_lambda(g, seed);
-
-    // Infection-time samples vs the applicable theorem bound.
-    const double bound =
-        c.regular_bound && spec.lambda < 1.0
-            ? core::bound_thm12_regular(g.num_vertices(), g.max_degree(),
-                                        spec.lambda)
-            : core::bound_thm11_general(g.num_vertices(), g.num_edges(),
-                                        g.max_degree());
-    const auto samples = core::estimate_bips_infection(
-        g, core::BipsOptions{}, 0, reps, rng::derive_seed(seed, 92),
-        static_cast<std::uint64_t>(100.0 * bound) + 10000);
-    const auto s = sim::summarize(samples.rounds);
-
-    // Lemma 4.1 on the averaged curve: observed growth factor vs predicted
-    // (valid for regular graphs; reported for all as a descriptive stat).
-    const std::uint64_t horizon =
-        std::min<std::uint64_t>(static_cast<std::uint64_t>(s.p95) + 2, 4000);
-    const auto curve = core::average_bips_growth(
-        g, core::BipsOptions{}, 0, horizon, reps,
-        rng::derive_seed(seed, 93));
-    double min_growth_ratio = 1e9;
-    for (std::size_t t = 0; t + 1 < curve.size(); ++t) {
-      if (curve[t] >= 0.75 * n) break;  // lemma bites below saturation
-      const double predicted =
-          curve[t] *
-          (1.0 + (1.0 - spec.lambda * spec.lambda) * (1.0 - curve[t] / n));
-      if (predicted > 0)
-        min_growth_ratio = std::min(min_growth_ratio,
-                                    curve[t + 1] / predicted);
+       "p95/bound", "min growth ratio", "min cand ratio"}}};
+  def.cells = [] {
+    std::vector<runner::CellDef> out;
+    for (std::size_t i = 0; i < cases().size(); ++i) {
+      out.push_back({cases()[i].label, "",
+                     [i](runner::CellContext& ctx) { run_case(i, ctx); }});
     }
-
-    // Corollary 5.2 on one trajectory: |C_t| vs |A_{t-1}| (1-lambda)/2.
-    double min_cand_ratio = 1e9;
-    {
-      auto rng = rng::make_stream(rng::derive_seed(seed, 94), 0);
-      core::BipsProcess p(g, 0);
-      for (std::uint64_t t = 0; t < horizon; ++t) {
-        if (p.infected_count() > g.num_vertices() / 2) break;
-        const double floor_size = static_cast<double>(p.infected_count()) *
-                                  (1.0 - spec.lambda) / 2.0;
-        const double cand = static_cast<double>(p.candidate_set().size());
-        if (floor_size > 0)
-          min_cand_ratio = std::min(min_cand_ratio, cand / floor_size);
-        p.step(rng);
-        if (p.fully_infected()) break;
-      }
-    }
-
-    exp.row().add(c.label)
-        .add(static_cast<std::uint64_t>(g.num_vertices()))
-        .add(spec.lambda, 4)
-        .add(s.mean, 1).add(s.p95, 1).add(bound, 0).add(s.p95 / bound, 4)
-        .add(min_growth_ratio, 3).add(min_cand_ratio, 2);
-    if (samples.timeouts > 0)
-      exp.note(c.label + ": " + std::to_string(samples.timeouts) +
-               " timeouts!");
-  }
-
-  exp.note("min growth ratio >= ~1 verifies Lemma 4.1 (sampling noise "
-           "allows slight dips below 1 late in the curve; the lemma is "
-           "proved for regular graphs).");
-  exp.note("min cand ratio >= 1 verifies Corollary 5.2: the candidate set "
-           "is never smaller than |A|(1-lambda)/2 below half infection.");
-  exp.finish();
-  return 0;
+    return out;
+  };
+  def.notes = {
+      "min growth ratio >= ~1 verifies Lemma 4.1 (sampling noise "
+      "allows slight dips below 1 late in the curve; the lemma is "
+      "proved for regular graphs).",
+      "min cand ratio >= 1 verifies Corollary 5.2: the candidate set "
+      "is never smaller than |A|(1-lambda)/2 below half infection."};
+  return def;
 }
+
+const runner::Registration reg(make_bips_growth);
+
+}  // namespace

@@ -6,66 +6,101 @@
 // theorem gives an upper-bound shape, so the measured ratio must stay at or
 // below ~1/rho^2 (on expanders it tracks closer to 1/rho since one factor
 // of rho in the proof is slack for the middle phase).
+//
+// Registry unit: one cell per topology (its rho sweep shares the rho = 1
+// baseline, so it stays together).
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/estimators.hpp"
 #include "graph/generators.hpp"
 #include "graph/random_generators.hpp"
 #include "rng/stream.hpp"
+#include "runner/registry.hpp"
 #include "sim/experiment.hpp"
 #include "sim/stats.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace cobra;
+namespace {
+using namespace cobra;
+
+struct Case {
+  std::string label;
+  std::function<graph::Graph(rng::Rng&)> make;
+};
+
+const std::vector<Case>& cases() {
+  static const std::vector<Case> kCases = {
+      {"complete(256)", [](rng::Rng&) { return graph::complete(256); }},
+      {"regular(512,4)",
+       [](rng::Rng& rng) {
+         return graph::connected_random_regular(512, 4, rng);
+       }},
+      {"odd cycle(129)", [](rng::Rng&) { return graph::cycle(129); }},
+  };
+  return kCases;
+}
+
+void run_case(std::size_t index, runner::CellContext& ctx) {
   const std::uint64_t seed = util::global_seed();
   const std::uint64_t reps = sim::default_replicates(24);
+  const Case& c = cases()[index];
 
-  sim::Experiment exp(
+  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 71), index);
+  const graph::Graph g = c.make(grng);
+
+  const double rhos[] = {1.0, 0.75, 0.5, 0.25, 0.125};
+  double base_mean = 0.0;
+  for (const double rho : rhos) {
+    core::ProcessOptions opt;
+    opt.branching = core::Branching::one_plus_rho(rho);
+    const auto samples = core::estimate_cobra_cover(
+        g, opt, 0, reps,
+        rng::derive_seed(seed, 80 + static_cast<std::uint64_t>(rho * 1000)),
+        static_cast<std::uint64_t>(2e7));
+    const auto s = sim::summarize(samples.rounds);
+    if (rho == 1.0) base_mean = s.mean;
+    const double ratio = s.mean / base_mean;
+    const double schedule = 1.0 / (rho * rho);
+    ctx.row().add(c.label).add(rho, 3).add(s.mean, 1).add(s.p95, 1)
+        .add(ratio, 3).add(schedule, 2).add(ratio / schedule, 3);
+    if (samples.timeouts > 0)
+      ctx.note(c.label + " rho=" + util::format_double(rho, 3) + ": " +
+               std::to_string(samples.timeouts) + " timeouts!");
+  }
+}
+
+runner::ExperimentDef make_branching() {
+  runner::ExperimentDef def;
+  def.name = "branching";
+  def.description =
+      "E8: branching b = 1 + rho — measured cover(rho)/cover(1) against "
+      "the Section 6 1/rho^2 schedule";
+  def.tables = {{
       "exp_branching",
       "Section 6: branching b = 1 + rho. Bounds scale by 1/rho^2; measured "
       "cover(rho)/cover(1) must stay below that schedule.",
       {"graph", "rho", "mean", "p95", "ratio vs rho=1", "1/rho^2",
-       "ratio/(1/rho^2)"});
-
-  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 71), 0);
-  struct Case {
-    std::string label;
-    graph::Graph g;
-  };
-  const Case cases[] = {
-      {"complete(256)", graph::complete(256)},
-      {"regular(512,4)", graph::connected_random_regular(512, 4, grng)},
-      {"odd cycle(129)", graph::cycle(129)},
-  };
-
-  const double rhos[] = {1.0, 0.75, 0.5, 0.25, 0.125};
-  for (const auto& c : cases) {
-    double base_mean = 0.0;
-    for (const double rho : rhos) {
-      core::ProcessOptions opt;
-      opt.branching = core::Branching::one_plus_rho(rho);
-      const auto samples = core::estimate_cobra_cover(
-          c.g, opt, 0, reps,
-          rng::derive_seed(seed, 80 + static_cast<std::uint64_t>(rho * 1000)),
-          static_cast<std::uint64_t>(2e7));
-      const auto s = sim::summarize(samples.rounds);
-      if (rho == 1.0) base_mean = s.mean;
-      const double ratio = s.mean / base_mean;
-      const double schedule = 1.0 / (rho * rho);
-      exp.row().add(c.label).add(rho, 3).add(s.mean, 1).add(s.p95, 1)
-          .add(ratio, 3).add(schedule, 2).add(ratio / schedule, 3);
-      if (samples.timeouts > 0)
-        exp.note(c.label + " rho=" + util::format_double(rho, 3) + ": " +
-                 std::to_string(samples.timeouts) + " timeouts!");
+       "ratio/(1/rho^2)"}}};
+  def.cells = [] {
+    std::vector<runner::CellDef> out;
+    for (std::size_t i = 0; i < cases().size(); ++i) {
+      out.push_back({cases()[i].label, cases()[i].label,
+                     [i](runner::CellContext& ctx) { run_case(i, ctx); }});
     }
-    exp.rule();
-  }
-  exp.note("ratio/(1/rho^2) <= ~1 everywhere confirms the Section 6 "
-           "upper-bound shape; values well below 1 show where the 1/rho^2 "
-           "schedule is conservative.");
-  exp.finish();
-  return 0;
+    return out;
+  };
+  def.notes = {
+      "ratio/(1/rho^2) <= ~1 everywhere confirms the Section 6 "
+      "upper-bound shape; values well below 1 show where the 1/rho^2 "
+      "schedule is conservative."};
+  return def;
 }
+
+const runner::Registration reg(make_branching);
+
+}  // namespace

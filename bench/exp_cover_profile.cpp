@@ -7,6 +7,11 @@
 // experiment quantifies the three phases per family (rounds to 50%/90%/100%
 // visited, peak |C_t|, tail share of the total time) and archives the full
 // averaged curves for plotting.
+//
+// Registry unit: one cell per graph family; the per-round curves of the
+// first replicate go to the secondary exp_cover_profile_curves table.
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -14,82 +19,112 @@
 #include "graph/generators.hpp"
 #include "graph/random_generators.hpp"
 #include "rng/stream.hpp"
+#include "runner/registry.hpp"
 #include "sim/experiment.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/stats.hpp"
-#include "util/csv.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace cobra;
+namespace {
+using namespace cobra;
+
+struct Case {
+  std::string label;
+  std::function<graph::Graph(rng::Rng&)> make;
+};
+
+const std::vector<Case>& cases() {
+  static const std::vector<Case> kCases = {
+      {"complete(1024)", [](rng::Rng&) { return graph::complete(1024); }},
+      {"regular(1024,4)",
+       [](rng::Rng& rng) {
+         return graph::connected_random_regular(1024, 4, rng);
+       }},
+      {"hypercube(10)", [](rng::Rng&) { return graph::hypercube(10); }},
+      {"torus(33x33)", [](rng::Rng&) { return graph::torus_power(33, 2); }},
+      {"cycle(513)", [](rng::Rng&) { return graph::cycle(513); }},
+      {"star(512)", [](rng::Rng&) { return graph::star(512); }},
+  };
+  return kCases;
+}
+
+void run_case(std::size_t index, runner::CellContext& ctx) {
   const std::uint64_t seed = util::global_seed();
   const auto reps = sim::default_replicates(24);
+  const Case& c = cases()[index];
 
-  sim::Experiment exp(
-      "exp_cover_profile",
-      "Phase structure of COBRA covering runs (primal mirror of the "
-      "paper's Sections 4-5 phases): saturation, bulk, straggler tail.",
-      {"graph", "n", "t(50%)", "t(90%)", "t(100%)", "peak |C_t|",
-       "peak/n", "tail share"});
+  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 601), index);
+  const graph::Graph g = c.make(grng);
+  const auto n = g.num_vertices();
 
-  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 601), 0);
-  struct Case {
-    std::string label;
-    graph::Graph g;
-  };
-  const Case cases[] = {
-      {"complete(1024)", graph::complete(1024)},
-      {"regular(1024,4)", graph::connected_random_regular(1024, 4, grng)},
-      {"hypercube(10)", graph::hypercube(10)},
-      {"torus(33x33)", graph::torus_power(33, 2)},
-      {"cycle(513)", graph::cycle(513)},
-      {"star(512)", graph::star(512)},
-  };
+  std::vector<double> t50(reps), t90(reps), t100(reps), peak(reps),
+      tail(reps);
+  std::vector<core::CobraTrace> first_trace(1);
+  sim::parallel_replicates(
+      reps, rng::derive_seed(seed, 602), [&](std::uint64_t i,
+                                             rng::Rng& rng) {
+        const auto trace = core::run_cobra_trace(
+            g, core::ProcessOptions{}, 0, 100'000'000, rng);
+        const auto profile = core::summarize_trace(trace, n);
+        t50[i] = static_cast<double>(profile.to_half);
+        t90[i] = static_cast<double>(profile.to_ninety);
+        t100[i] = static_cast<double>(profile.to_cover);
+        peak[i] = static_cast<double>(profile.peak_active);
+        tail[i] = profile.tail_fraction;
+        if (i == 0) first_trace[0] = trace;
+      });
 
-  util::CsvWriter curves("bench_results/exp_cover_profile_curves.csv",
-                         {"graph", "round", "active", "visited"});
-  for (const auto& c : cases) {
-    const graph::Graph& g = c.g;
-    const auto n = g.num_vertices();
-    std::vector<double> t50(reps), t90(reps), t100(reps), peak(reps),
-        tail(reps);
-    std::vector<core::CobraTrace> first_trace(1);
-    sim::parallel_replicates(
-        reps, rng::derive_seed(seed, 602), [&](std::uint64_t i,
-                                               rng::Rng& rng) {
-          const auto trace = core::run_cobra_trace(
-              g, core::ProcessOptions{}, 0, 100'000'000, rng);
-          const auto profile = core::summarize_trace(trace, n);
-          t50[i] = static_cast<double>(profile.to_half);
-          t90[i] = static_cast<double>(profile.to_ninety);
-          t100[i] = static_cast<double>(profile.to_cover);
-          peak[i] = static_cast<double>(profile.peak_active);
-          tail[i] = profile.tail_fraction;
-          if (i == 0) first_trace[0] = trace;
-        });
-    for (const auto& r : first_trace[0].rounds)
-      curves.row().add(c.label).add(r.round)
-          .add(static_cast<std::uint64_t>(r.active))
-          .add(static_cast<std::uint64_t>(r.visited));
+  ctx.row().add(c.label).add(static_cast<std::uint64_t>(n))
+      .add(sim::mean(t50), 1).add(sim::mean(t90), 1)
+      .add(sim::mean(t100), 1)
+      .add(sim::mean(peak), 0)
+      .add(sim::mean(peak) / static_cast<double>(n), 3)
+      .add(sim::mean(tail), 3);
 
-    exp.row().add(c.label).add(static_cast<std::uint64_t>(n))
-        .add(sim::mean(t50), 1).add(sim::mean(t90), 1)
-        .add(sim::mean(t100), 1)
-        .add(sim::mean(peak), 0)
-        .add(sim::mean(peak) / static_cast<double>(n), 3)
-        .add(sim::mean(tail), 3);
+  ctx.table(1);
+  for (const auto& r : first_trace[0].rounds) {
+    ctx.row().add(c.label).add(r.round)
+        .add(static_cast<std::uint64_t>(r.active))
+        .add(static_cast<std::uint64_t>(r.visited));
   }
-  curves.close();
-
-  exp.note("peak/n ~ 1 - e^{-2} ~ 0.86 on K_n and dense expanders "
-           "(branching-two saturation); lower on geometric families where "
-           "the frontier is boundary-limited.");
-  exp.note("tail share: fraction of the run spent on the last 10% of "
-           "vertices — the coupon-collector phase the paper's third stage "
-           "bounds via Lemma 4.3.");
-  exp.note("first-replicate curves -> bench_results/exp_cover_profile_"
-           "curves.csv");
-  exp.finish();
-  return 0;
 }
+
+runner::ExperimentDef make_cover_profile() {
+  runner::ExperimentDef def;
+  def.name = "cover_profile";
+  def.description =
+      "E16: phase structure of COBRA covering runs — saturation, bulk, "
+      "straggler tail (plus per-round curves)";
+  def.tables = {
+      {"exp_cover_profile",
+       "Phase structure of COBRA covering runs (primal mirror of the "
+       "paper's Sections 4-5 phases): saturation, bulk, straggler tail.",
+       {"graph", "n", "t(50%)", "t(90%)", "t(100%)", "peak |C_t|",
+        "peak/n", "tail share"}},
+      {"exp_cover_profile_curves",
+       "First-replicate per-round trajectories (active/visited counts).",
+       {"graph", "round", "active", "visited"}}};
+  def.cells = [] {
+    std::vector<runner::CellDef> out;
+    for (std::size_t i = 0; i < cases().size(); ++i) {
+      out.push_back({cases()[i].label, "",
+                     [i](runner::CellContext& ctx) { run_case(i, ctx); }});
+    }
+    return out;
+  };
+  def.notes = {
+      "peak/n ~ 1 - e^{-2} ~ 0.86 on K_n and dense expanders "
+      "(branching-two saturation); lower on geometric families where "
+      "the frontier is boundary-limited.",
+      "tail share: fraction of the run spent on the last 10% of "
+      "vertices — the coupon-collector phase the paper's third stage "
+      "bounds via Lemma 4.3.",
+      "first-replicate curves -> bench_results/exp_cover_profile_"
+      "curves.csv"};
+  return def;
+}
+
+const runner::Registration reg(make_cover_profile);
+
+}  // namespace

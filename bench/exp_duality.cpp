@@ -8,87 +8,134 @@
 //               z-score (|z| < 4 is agreement at MC precision);
 //   exact     — for n <= 14 instances, the exact subset-DP value of the
 //               BIPS side, which both MC columns must straddle.
+//
+// Registry unit: one cell per test instance (its four horizon rows stay
+// together); random instances derive their generator stream from the cell
+// index.
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/bips_exact.hpp"
 #include "core/duality.hpp"
 #include "graph/generators.hpp"
 #include "graph/random_generators.hpp"
 #include "rng/stream.hpp"
+#include "runner/registry.hpp"
 #include "sim/experiment.hpp"
 #include "sim/stats.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace cobra;
+namespace {
+using namespace cobra;
+
+struct Case {
+  std::string label;
+  std::function<graph::Graph(rng::Rng&)> make;
+  graph::VertexId v;
+  std::vector<graph::VertexId> c_set;
+  bool exact;  // n small enough for the subset DP
+};
+
+const std::vector<Case>& cases() {
+  static const std::vector<Case> kCases = {
+      {"petersen", [](rng::Rng&) { return graph::petersen(); }, 0, {6, 9},
+       true},
+      {"cycle(11)", [](rng::Rng&) { return graph::cycle(11); }, 0, {5},
+       true},
+      {"lollipop(6,5)", [](rng::Rng&) { return graph::lollipop(6, 5); }, 10,
+       {0}, true},
+      {"gnp(13)",
+       [](rng::Rng& rng) {
+         return graph::connected_erdos_renyi(13, 2.5, rng);
+       },
+       0, {7, 12}, true},
+      {"regular(64,3)",
+       [](rng::Rng& rng) {
+         return graph::connected_random_regular(64, 3, rng);
+       },
+       0, {11, 35, 59}, false},
+      {"torus(6x6)", [](rng::Rng&) { return graph::torus_power(6, 2); }, 0,
+       {21}, false},
+  };
+  return kCases;
+}
+
+void run_case(std::size_t index, runner::CellContext& ctx) {
   const std::uint64_t seed = util::global_seed();
   const auto reps = static_cast<std::uint64_t>(util::scaled(4000, 400));
+  const Case& tc = cases()[index];
 
-  sim::Experiment exp(
+  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 31), index);
+  const graph::Graph g = tc.make(grng);
+
+  core::ProcessOptions opt;  // b = 2
+  for (const std::uint64_t T : {1ull, 2ull, 4ull, 8ull}) {
+    const auto est = core::check_duality(g, tc.v, tc.c_set, T, opt, reps,
+                                         rng::derive_seed(seed, 100 + T));
+    const auto k1 = static_cast<std::uint64_t>(
+        est.cobra_miss * static_cast<double>(reps) + 0.5);
+    const auto k2 = static_cast<std::uint64_t>(
+        est.bips_miss * static_cast<double>(reps) + 0.5);
+    const double z = std::fabs(sim::two_proportion_z(k1, reps, k2, reps));
+
+    ctx.row().add(tc.label).add(T).add(reps)
+        .add(est.coupled_disagreements)
+        .add(est.cobra_miss, 4).add(est.bips_miss, 4).add(z, 2);
+    if (tc.exact) {
+      ctx.add(core::bips_exact_miss_probability(g, tc.v, tc.c_set, T, opt),
+              4);
+    } else {
+      ctx.add("-");
+    }
+    if (est.coupled_disagreements != 0) {
+      ctx.note(tc.label + " T=" + std::to_string(T) +
+               ": coupling disagreement — implementation bug!");
+    }
+  }
+}
+
+runner::ExperimentDef make_duality() {
+  runner::ExperimentDef def;
+  def.name = "duality";
+  def.description =
+      "E3: Theorem 1.3 duality between COBRA hitting and BIPS extinction "
+      "(coupled / Monte-Carlo / exact DP)";
+  def.tables = {{
       "exp_duality",
       "Theorem 1.3: P(Hit(v) > T | C0=C) == P(C cap A_T = empty | A0={v}). "
       "'disagree' counts violations of the per-omega coupling (must be 0).",
       {"graph", "T", "replicates", "disagree", "cobra miss", "bips miss",
-       "|z|", "exact DP"});
-
-  struct Case {
-    std::string label;
-    graph::Graph g;
-    graph::VertexId v;
-    std::vector<graph::VertexId> c_set;
-    bool exact;  // n small enough for the subset DP
-  };
-  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 31), 0);
-  std::vector<Case> cases;
-  cases.push_back({"petersen", graph::petersen(), 0, {6, 9}, true});
-  cases.push_back({"cycle(11)", graph::cycle(11), 0, {5}, true});
-  cases.push_back({"lollipop(6,5)", graph::lollipop(6, 5), 10, {0}, true});
-  cases.push_back({"gnp(13)", graph::connected_erdos_renyi(13, 2.5, grng),
-                   0, {7, 12}, true});
-  cases.push_back({"regular(64,3)",
-                   graph::connected_random_regular(64, 3, grng), 0,
-                   {11, 35, 59}, false});
-  cases.push_back({"torus(6x6)", graph::torus_power(6, 2), 0, {21}, false});
-
-  core::ProcessOptions opt;  // b = 2
-  bool all_coupled_ok = true;
-  double max_z = 0.0;
-  for (const auto& tc : cases) {
-    for (const std::uint64_t T : {1ull, 2ull, 4ull, 8ull}) {
-      const auto est = core::check_duality(tc.g, tc.v, tc.c_set, T, opt,
-                                           reps,
-                                           rng::derive_seed(seed, 100 + T));
-      const auto k1 = static_cast<std::uint64_t>(
-          est.cobra_miss * static_cast<double>(reps) + 0.5);
-      const auto k2 = static_cast<std::uint64_t>(
-          est.bips_miss * static_cast<double>(reps) + 0.5);
-      const double z =
-          std::fabs(sim::two_proportion_z(k1, reps, k2, reps));
-      max_z = std::max(max_z, z);
-      all_coupled_ok &= (est.coupled_disagreements == 0);
-
-      exp.row().add(tc.label).add(T).add(reps)
-          .add(est.coupled_disagreements)
-          .add(est.cobra_miss, 4).add(est.bips_miss, 4).add(z, 2);
-      if (tc.exact) {
-        exp.add(core::bips_exact_miss_probability(tc.g, tc.v, tc.c_set, T,
-                                                  opt),
-                4);
-      } else {
-        exp.add("-");
-      }
+       "|z|", "exact DP"}}};
+  def.cells = [] {
+    std::vector<runner::CellDef> out;
+    for (std::size_t i = 0; i < cases().size(); ++i) {
+      out.push_back({cases()[i].label, cases()[i].label,
+                     [i](runner::CellContext& ctx) { run_case(i, ctx); }});
     }
-    exp.rule();
-  }
-
-  exp.note(std::string("coupled identity: ") +
-           (all_coupled_ok ? "EXACT on every sampled omega (as proved)"
-                           : "VIOLATED — implementation bug"));
-  exp.note("max |z| over all cells = " + util::format_double(max_z, 2) +
-           " (|z| < 4 at these replicate counts means the two sides are "
-           "statistically indistinguishable)");
-  exp.finish();
-  return 0;
+    return out;
+  };
+  def.summarize = [](const std::vector<util::CsvTable>& tables) {
+    const auto disagree = tables[0].numeric_column("disagree");
+    const auto zs = tables[0].numeric_column("|z|");
+    bool all_coupled_ok = true;
+    for (const double d : disagree) all_coupled_ok &= (d == 0.0);
+    double max_z = 0.0;
+    for (const double z : zs) max_z = std::max(max_z, z);
+    return std::vector<std::string>{
+        std::string("coupled identity: ") +
+            (all_coupled_ok ? "EXACT on every sampled omega (as proved)"
+                            : "VIOLATED — implementation bug"),
+        "max |z| over all cells = " + util::format_double(max_z, 2) +
+            " (|z| < 4 at these replicate counts means the two sides are "
+            "statistically indistinguishable)"};
+  };
+  return def;
 }
+
+const runner::Registration reg(make_duality);
+
+}  // namespace

@@ -6,8 +6,13 @@
 // measured/lower >= 1 always; on K_n (where doubling is the only obstacle)
 // the ratio should be a small constant, showing the lower bound is nearly
 // achieved.
+//
+// Registry unit: one cell per graph instance.
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/bounds.hpp"
 #include "core/estimators.hpp"
@@ -15,56 +20,84 @@
 #include "graph/generators.hpp"
 #include "graph/random_generators.hpp"
 #include "rng/stream.hpp"
+#include "runner/registry.hpp"
 #include "sim/experiment.hpp"
 #include "sim/stats.hpp"
 #include "util/env.hpp"
-#include "util/table.hpp"
 
-int main() {
-  using namespace cobra;
+namespace {
+using namespace cobra;
+
+struct Case {
+  std::string label;
+  std::function<graph::Graph(rng::Rng&)> make;
+};
+
+const std::vector<Case>& cases() {
+  static const std::vector<Case> kCases = {
+      {"complete(4096)", [](rng::Rng&) { return graph::complete(4096); }},
+      {"complete(256)", [](rng::Rng&) { return graph::complete(256); }},
+      {"regular(1024,8)",
+       [](rng::Rng& rng) {
+         return graph::connected_random_regular(1024, 8, rng);
+       }},
+      {"hypercube(10)", [](rng::Rng&) { return graph::hypercube(10); }},
+      {"torus(33x33)", [](rng::Rng&) { return graph::torus_power(33, 2); }},
+      {"cycle(257)", [](rng::Rng&) { return graph::cycle(257); }},
+      {"path(257)", [](rng::Rng&) { return graph::path(257); }},
+      {"binary_tree(255)",
+       [](rng::Rng&) { return graph::binary_tree(255); }},
+  };
+  return kCases;
+}
+
+void run_case(std::size_t index, runner::CellContext& ctx) {
   const std::uint64_t seed = util::global_seed();
   const std::uint64_t reps = sim::default_replicates(24);
+  const Case& c = cases()[index];
 
-  sim::Experiment exp(
+  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 98), index);
+  const graph::Graph g = c.make(grng);
+  const auto diam = graph::diameter_estimate(g);
+  const double lower = core::bound_lower(g.num_vertices(), diam.value);
+  const auto samples = core::estimate_cobra_cover(
+      g, core::ProcessOptions{}, 0, reps, rng::derive_seed(seed, 401),
+      static_cast<std::uint64_t>(1e8));
+  const auto s = sim::summarize(samples.rounds);
+  ctx.row().add(c.label)
+      .add(static_cast<std::uint64_t>(g.num_vertices()))
+      .add(static_cast<std::uint64_t>(diam.value))
+      .add(std::log2(static_cast<double>(g.num_vertices())), 2)
+      .add(lower, 1).add(s.min, 0).add(s.mean, 1)
+      .add(s.mean / lower, 3);
+}
+
+runner::ExperimentDef make_lower_bound() {
+  runner::ExperimentDef def;
+  def.name = "lower_bound";
+  def.description =
+      "E10: structural lower bound max(log2 n, Diam) — every measured "
+      "cover time must exceed it";
+  def.tables = {{
       "exp_lower_bound",
       "Lower bound max(log2 n, Diam): every measured cover time must "
       "exceed it; K_n nearly achieves it (doubling is tight there).",
       {"graph", "n", "diam", "log2 n", "lower", "min", "mean",
-       "mean/lower"});
-
-  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 98), 0);
-  struct Case {
-    std::string label;
-    graph::Graph g;
+       "mean/lower"}}};
+  def.cells = [] {
+    std::vector<runner::CellDef> out;
+    for (std::size_t i = 0; i < cases().size(); ++i) {
+      out.push_back({cases()[i].label, "",
+                     [i](runner::CellContext& ctx) { run_case(i, ctx); }});
+    }
+    return out;
   };
-  const Case cases[] = {
-      {"complete(4096)", graph::complete(4096)},
-      {"complete(256)", graph::complete(256)},
-      {"regular(1024,8)", graph::connected_random_regular(1024, 8, grng)},
-      {"hypercube(10)", graph::hypercube(10)},
-      {"torus(33x33)", graph::torus_power(33, 2)},
-      {"cycle(257)", graph::cycle(257)},
-      {"path(257)", graph::path(257)},
-      {"binary_tree(255)", graph::binary_tree(255)},
-  };
-
-  for (const auto& c : cases) {
-    const graph::Graph& g = c.g;
-    const auto diam = graph::diameter_estimate(g);
-    const double lower = core::bound_lower(g.num_vertices(), diam.value);
-    const auto samples = core::estimate_cobra_cover(
-        g, core::ProcessOptions{}, 0, reps, rng::derive_seed(seed, 401),
-        static_cast<std::uint64_t>(1e8));
-    const auto s = sim::summarize(samples.rounds);
-    exp.row().add(c.label)
-        .add(static_cast<std::uint64_t>(g.num_vertices()))
-        .add(static_cast<std::uint64_t>(diam.value))
-        .add(std::log2(static_cast<double>(g.num_vertices())), 2)
-        .add(lower, 1).add(s.min, 0).add(s.mean, 1)
-        .add(s.mean / lower, 3);
-  }
-  exp.note("every 'min' column entry must be >= 'lower' (exact, not "
-           "statistical); mean/lower ~ 2-3 on K_n shows near-tightness.");
-  exp.finish();
-  return 0;
+  def.notes = {
+      "every 'min' column entry must be >= 'lower' (exact, not "
+      "statistical); mean/lower ~ 2-3 on K_n shows near-tightness."};
+  return def;
 }
+
+const runner::Registration reg(make_lower_bound);
+
+}  // namespace

@@ -6,90 +6,123 @@
 //   (18): E(Y_l | past) >= 1/2      — minimum conditional drift per step;
 //   Lemma 2.1: the normalised sums S_q = sum Z_l, Z_l = (1/2 - Y_l)/dmax,
 //     obey P(S_q > delta sqrt(q)) < e^{-delta^2/2} empirically.
+//
+// Registry unit: one cell per graph instance.
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/azuma.hpp"
 #include "core/martingale.hpp"
 #include "graph/generators.hpp"
 #include "graph/random_generators.hpp"
 #include "rng/stream.hpp"
-#include "sim/experiment.hpp"
+#include "runner/registry.hpp"
 #include "sim/stats.hpp"
 #include "util/env.hpp"
-#include "util/table.hpp"
 
-int main() {
-  using namespace cobra;
+namespace {
+using namespace cobra;
+
+struct Case {
+  std::string label;
+  std::function<graph::Graph(rng::Rng&)> make;
+};
+
+const std::vector<Case>& cases() {
+  static const std::vector<Case> kCases = {
+      {"cycle(128)", [](rng::Rng&) { return graph::cycle(128); }},
+      {"lollipop(16,64)", [](rng::Rng&) { return graph::lollipop(16, 64); }},
+      {"regular(256,4)",
+       [](rng::Rng& rng) {
+         return graph::connected_random_regular(256, 4, rng);
+       }},
+      {"barabasi_albert(256)",
+       [](rng::Rng& rng) { return graph::barabasi_albert(256, 2, rng); }},
+  };
+  return kCases;
+}
+
+void run_case(std::size_t index, runner::CellContext& ctx) {
   const std::uint64_t seed = util::global_seed();
   const auto runs = static_cast<std::uint64_t>(util::scaled(400, 50));
+  const Case& c = cases()[index];
 
-  sim::Experiment exp(
+  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 95), index);
+  const graph::Graph g = c.make(grng);
+
+  const double dmax = static_cast<double>(g.max_degree());
+  double worst_identity = 0.0;
+  double min_drift = 1e18;
+  std::vector<double> all_y;
+  // Tail statistics of S_q at a fixed prefix length q.
+  const std::size_t q = 64;
+  const double delta = 1.0;
+  std::uint64_t tail_hits = 0, tail_total = 0;
+
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    auto rng = rng::make_stream(rng::derive_seed(seed, 96), run);
+    const auto trace = core::run_bips_serialized(
+        g, 0, core::ProcessOptions{}, 1u << 22, rng);
+    worst_identity = std::max(
+        worst_identity, core::trace_identity_violation(g, 0, trace));
+    double s_q = 0.0;
+    for (std::size_t l = 0; l < trace.steps.size(); ++l) {
+      const auto& step = trace.steps[l];
+      min_drift = std::min(min_drift, step.conditional_mean);
+      all_y.push_back(step.y);
+      if (l < q) s_q += (0.5 - step.y) / dmax;  // Z_l
+    }
+    if (trace.steps.size() >= q) {
+      ++tail_total;
+      if (s_q > delta * std::sqrt(static_cast<double>(q))) ++tail_hits;
+    }
+  }
+
+  const double empirical_tail =
+      tail_total > 0
+          ? static_cast<double>(tail_hits) / static_cast<double>(tail_total)
+          : 0.0;
+  ctx.row().add(c.label).add(runs)
+      .add(worst_identity, 6)
+      .add(min_drift, 3)
+      .add(sim::mean(all_y), 3)
+      .add(static_cast<std::uint64_t>(q)).add(delta, 2)
+      .add(empirical_tail, 4)
+      .add(core::azuma_tail_lemma21(delta), 4);
+}
+
+runner::ExperimentDef make_martingale() {
+  runner::ExperimentDef def;
+  def.name = "martingale";
+  def.description =
+      "E11: Section 3 serialised-BIPS martingale — identity (14), drift "
+      "(18), Azuma tail of Lemma 2.1";
+  def.tables = {{
       "exp_martingale",
       "Section 3 serialisation: identity (14) exact, drift (18) >= 1/2, and "
       "the Azuma tail of Lemma 2.1 vs the empirical tail of S_q.",
       {"graph", "runs", "max |(14) violation|", "min drift", "mean Y",
-       "q", "delta", "empirical tail", "azuma bound"});
-
-  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 95), 0);
-  struct Case {
-    std::string label;
-    graph::Graph g;
-  };
-  const Case cases[] = {
-      {"cycle(128)", graph::cycle(128)},
-      {"lollipop(16,64)", graph::lollipop(16, 64)},
-      {"regular(256,4)", graph::connected_random_regular(256, 4, grng)},
-      {"barabasi_albert(256)", graph::barabasi_albert(256, 2, grng)},
-  };
-
-  for (const auto& c : cases) {
-    const double dmax = static_cast<double>(c.g.max_degree());
-    double worst_identity = 0.0;
-    double min_drift = 1e18;
-    std::vector<double> all_y;
-    // Tail statistics of S_q at a fixed prefix length q.
-    const std::size_t q = 64;
-    const double delta = 1.0;
-    std::uint64_t tail_hits = 0, tail_total = 0;
-
-    for (std::uint64_t run = 0; run < runs; ++run) {
-      auto rng = rng::make_stream(rng::derive_seed(seed, 96), run);
-      const auto trace = core::run_bips_serialized(
-          c.g, 0, core::ProcessOptions{}, 1u << 22, rng);
-      worst_identity = std::max(
-          worst_identity, core::trace_identity_violation(c.g, 0, trace));
-      double s_q = 0.0;
-      for (std::size_t l = 0; l < trace.steps.size(); ++l) {
-        const auto& step = trace.steps[l];
-        min_drift = std::min(min_drift, step.conditional_mean);
-        all_y.push_back(step.y);
-        if (l < q) s_q += (0.5 - step.y) / dmax;  // Z_l
-      }
-      if (trace.steps.size() >= q) {
-        ++tail_total;
-        if (s_q > delta * std::sqrt(static_cast<double>(q))) ++tail_hits;
-      }
+       "q", "delta", "empirical tail", "azuma bound"}}};
+  def.cells = [] {
+    std::vector<runner::CellDef> out;
+    for (std::size_t i = 0; i < cases().size(); ++i) {
+      out.push_back({cases()[i].label, "",
+                     [i](runner::CellContext& ctx) { run_case(i, ctx); }});
     }
-
-    const double empirical_tail =
-        tail_total > 0
-            ? static_cast<double>(tail_hits) / static_cast<double>(tail_total)
-            : 0.0;
-    exp.row().add(c.label).add(runs)
-        .add(worst_identity, 6)
-        .add(min_drift, 3)
-        .add(sim::mean(all_y), 3)
-        .add(static_cast<std::uint64_t>(q)).add(delta, 2)
-        .add(empirical_tail, 4)
-        .add(core::azuma_tail_lemma21(delta), 4);
-  }
-
-  exp.note("(14) violation must be exactly 0; min drift must be >= 0.5 "
-           "(paper eq. (18)); empirical tail must not exceed the Azuma "
-           "bound (the bound is loose because the real drift is positive, "
-           "not just non-negative).");
-  exp.finish();
-  return 0;
+    return out;
+  };
+  def.notes = {
+      "(14) violation must be exactly 0; min drift must be >= 0.5 "
+      "(paper eq. (18)); empirical tail must not exceed the Azuma "
+      "bound (the bound is loose because the real drift is positive, "
+      "not just non-negative)."};
+  return def;
 }
+
+const runner::Registration reg(make_martingale);
+
+}  // namespace

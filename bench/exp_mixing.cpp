@@ -8,84 +8,116 @@
 // mixes fast, yet still covers in ~n rounds on cycles where the walk needs
 // ~n^2 to mix — covering is cheaper than mixing, which is why the paper's
 // direct BIPS analysis beats mixing-based arguments.
+//
+// Registry unit: one cell per graph instance.
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/estimators.hpp"
 #include "graph/generators.hpp"
 #include "graph/random_generators.hpp"
 #include "rng/stream.hpp"
+#include "runner/registry.hpp"
 #include "sim/experiment.hpp"
 #include "sim/stats.hpp"
 #include "spectral/mixing.hpp"
 #include "spectral/spectral.hpp"
 #include "util/env.hpp"
-#include "util/table.hpp"
 
-int main() {
-  using namespace cobra;
+namespace {
+using namespace cobra;
+
+struct Case {
+  std::string label;
+  std::function<graph::Graph(rng::Rng&)> make;
+};
+
+const std::vector<Case>& cases() {
+  static const std::vector<Case> kCases = {
+      {"complete(512)", [](rng::Rng&) { return graph::complete(512); }},
+      {"regular(512,4)",
+       [](rng::Rng& rng) {
+         return graph::connected_random_regular(512, 4, rng);
+       }},
+      {"hypercube(9)", [](rng::Rng&) { return graph::hypercube(9); }},
+      {"torus(23x23)", [](rng::Rng&) { return graph::torus_power(23, 2); }},
+      {"cycle(513)", [](rng::Rng&) { return graph::cycle(513); }},
+      {"barbell(24,1)", [](rng::Rng&) { return graph::barbell(24, 1); }},
+  };
+  return kCases;
+}
+
+void run_case(std::size_t index, runner::CellContext& ctx) {
   const std::uint64_t seed = util::global_seed();
   const std::uint64_t reps = sim::default_replicates(24);
+  const Case& c = cases()[index];
 
-  sim::Experiment exp(
+  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 801), index);
+  const graph::Graph g = c.make(grng);
+
+  // Lazy-walk gap: every eigenvalue mu maps to (1+mu)/2, so
+  // lambda_lazy = (1 + mu2)/2 where mu2 is the second-largest.
+  const auto spec = spectral::compute_lambda(g, seed);
+  // For bipartite graphs lambda = |mu_n| = 1; the lazy chain's lambda is
+  // still (1 + mu2)/2 < 1, which compute_lambda does not give directly,
+  // so recover mu2 from the lazy mixing itself when lambda ~ 1.
+  const double t_mix = static_cast<double>(
+      spectral::exact_mixing_time(g, 0, 0.25, 0.5, 1u << 22));
+  double lambda_lazy;
+  if (spec.lambda < 1.0 - 1e-9) {
+    lambda_lazy = (1.0 + spec.lambda) / 2.0;
+  } else {
+    // mu2 unknown from |.|-lambda; bound t_rel from the measured t_mix
+    // (t_rel <= t_mix / ln 2 is the standard reverse inequality).
+    lambda_lazy = 1.0 - std::log(2.0) / std::max(1.0, t_mix);
+  }
+  const double t_rel = spectral::relaxation_time(lambda_lazy);
+  const double bound = spectral::mixing_time_bound(g, lambda_lazy, 0.25);
+
+  const auto samples = core::estimate_cobra_cover(
+      g, core::ProcessOptions{}, 0, reps, rng::derive_seed(seed, 802),
+      static_cast<std::uint64_t>(1e8));
+  const auto s = sim::summarize(samples.rounds);
+
+  ctx.row().add(c.label)
+      .add(static_cast<std::uint64_t>(g.num_vertices()))
+      .add(spec.lambda, 4)
+      .add(t_rel, 1).add(t_mix, 0).add(bound, 0)
+      .add(s.mean, 1)
+      .add(s.mean / std::max(1.0, t_mix), 3);
+}
+
+runner::ExperimentDef make_mixing() {
+  runner::ExperimentDef def;
+  def.name = "mixing";
+  def.description =
+      "E17: mixing vs covering — exact lazy-walk t_mix and spectral bound "
+      "next to measured COBRA cover";
+  def.tables = {{
       "exp_mixing",
       "Mixing vs covering: exact lazy-walk t_mix(1/4), spectral bound, and "
       "measured COBRA cover time (cover << t_mix on slow-mixing graphs).",
       {"graph", "n", "lambda", "t_rel", "t_mix exact", "t_mix bound",
-       "cover mean", "cover/t_mix"});
-
-  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 801), 0);
-  struct Case {
-    std::string label;
-    graph::Graph g;
-  };
-  const Case cases[] = {
-      {"complete(512)", graph::complete(512)},
-      {"regular(512,4)", graph::connected_random_regular(512, 4, grng)},
-      {"hypercube(9)", graph::hypercube(9)},
-      {"torus(23x23)", graph::torus_power(23, 2)},
-      {"cycle(513)", graph::cycle(513)},
-      {"barbell(24,1)", graph::barbell(24, 1)},
-  };
-
-  for (const auto& c : cases) {
-    const graph::Graph& g = c.g;
-    // Lazy-walk gap: every eigenvalue mu maps to (1+mu)/2, so
-    // lambda_lazy = (1 + mu2)/2 where mu2 is the second-largest.
-    const auto spec = spectral::compute_lambda(g, seed);
-    // For bipartite graphs lambda = |mu_n| = 1; the lazy chain's lambda is
-    // still (1 + mu2)/2 < 1, which compute_lambda does not give directly,
-    // so recover mu2 from the lazy mixing itself when lambda ~ 1.
-    const double t_mix = static_cast<double>(
-        spectral::exact_mixing_time(g, 0, 0.25, 0.5, 1u << 22));
-    double lambda_lazy;
-    if (spec.lambda < 1.0 - 1e-9) {
-      lambda_lazy = (1.0 + spec.lambda) / 2.0;
-    } else {
-      // mu2 unknown from |.|-lambda; bound t_rel from the measured t_mix
-      // (t_rel <= t_mix / ln 2 is the standard reverse inequality).
-      lambda_lazy = 1.0 - std::log(2.0) / std::max(1.0, t_mix);
+       "cover mean", "cover/t_mix"}}};
+  def.cells = [] {
+    std::vector<runner::CellDef> out;
+    for (std::size_t i = 0; i < cases().size(); ++i) {
+      out.push_back({cases()[i].label, "",
+                     [i](runner::CellContext& ctx) { run_case(i, ctx); }});
     }
-    const double t_rel = spectral::relaxation_time(lambda_lazy);
-    const double bound = spectral::mixing_time_bound(g, lambda_lazy, 0.25);
-
-    const auto samples = core::estimate_cobra_cover(
-        g, core::ProcessOptions{}, 0, reps, rng::derive_seed(seed, 802),
-        static_cast<std::uint64_t>(1e8));
-    const auto s = sim::summarize(samples.rounds);
-
-    exp.row().add(c.label)
-        .add(static_cast<std::uint64_t>(g.num_vertices()))
-        .add(spec.lambda, 4)
-        .add(t_rel, 1).add(t_mix, 0).add(bound, 0)
-        .add(s.mean, 1)
-        .add(s.mean / std::max(1.0, t_mix), 3);
-  }
-
-  exp.note("cover/t_mix >> 1 on fast mixers (K_n: covering needs log n "
-           "rounds, mixing is instant) but << 1 on slow mixers (cycle: "
-           "cover ~ n vs t_mix ~ n^2) — covering does not wait for mixing, "
-           "the structural insight behind the paper's direct analysis.");
-  exp.finish();
-  return 0;
+    return out;
+  };
+  def.notes = {
+      "cover/t_mix >> 1 on fast mixers (K_n: covering needs log n "
+      "rounds, mixing is instant) but << 1 on slow mixers (cycle: "
+      "cover ~ n vs t_mix ~ n^2) — covering does not wait for mixing, "
+      "the structural insight behind the paper's direct analysis."};
+  return def;
 }
+
+const runner::Registration reg(make_mixing);
+
+}  // namespace

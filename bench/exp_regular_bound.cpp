@@ -9,96 +9,131 @@
 // The paper's claims to verify: (i) measured p95 <= O(thm1.2), (ii) thm1.2
 // beats PODC'16 whenever 1-lambda = o(1/sqrt(r)), and beats SPAA'16
 // throughout (via Cheeger 1-lambda >= phi^2/2).
+//
+// Registry unit: one cell per regular instance; random-regular cells
+// derive their generator stream from the degree.
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/bounds.hpp"
 #include "core/estimators.hpp"
 #include "graph/generators.hpp"
 #include "graph/random_generators.hpp"
 #include "rng/stream.hpp"
+#include "runner/registry.hpp"
 #include "sim/experiment.hpp"
 #include "sim/stats.hpp"
 #include "spectral/conductance.hpp"
 #include "spectral/spectral.hpp"
 #include "util/env.hpp"
-#include "util/table.hpp"
 
-int main() {
-  using namespace cobra;
+namespace {
+using namespace cobra;
+
+struct Case {
+  std::string label;
+  std::function<graph::Graph(graph::VertexId n_base, rng::Rng&)> make;
+};
+
+std::vector<Case> cases() {
+  std::vector<Case> out;
+  for (const std::uint32_t r : {3u, 8u, 16u, 32u}) {
+    out.push_back({"random_regular r=" + std::to_string(r),
+                   [r](graph::VertexId n_base, rng::Rng& rng) {
+                     return graph::connected_random_regular(n_base, r, rng);
+                   }});
+  }
+  out.push_back({"odd cycle (tiny gap)",
+                 [](graph::VertexId n_base, rng::Rng&) {
+                   return graph::cycle(n_base | 1u);
+                 }});
+  out.push_back({"2D torus (odd side)",
+                 [](graph::VertexId n_base, rng::Rng&) {
+                   const auto side = static_cast<graph::VertexId>(
+                       std::lround(std::sqrt(static_cast<double>(n_base))) |
+                       1);
+                   return graph::torus_power(side, 2);
+                 }});
+  return out;
+}
+
+void run_case(std::size_t index, runner::CellContext& ctx) {
   const std::uint64_t seed = util::global_seed();
   const std::uint64_t reps = sim::default_replicates(24);
+  const auto n_base = static_cast<graph::VertexId>(util::scaled(1024, 128));
+  const Case c = cases()[index];
 
-  sim::Experiment exp(
+  rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 21), index);
+  const graph::Graph g = c.make(n_base, grng);
+
+  const auto spec = spectral::compute_lambda(g, seed);
+  const double phi = spectral::estimate_conductance(g, seed);
+  const double margin =
+      spectral::gap_condition_margin(spec.lambda, g.num_vertices());
+
+  const double b_new = core::bound_thm12_regular(
+      g.num_vertices(), g.max_degree(), spec.lambda);
+  const double b_podc =
+      core::bound_podc16_regular(g.num_vertices(), spec.lambda);
+  const double b_spaa = core::bound_spaa16_regular(
+      g.num_vertices(), g.max_degree(), phi);
+
+  const auto samples = core::estimate_cobra_cover(
+      g, core::ProcessOptions{}, 0, reps, rng::derive_seed(seed, 22),
+      static_cast<std::uint64_t>(100.0 * b_new) + 10000);
+  const auto s = sim::summarize(samples.rounds);
+
+  const char* winner = (b_new <= b_podc && b_new <= b_spaa) ? "thm1.2"
+                       : (b_podc <= b_spaa)                 ? "podc16"
+                                                            : "spaa16";
+  ctx.row().add(c.label)
+      .add(static_cast<std::uint64_t>(g.num_vertices()))
+      .add(static_cast<std::uint64_t>(g.max_degree()))
+      .add(spec.lambda, 5).add(margin, 2)
+      .add(s.mean, 1).add(s.p95, 1)
+      .add(b_new, 0).add(b_podc, 0).add(b_spaa, 0)
+      .add(s.p95 / b_new, 4).add(winner);
+  if (samples.timeouts > 0)
+    ctx.note(c.label + ": " + std::to_string(samples.timeouts) +
+             " timeouts!");
+}
+
+runner::ExperimentDef make_regular_bound() {
+  runner::ExperimentDef def;
+  def.name = "regular_bound";
+  def.description =
+      "E2: Theorem 1.2 cover = O((r/gap + r^2) ln n) on regular graphs vs "
+      "the PODC'16 and SPAA'16 predecessors";
+  def.tables = {{
       "exp_regular_bound",
       "Theorem 1.2: cover = O((r/gap + r^2) ln n) on r-regular graphs; "
       "comparison with PODC'16 (ln n/gap^3) and SPAA'16 (r^4/phi^2 ln^2 n).",
       {"graph", "n", "r", "lambda", "margin", "mean", "p95", "thm1.2",
-       "podc16", "spaa16", "p95/thm1.2", "winner"});
-
-  struct Case {
-    std::string label;
-    graph::Graph g;
-  };
-  std::vector<Case> cases;
-  const auto n_base = static_cast<graph::VertexId>(util::scaled(1024, 128));
-  {
-    rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 21), 0);
-    for (const std::uint32_t r : {3u, 8u, 16u, 32u}) {
-      cases.push_back({"random_regular r=" + std::to_string(r),
-                       graph::connected_random_regular(n_base, r, grng)});
+       "podc16", "spaa16", "p95/thm1.2", "winner"}}};
+  def.cells = [] {
+    std::vector<runner::CellDef> out;
+    const auto all = cases();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      out.push_back({all[i].label, "",
+                     [i](runner::CellContext& ctx) { run_case(i, ctx); }});
     }
-  }
-  cases.push_back({"odd cycle (tiny gap)",
-                   graph::cycle(n_base | 1u)});
-  {
-    const auto side = static_cast<graph::VertexId>(
-        std::lround(std::sqrt(static_cast<double>(n_base))) | 1);
-    cases.push_back({"2D torus (odd side)", graph::torus_power(side, 2)});
-  }
-
-  for (const auto& c : cases) {
-    const graph::Graph& g = c.g;
-    const auto spec = spectral::compute_lambda(g, seed);
-    const double phi = spectral::estimate_conductance(g, seed);
-    const double margin =
-        spectral::gap_condition_margin(spec.lambda, g.num_vertices());
-
-    const double b_new = core::bound_thm12_regular(
-        g.num_vertices(), g.max_degree(), spec.lambda);
-    const double b_podc =
-        core::bound_podc16_regular(g.num_vertices(), spec.lambda);
-    const double b_spaa = core::bound_spaa16_regular(
-        g.num_vertices(), g.max_degree(), phi);
-
-    const auto samples = core::estimate_cobra_cover(
-        g, core::ProcessOptions{}, 0, reps, rng::derive_seed(seed, 22),
-        static_cast<std::uint64_t>(100.0 * b_new) + 10000);
-    const auto s = sim::summarize(samples.rounds);
-
-    const char* winner = (b_new <= b_podc && b_new <= b_spaa) ? "thm1.2"
-                         : (b_podc <= b_spaa)                 ? "podc16"
-                                                              : "spaa16";
-    exp.row().add(c.label)
-        .add(static_cast<std::uint64_t>(g.num_vertices()))
-        .add(static_cast<std::uint64_t>(g.max_degree()))
-        .add(spec.lambda, 5).add(margin, 2)
-        .add(s.mean, 1).add(s.p95, 1)
-        .add(b_new, 0).add(b_podc, 0).add(b_spaa, 0)
-        .add(s.p95 / b_new, 4).add(winner);
-    if (samples.timeouts > 0)
-      exp.note(c.label + ": " + std::to_string(samples.timeouts) +
-               " timeouts!");
-  }
-
-  exp.note("margin = (1-lambda)/sqrt(ln n/n): Theorem 1.2 assumes this "
-           "exceeds a constant C; rows with small margins (odd cycle) sit "
-           "outside the theorem's regime and are shown for contrast.");
-  exp.note("expected shape: p95/thm1.2 << 1 everywhere (the theorem's "
-           "constants are >> 1). 'winner' = thm1.2 exactly where the paper "
-           "claims the improvement: 1-lambda small relative to 1/sqrt(r) "
-           "(low-degree expanders r=3, tori, cycles); podc16 remains "
-           "smaller on strong expanders with large gap, as expected.");
-  exp.finish();
-  return 0;
+    return out;
+  };
+  def.notes = {
+      "margin = (1-lambda)/sqrt(ln n/n): Theorem 1.2 assumes this "
+      "exceeds a constant C; rows with small margins (odd cycle) sit "
+      "outside the theorem's regime and are shown for contrast.",
+      "expected shape: p95/thm1.2 << 1 everywhere (the theorem's "
+      "constants are >> 1). 'winner' = thm1.2 exactly where the paper "
+      "claims the improvement: 1-lambda small relative to 1/sqrt(r) "
+      "(low-degree expanders r=3, tori, cycles); podc16 remains "
+      "smaller on strong expanders with large gap, as expected."};
+  return def;
 }
+
+const runner::Registration reg(make_regular_bound);
+
+}  // namespace

@@ -1,0 +1,13 @@
+// Back-compat shim: each historical exp_* binary is this file compiled
+// with COBRA_EXP_NAME set, running `cobra run <name>` — same one-shot
+// console table and canonical CSV as before, plus the runner flags
+// (--scale/--seed/--shard/--resume/...) for free.
+#include "runner/cli.hpp"
+
+#ifndef COBRA_EXP_NAME
+#error "COBRA_EXP_NAME must name a registered experiment"
+#endif
+
+int main(int argc, char** argv) {
+  return cobra::runner::standalone_main(COBRA_EXP_NAME, argc - 1, argv + 1);
+}

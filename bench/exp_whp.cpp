@@ -7,40 +7,36 @@
 // the exceedance at a fixed multiple must DECREASE with n — the defining
 // fingerprint of a w.h.p. (rather than merely in-expectation) bound.
 // Also demonstrates the paper's restart argument operationally.
+//
+// Registry unit: one cell per (family, size) point.
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "core/estimators.hpp"
-#include "sim/monte_carlo.hpp"
 #include "core/restart.hpp"
 #include "graph/generators.hpp"
 #include "graph/random_generators.hpp"
 #include "rng/stream.hpp"
-#include "sim/experiment.hpp"
+#include "runner/registry.hpp"
+#include "sim/monte_carlo.hpp"
 #include "sim/stats.hpp"
 #include "sim/survival.hpp"
 #include "util/env.hpp"
-#include "util/table.hpp"
 
-int main() {
-  using namespace cobra;
-  const std::uint64_t seed = util::global_seed();
-  const auto reps = static_cast<std::uint64_t>(util::scaled(400, 64));
+namespace {
+using namespace cobra;
 
-  sim::Experiment exp(
-      "exp_whp",
-      "W.h.p. shape: P(cover > a * median) with Wilson CIs must fall with n "
-      "(geometric tails); plus the Section-1 restart argument in action.",
-      {"graph", "n", "median", "P(>1.5x med)", "ci high", "P(>2x med)",
-       "ci high", "whp@1%", "restart epochs (mean)"});
+struct FamilyCase {
+  std::string label;
+  std::function<graph::Graph(graph::VertexId, rng::Rng&)> make;
+  std::vector<graph::VertexId> sizes;
+};
 
-  struct FamilyCase {
-    std::string label;
-    std::function<graph::Graph(graph::VertexId, rng::Rng&)> make;
-    std::vector<graph::VertexId> sizes;
-  };
-  const FamilyCase families[] = {
+const std::vector<FamilyCase>& families() {
+  static const std::vector<FamilyCase> kFamilies = {
       {"complete",
        [](graph::VertexId n, rng::Rng&) { return graph::complete(n); },
        {128, 512, 2048}},
@@ -55,49 +51,82 @@ int main() {
        },
        {11, 21, 41}},  // sides; n = side^2
   };
-
-  for (const auto& family : families) {
-    for (const auto size : family.sizes) {
-      rng::Rng grng =
-          rng::make_stream(rng::derive_seed(seed, 501), size * 31 + 1);
-      const graph::Graph g = family.make(size, grng);
-      const auto samples = core::estimate_cobra_cover(
-          g, core::ProcessOptions{}, 0, reps,
-          rng::derive_seed(seed, 502 + size), 10'000'000);
-      const double median = sim::quantile(samples.rounds, 0.5);
-      const auto e15 =
-          sim::exceedance_probability(samples.rounds, 1.5 * median);
-      const auto e20 =
-          sim::exceedance_probability(samples.rounds, 2.0 * median);
-      const double whp1 = sim::whp_round_count(samples.rounds, 0.01);
-
-      // Restart argument: epochs of length 2x median; mean epoch count must
-      // be ~1/(1 - P(> epoch)) and total rounds finite for every replicate.
-      std::vector<double> epochs(reps);
-      sim::parallel_replicates(
-          reps, rng::derive_seed(seed, 503 + size),
-          [&](std::uint64_t i, rng::Rng& rng) {
-            core::CobraProcess p(g);
-            p.reset(graph::VertexId{0});
-            const auto r = core::run_cover_with_restarts(
-                p, rng, static_cast<std::uint64_t>(2.0 * median) + 1);
-            epochs[i] = static_cast<double>(r.epochs);
-          });
-
-      exp.row().add(family.label)
-          .add(static_cast<std::uint64_t>(g.num_vertices()))
-          .add(median, 1)
-          .add(e15.probability, 4).add(e15.ci.high, 4)
-          .add(e20.probability, 4).add(e20.ci.high, 4)
-          .add(whp1, 1)
-          .add(sim::mean(epochs), 3);
-    }
-    exp.rule();
-  }
-  exp.note("fixed-multiple exceedance falling with n == the w.h.p. property "
-           "(for an in-expectation-only bound it would stay flat).");
-  exp.note("mean restart epochs ~ 1 confirms the geometric-series argument "
-           "that converts the w.h.p. bound into E[cover] = O(bound).");
-  exp.finish();
-  return 0;
+  return kFamilies;
 }
+
+void run_point(std::size_t family_index, graph::VertexId size,
+               runner::CellContext& ctx) {
+  const std::uint64_t seed = util::global_seed();
+  const auto reps = static_cast<std::uint64_t>(util::scaled(400, 64));
+  const FamilyCase& family = families()[family_index];
+
+  rng::Rng grng =
+      rng::make_stream(rng::derive_seed(seed, 501), size * 31 + 1);
+  const graph::Graph g = family.make(size, grng);
+  const auto samples = core::estimate_cobra_cover(
+      g, core::ProcessOptions{}, 0, reps,
+      rng::derive_seed(seed, 502 + size), 10'000'000);
+  const double median = sim::quantile(samples.rounds, 0.5);
+  const auto e15 = sim::exceedance_probability(samples.rounds, 1.5 * median);
+  const auto e20 = sim::exceedance_probability(samples.rounds, 2.0 * median);
+  const double whp1 = sim::whp_round_count(samples.rounds, 0.01);
+
+  // Restart argument: epochs of length 2x median; mean epoch count must
+  // be ~1/(1 - P(> epoch)) and total rounds finite for every replicate.
+  std::vector<double> epochs(reps);
+  sim::parallel_replicates(
+      reps, rng::derive_seed(seed, 503 + size),
+      [&](std::uint64_t i, rng::Rng& rng) {
+        core::CobraProcess p(g);
+        p.reset(graph::VertexId{0});
+        const auto r = core::run_cover_with_restarts(
+            p, rng, static_cast<std::uint64_t>(2.0 * median) + 1);
+        epochs[i] = static_cast<double>(r.epochs);
+      });
+
+  ctx.row().add(family.label)
+      .add(static_cast<std::uint64_t>(g.num_vertices()))
+      .add(median, 1)
+      .add(e15.probability, 4).add(e15.ci.high, 4)
+      .add(e20.probability, 4).add(e20.ci.high, 4)
+      .add(whp1, 1)
+      .add(sim::mean(epochs), 3);
+}
+
+runner::ExperimentDef make_whp() {
+  runner::ExperimentDef def;
+  def.name = "whp";
+  def.description =
+      "E15: the w.h.p. shape — exceedance at fixed median multiples must "
+      "fall with n; restart argument in action";
+  def.tables = {{
+      "exp_whp",
+      "W.h.p. shape: P(cover > a * median) with Wilson CIs must fall with n "
+      "(geometric tails); plus the Section-1 restart argument in action.",
+      {"graph", "n", "median", "P(>1.5x med)", "ci high", "P(>2x med)",
+       "ci high", "whp@1%", "restart epochs (mean)"}}};
+  def.cells = [] {
+    std::vector<runner::CellDef> out;
+    for (std::size_t f = 0; f < families().size(); ++f) {
+      for (const graph::VertexId size : families()[f].sizes) {
+        out.push_back({families()[f].label + "/size=" +
+                           std::to_string(size),
+                       families()[f].label,
+                       [f, size](runner::CellContext& ctx) {
+                         run_point(f, size, ctx);
+                       }});
+      }
+    }
+    return out;
+  };
+  def.notes = {
+      "fixed-multiple exceedance falling with n == the w.h.p. property "
+      "(for an in-expectation-only bound it would stay flat).",
+      "mean restart epochs ~ 1 confirms the geometric-series argument "
+      "that converts the w.h.p. bound into E[cover] = O(bound)."};
+  return def;
+}
+
+const runner::Registration reg(make_whp);
+
+}  // namespace

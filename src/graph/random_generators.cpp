@@ -99,9 +99,13 @@ void pairing_with_repair(VertexId n, std::uint32_t r, rng::Rng& rng,
   };
   std::set<std::pair<VertexId, VertexId>> simple;
   std::vector<std::size_t> bad;
+  std::vector<char> is_bad(edges.size(), 0);
   for (std::size_t i = 0; i < edges.size(); ++i) {
     const auto e = canonical(edges[i]);
-    if (e.first == e.second || !simple.emplace(e).second) bad.push_back(i);
+    if (e.first == e.second || !simple.emplace(e).second) {
+      bad.push_back(i);
+      is_bad[i] = 1;
+    }
   }
 
   std::uint64_t guard = 0;
@@ -115,9 +119,13 @@ void pairing_with_repair(VertexId n, std::uint32_t r, rng::Rng& rng,
     const std::size_t i = bad.back();
     const std::size_t j = static_cast<std::size_t>(rng.below(edges.size()));
     if (i == j) continue;
+    // j must be a good edge: testing `simple` membership is NOT enough —
+    // a duplicate bad edge's canonical form is in `simple` via its good
+    // twin, and switching with it would strand that twin outside `simple`
+    // (a later switch could then re-create the pair, leaving a duplicate
+    // in the final edge list).
+    if (is_bad[j]) continue;
     const auto ej = canonical(edges[j]);
-    if (ej.first == ej.second) continue;
-    if (simple.find(ej) == simple.end()) continue;  // j itself is bad
     // Propose switch: (u,v),(x,y) -> (u,x),(v,y).
     const auto [u, v] = edges[i];
     const auto [x, y] = edges[j];
@@ -130,6 +138,7 @@ void pairing_with_repair(VertexId n, std::uint32_t r, rng::Rng& rng,
     simple.insert(e2);
     edges[i] = e1;
     edges[j] = e2;
+    is_bad[i] = 0;
     bad.pop_back();
   }
 }

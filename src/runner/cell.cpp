@@ -1,0 +1,54 @@
+#include "runner/cell.hpp"
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace cobra::runner {
+
+CellContext::CellContext(std::size_t num_tables) : tables_(num_tables) {
+  COBRA_CHECK(num_tables > 0);
+}
+
+CellContext& CellContext::table(std::size_t index) {
+  COBRA_CHECK_MSG(index < tables_.size(),
+                  "cell targets table " << index << " of "
+                                        << tables_.size());
+  current_table_ = index;
+  row_open_ = false;
+  return *this;
+}
+
+CellContext& CellContext::row() {
+  tables_[current_table_].emplace_back();
+  row_open_ = true;
+  return *this;
+}
+
+CellContext& CellContext::add(const std::string& cell) {
+  COBRA_CHECK_MSG(row_open_, "add() before row()");
+  tables_[current_table_].back().push_back(CellValue{cell, cell});
+  return *this;
+}
+
+CellContext& CellContext::add(const char* cell) {
+  return add(std::string(cell));
+}
+
+CellContext& CellContext::add(double value, int decimals) {
+  COBRA_CHECK_MSG(row_open_, "add() before row()");
+  tables_[current_table_].back().push_back(CellValue{
+      util::format_double(value, decimals), util::format_double(value, 6)});
+  return *this;
+}
+
+CellContext& CellContext::add(std::int64_t value) {
+  return add(std::to_string(value));
+}
+
+CellContext& CellContext::add(std::uint64_t value) {
+  return add(std::to_string(value));
+}
+
+void CellContext::note(const std::string& text) { notes_.push_back(text); }
+
+}  // namespace cobra::runner

@@ -1,0 +1,63 @@
+// The row buffer a cell body writes into.
+//
+// Mirrors sim::Experiment's fluent add() interface, but keeps every cell
+// as (console text, CSV text) pairs in memory instead of streaming to
+// disk: the sweep layer flushes a cell's rows and journals the cell as one
+// atomic unit, which is what makes interrupted shards resumable without
+// duplicated or torn rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cobra::runner {
+
+/// One table cell, formatted for both output channels (the console shows
+/// per-column decimals, the CSV archives six).
+struct CellValue {
+  std::string console_text;
+  std::string csv_text;
+};
+
+using CellRow = std::vector<CellValue>;
+
+class CellContext {
+ public:
+  explicit CellContext(std::size_t num_tables);
+
+  /// Targets subsequent row()/add() calls at table `index` (default 0).
+  CellContext& table(std::size_t index);
+
+  CellContext& row();
+  CellContext& add(const std::string& cell);
+  CellContext& add(const char* cell);
+  CellContext& add(double value, int decimals = 3);
+  CellContext& add(std::int64_t value);
+  CellContext& add(std::uint64_t value);
+  CellContext& add(int value) { return add(static_cast<std::int64_t>(value)); }
+
+  /// Cell-local observation (e.g. "3 timeouts!"); printed with the cell's
+  /// progress line and, on unsharded runs, under the table.
+  void note(const std::string& text);
+
+  [[nodiscard]] const std::vector<std::vector<CellRow>>& tables() const {
+    return tables_;
+  }
+  [[nodiscard]] const std::vector<std::string>& notes() const {
+    return notes_;
+  }
+
+  /// Rows buffered for table `index`.
+  [[nodiscard]] std::size_t rows_in_table(std::size_t index) const {
+    return tables_[index].size();
+  }
+
+ private:
+  std::vector<std::vector<CellRow>> tables_;  // [table][row][cell]
+  std::vector<std::string> notes_;
+  std::size_t current_table_ = 0;
+  bool row_open_ = false;
+};
+
+}  // namespace cobra::runner

@@ -1,0 +1,152 @@
+#include "runner/cli.hpp"
+
+#include <exception>
+#include <iostream>
+#include <vector>
+
+#include "runner/options.hpp"
+#include "runner/registry.hpp"
+#include "runner/sweep.hpp"
+#include "util/env.hpp"
+
+namespace cobra::runner {
+
+namespace {
+
+std::vector<const ExperimentDef*> select_experiments(
+    const RunnerOptions& options, const std::vector<std::string>& names,
+    std::string& error) {
+  std::vector<const ExperimentDef*> selected;
+  if (!names.empty()) {
+    for (const std::string& name : names) {
+      const ExperimentDef* def = Registry::instance().find(name);
+      if (def == nullptr) {
+        error = "unknown experiment: " + name + " (try `cobra list`)";
+        return {};
+      }
+      selected.push_back(def);
+    }
+    return selected;
+  }
+  selected = Registry::instance().match(options.filter);
+  if (selected.empty()) {
+    error = options.filter.empty()
+                ? std::string("no experiments registered")
+                : "no experiment matches --filter " + options.filter;
+  }
+  return selected;
+}
+
+int cmd_list(const RunnerOptions& options) {
+  for (const ExperimentDef* def : Registry::instance().match(
+           options.filter)) {
+    std::cout << def->name << "  (" << def->cells().size() << " cells)\n"
+              << "    " << def->description << '\n';
+  }
+  return 0;
+}
+
+int cmd_run(const RunnerOptions& options,
+            const std::vector<std::string>& names) {
+  std::string error;
+  const auto selected = select_experiments(options, names, error);
+  if (selected.empty()) {
+    std::cerr << "cobra: " << error << '\n';
+    return 2;
+  }
+
+  if (options.list) {
+    // Dry run: show the cells this invocation would execute.
+    for (const ExperimentDef* def : selected) {
+      const auto cells = def->cells();
+      const auto slice = shard_slice(cells.size(), options.shard_index,
+                                     options.shard_count);
+      std::cout << def->name << " shard " << options.shard_index << "/"
+                << options.shard_count << ": " << slice.size() << " of "
+                << cells.size() << " cells\n";
+      for (const std::size_t index : slice)
+        std::cout << "  [" << index << "] " << cells[index].id << '\n';
+    }
+    return 0;
+  }
+
+  bool all_complete = true;
+  for (const ExperimentDef* def : selected) {
+    SweepConfig config;
+    config.out_dir = options.out_dir;
+    config.shard_index = options.shard_index;
+    config.shard_count = options.shard_count;
+    config.resume = options.resume;
+    config.max_cells = options.max_cells;
+    config.console = true;
+    config.log = &std::cout;
+    const SweepResult result = run_experiment(*def, config);
+    std::cout << def->name << ": " << result.cells_run << " run, "
+              << result.cells_skipped << " resumed, "
+              << result.cells_remaining << " remaining\n";
+    all_complete = all_complete && result.complete();
+  }
+  return all_complete ? 0 : 3;  // 3: interrupted by --max-cells
+}
+
+int cmd_merge(const RunnerOptions& options,
+              const std::vector<std::string>& names) {
+  std::string error;
+  const auto selected = select_experiments(options, names, error);
+  if (selected.empty()) {
+    std::cerr << "cobra: " << error << '\n';
+    return 2;
+  }
+  for (const ExperimentDef* def : selected)
+    merge_experiment(*def, options.out_dir, &std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int cli_main(int argc, const char* const* argv) {
+  RunnerOptions options;
+  std::vector<std::string> args(argv, argv + argc);
+  if (const auto error = parse_args(args, options)) {
+    std::cerr << "cobra: " << *error << '\n';
+    return 2;
+  }
+  if (options.help ||
+      (options.positional.empty() && !options.list)) {
+    std::cout << usage();
+    return options.help ? 0 : 2;
+  }
+
+  apply_env_overrides(options);
+
+  std::string command = "run";
+  std::vector<std::string> names = options.positional;
+  if (!names.empty() &&
+      (names[0] == "list" || names[0] == "run" || names[0] == "merge")) {
+    command = names[0];
+    names.erase(names.begin());
+  }
+
+  try {
+    if (command == "list") return cmd_list(options);
+    if (command == "merge") return cmd_merge(options, names);
+    // `cobra run [NAME...] --list` dry-runs the cell selection (all
+    // experiments when no NAME) in cmd_run; `cobra list` is the
+    // experiment catalogue.
+    return cmd_run(options, names);
+  } catch (const std::exception& e) {
+    std::cerr << "cobra: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int standalone_main(const std::string& experiment, int argc,
+                    const char* const* argv) {
+  std::vector<const char*> args;
+  args.push_back("run");
+  args.push_back(experiment.c_str());
+  for (int i = 0; i < argc; ++i) args.push_back(argv[i]);
+  return cli_main(static_cast<int>(args.size()), args.data());
+}
+
+}  // namespace cobra::runner

@@ -1,0 +1,177 @@
+#include "runner/journal.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace cobra::runner {
+
+namespace {
+
+constexpr char kMagic[] = "cobra-journal";
+constexpr char kVersion[] = "v1";
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(line);
+  while (std::getline(in, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+std::string format_header(const JournalHeader& h) {
+  std::ostringstream os;
+  // max_digits10 precision: the scale strtod-round-trips bit-exactly, so
+  // resume/merge can compare it with plain equality.
+  os << "run\t" << h.experiment << '\t' << h.shard_index << '/'
+     << h.shard_count << '\t' << h.seed << '\t'
+     << std::setprecision(17) << h.scale;
+  return os.str();
+}
+
+}  // namespace
+
+struct Journal::Impl {
+  std::ofstream out;
+};
+
+std::string Journal::path_for(const std::string& out_dir,
+                              const std::string& experiment, int shard_index,
+                              int shard_count) {
+  std::ostringstream os;
+  os << out_dir << '/' << experiment << '.' << shard_index << "of"
+     << shard_count << ".journal";
+  return os.str();
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : impl_(other.impl_), entries_(std::move(other.entries_)) {
+  other.impl_ = nullptr;
+}
+
+Journal::~Journal() { delete impl_; }
+
+Journal Journal::create(const std::string& path,
+                        const JournalHeader& header) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  Journal journal;
+  journal.impl_ = new Impl;
+  journal.impl_->out.open(path, std::ios::trunc);
+  COBRA_CHECK_MSG(journal.impl_->out.good(),
+                  "cannot open journal " << path);
+  journal.impl_->out << kMagic << '\t' << kVersion << '\n'
+                     << format_header(header) << '\n';
+  journal.impl_->out.flush();
+  return journal;
+}
+
+std::pair<JournalHeader, std::vector<JournalEntry>> Journal::read(
+    const std::string& path) {
+  std::ifstream in(path);
+  COBRA_CHECK_MSG(in.good(), "cannot read journal " << path);
+  std::string line;
+
+  COBRA_CHECK_MSG(std::getline(in, line) &&
+                      split(line, '\t') ==
+                          std::vector<std::string>({kMagic, kVersion}),
+                  path << " is not a " << kVersion << " cobra journal");
+
+  JournalHeader header;
+  COBRA_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                  path << ": missing run header");
+  {
+    const auto parts = split(line, '\t');
+    COBRA_CHECK_MSG(parts.size() == 5 && parts[0] == "run",
+                    path << ": malformed run header");
+    header.experiment = parts[1];
+    const auto shard = split(parts[2], '/');
+    COBRA_CHECK_MSG(shard.size() == 2, path << ": malformed shard spec");
+    header.shard_index = std::atoi(shard[0].c_str());
+    header.shard_count = std::atoi(shard[1].c_str());
+    header.seed = std::strtoull(parts[3].c_str(), nullptr, 10);
+    header.scale = std::strtod(parts[4].c_str(), nullptr);
+  }
+
+  std::vector<JournalEntry> entries;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto parts = split(line, '\t');
+    // A torn final line (crash mid-write) lacks the "ok" terminator —
+    // even when it broke inside the counts list — and is treated as not
+    // journaled, so the cell re-runs on resume.
+    if (parts.size() != 4 || parts[0] != "cell" || parts[3] != "ok")
+      continue;
+    JournalEntry entry;
+    entry.cell_id = parts[1];
+    for (const std::string& count : split(parts[2], ',')) {
+      entry.rows_per_table.push_back(
+          static_cast<std::size_t>(std::strtoull(count.c_str(), nullptr, 10)));
+    }
+    entries.push_back(std::move(entry));
+  }
+  return {header, entries};
+}
+
+Journal Journal::resume(const std::string& path,
+                        const JournalHeader& expected) {
+  auto [header, entries] = read(path);
+  COBRA_CHECK_MSG(
+      header == expected,
+      "journal " << path << " was written by a different run configuration "
+                 << "(experiment/shard/seed/scale mismatch); refusing to "
+                 << "resume — delete it or rerun with matching flags");
+
+  // A crash can cut the trailing newline of the last (now discarded)
+  // record; without this repair the next record would glue onto it.
+  bool ends_in_newline = true;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (in.good() && in.tellg() > 0) {
+      in.seekg(-1, std::ios::end);
+      ends_in_newline = in.get() == '\n';
+    }
+  }
+
+  Journal journal;
+  journal.impl_ = new Impl;
+  journal.impl_->out.open(path, std::ios::app);
+  COBRA_CHECK_MSG(journal.impl_->out.good(),
+                  "cannot reopen journal " << path);
+  if (!ends_in_newline) journal.impl_->out << '\n';
+  journal.entries_ = std::move(entries);
+  return journal;
+}
+
+void Journal::record(const JournalEntry& entry) {
+  COBRA_CHECK(impl_ != nullptr);
+  COBRA_CHECK_MSG(entry.cell_id.find_first_of("\t\n\r") == std::string::npos,
+                  "cell id contains journal separators: " << entry.cell_id);
+  impl_->out << "cell\t" << entry.cell_id << '\t';
+  for (std::size_t i = 0; i < entry.rows_per_table.size(); ++i) {
+    if (i) impl_->out << ',';
+    impl_->out << entry.rows_per_table[i];
+  }
+  impl_->out << "\tok\n";
+  impl_->out.flush();
+  entries_.push_back(entry);
+}
+
+std::size_t Journal::journaled_rows(std::size_t table_index) const {
+  std::size_t total = 0;
+  for (const JournalEntry& entry : entries_) {
+    if (table_index < entry.rows_per_table.size())
+      total += entry.rows_per_table[table_index];
+  }
+  return total;
+}
+
+}  // namespace cobra::runner

@@ -1,0 +1,86 @@
+// Per-run checkpoint manifest for resumable sweeps.
+//
+// A shard's journal records the run parameters (experiment, shard, seed,
+// scale — a resume with different parameters is refused) and one line per
+// completed cell with the number of CSV rows the cell contributed to each
+// table. Row counts let the resume path truncate a torn fragment (a crash
+// between "rows flushed" and "cell journaled") back to the last journaled
+// cell, so a resumed run's output is byte-identical to an uninterrupted
+// one.
+//
+// Format (tab-separated, one record per line; the trailing "ok" marker
+// makes records self-delimiting, so a line torn by a crash mid-write is
+// recognisably incomplete and treated as not journaled):
+//   cobra-journal	v1
+//   run	<experiment>	<shard>/<count>	<seed>	<scale>
+//   cell	<cell id>	<rows table 0>[,<rows table 1>,...]	ok
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cobra::runner {
+
+struct JournalHeader {
+  std::string experiment;
+  int shard_index = 1;
+  int shard_count = 1;
+  std::uint64_t seed = 0;
+  double scale = 1.0;
+
+  bool operator==(const JournalHeader&) const = default;
+};
+
+struct JournalEntry {
+  std::string cell_id;
+  std::vector<std::size_t> rows_per_table;
+};
+
+class Journal {
+ public:
+  /// Journal path for shard index/count of `experiment` under `out_dir`.
+  static std::string path_for(const std::string& out_dir,
+                              const std::string& experiment, int shard_index,
+                              int shard_count);
+
+  /// Starts a fresh journal at `path` (truncating any previous one) and
+  /// writes the header.
+  static Journal create(const std::string& path,
+                        const JournalHeader& header);
+
+  /// Loads an existing journal, validating that its header equals
+  /// `expected` (CheckError otherwise), and reopens it for appending.
+  static Journal resume(const std::string& path,
+                        const JournalHeader& expected);
+
+  /// Parses a journal without opening it for writing (merge validation).
+  static std::pair<JournalHeader, std::vector<JournalEntry>> read(
+      const std::string& path);
+
+  Journal(Journal&&) noexcept;
+  Journal& operator=(Journal&&) = delete;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  /// Appends a completed cell and flushes to disk.
+  void record(const JournalEntry& entry);
+
+  [[nodiscard]] const std::vector<JournalEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Total rows journaled for table `table_index` — the number of data
+  /// rows its fragment must contain for the journal to be consistent.
+  [[nodiscard]] std::size_t journaled_rows(std::size_t table_index) const;
+
+ private:
+  Journal() = default;
+
+  struct Impl;
+  Impl* impl_ = nullptr;
+  std::vector<JournalEntry> entries_;
+};
+
+}  // namespace cobra::runner

@@ -1,0 +1,154 @@
+#include "runner/options.hpp"
+
+#include <cstdlib>
+
+#include "util/env.hpp"
+
+namespace cobra::runner {
+
+namespace {
+
+bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+bool parse_int(const std::string& text, std::int64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoll(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size();
+}
+
+// "i/k" with 1 <= i <= k.
+bool parse_shard(const std::string& text, int& index, int& count) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) return false;
+  std::int64_t i = 0, k = 0;
+  if (!parse_int(text.substr(0, slash), i)) return false;
+  if (!parse_int(text.substr(slash + 1), k)) return false;
+  if (k < 1 || i < 1 || i > k || k > 1'000'000) return false;
+  index = static_cast<int>(i);
+  count = static_cast<int>(k);
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> parse_args(const std::vector<std::string>& args,
+                                      RunnerOptions& options) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.empty()) continue;
+    if (arg == "-h" || arg == "--help" || arg == "help") {
+      options.help = true;
+      continue;
+    }
+    if (arg[0] != '-') {
+      options.positional.push_back(arg);
+      continue;
+    }
+
+    // Split "--flag=value"; "--flag value" consumes the next argument.
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+    const auto take_value = [&]() -> std::optional<std::string> {
+      if (inline_value) return inline_value;
+      if (i + 1 < args.size()) return args[++i];
+      return std::nullopt;
+    };
+
+    if (name == "--list") {
+      options.list = true;
+    } else if (name == "--resume") {
+      options.resume = true;
+    } else if (name == "--scale") {
+      const auto value = take_value();
+      double parsed = 0.0;
+      if (!value || !parse_double(*value, parsed) || parsed <= 0.0)
+        return "--scale expects a positive number";
+      options.scale = parsed;
+    } else if (name == "--seed") {
+      const auto value = take_value();
+      std::int64_t parsed = 0;
+      if (!value || !parse_int(*value, parsed))
+        return "--seed expects an integer";
+      options.seed = static_cast<std::uint64_t>(parsed);
+    } else if (name == "--threads") {
+      const auto value = take_value();
+      std::int64_t parsed = 0;
+      if (!value || !parse_int(*value, parsed) || parsed < 1)
+        return "--threads expects a positive integer";
+      options.threads = static_cast<int>(parsed);
+    } else if (name == "--out-dir") {
+      const auto value = take_value();
+      if (!value || value->empty()) return "--out-dir expects a path";
+      options.out_dir = *value;
+    } else if (name == "--shard") {
+      const auto value = take_value();
+      if (!value || !parse_shard(*value, options.shard_index,
+                                 options.shard_count))
+        return "--shard expects i/k with 1 <= i <= k (e.g. --shard 2/8)";
+    } else if (name == "--filter") {
+      const auto value = take_value();
+      if (!value) return "--filter expects a substring";
+      options.filter = *value;
+    } else if (name == "--max-cells") {
+      const auto value = take_value();
+      std::int64_t parsed = 0;
+      if (!value || !parse_int(*value, parsed) || parsed < 0)
+        return "--max-cells expects a non-negative integer";
+      options.max_cells = parsed;
+    } else {
+      return "unknown flag: " + name + " (see --help)";
+    }
+    if (inline_value && (name == "--list" || name == "--resume"))
+      return name + " does not take a value";
+  }
+  return std::nullopt;
+}
+
+void apply_env_overrides(const RunnerOptions& options) {
+  if (options.scale) util::set_scale_override(*options.scale);
+  if (options.seed) util::set_seed_override(*options.seed);
+  if (options.threads) util::set_threads_override(*options.threads);
+}
+
+std::string usage() {
+  return R"(cobra — unified experiment runner for the COBRA reproduction
+
+Usage:
+  cobra list [--filter SUB]            enumerate registered experiments
+  cobra run  [NAME...] [options]       run experiments (all when no NAME)
+  cobra merge NAME... [--out-dir DIR]  stitch shard fragments into the
+                                       canonical CSV and print the summary
+  cobra help                           this text
+
+Options (each flag overrides its COBRA_* environment variable):
+  --scale S        workload multiplier            (env COBRA_SCALE,  default 1)
+  --seed N         base experiment seed           (env COBRA_SEED,   default 20170724)
+  --threads T      Monte-Carlo worker cap         (env COBRA_THREADS, default hardware)
+  --out-dir DIR    result/journal directory       (default bench_results)
+  --shard i/k      run only cells with index % k == i-1 (1-based i)
+  --resume         continue a journaled run: completed cells are skipped,
+                   CSV fragments are reopened in append mode
+  --filter SUB     restrict list/run to experiments whose name contains SUB
+  --list           with run: print the selected cells, run nothing
+  --max-cells N    stop after N cells (chunked runs); combine with --resume
+  -h, --help       this text
+
+Sharded sweeps write <table>.shard<i>of<k>.csv fragments plus a
+<experiment>.<i>of<k>.journal manifest into --out-dir; `cobra merge`
+validates that every shard completed and reassembles the canonical
+<table>.csv in cell-enumeration order (byte-identical to an unsharded run
+at the same seed and scale).
+)";
+}
+
+}  // namespace cobra::runner

@@ -1,0 +1,55 @@
+// Dependency-free command-line parsing for the cobra runner.
+//
+// Every flag shadows one of the historical COBRA_* environment variables
+// (or configures the sweep machinery that replaced the per-driver
+// plumbing). Flags always win over the environment; unset flags leave the
+// env defaults in util/env untouched.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cobra::runner {
+
+struct RunnerOptions {
+  // util/env overrides (--scale, --seed, --threads).
+  std::optional<double> scale;
+  std::optional<std::uint64_t> seed;
+  std::optional<int> threads;
+
+  // Sweep configuration.
+  std::string out_dir = "bench_results";
+  int shard_index = 1;  // 1-based, --shard i/k
+  int shard_count = 1;
+  bool resume = false;
+
+  // Selection / inspection.
+  bool list = false;    // --list: print cells instead of running them
+  bool help = false;    // --help / -h
+  std::string filter;   // substring match on experiment names
+
+  // Stop after this many cells (chunked runs, interruption tests);
+  // negative means unlimited.
+  std::int64_t max_cells = -1;
+
+  // Everything that is not a flag: subcommand and experiment names.
+  std::vector<std::string> positional;
+};
+
+/// Parses `args` (argv without the program name). Returns std::nullopt on
+/// success; otherwise a human-readable error message. `--flag value` and
+/// `--flag=value` are both accepted.
+std::optional<std::string> parse_args(const std::vector<std::string>& args,
+                                      RunnerOptions& options);
+
+/// Pushes --scale/--seed/--threads into the util/env override slots so all
+/// downstream code (default_replicates, make_stream, worker_count) sees
+/// them. Call once, before enumerating or running any experiment.
+void apply_env_overrides(const RunnerOptions& options);
+
+/// The --help text, kept in sync with README.md's "Running experiments".
+std::string usage();
+
+}  // namespace cobra::runner

@@ -1,0 +1,62 @@
+#include "runner/registry.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cobra::runner {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(ExperimentDef def) {
+  COBRA_CHECK_MSG(!def.name.empty(), "experiment must be named");
+  COBRA_CHECK_MSG(!def.tables.empty(),
+                  "experiment " << def.name << " declares no tables");
+  COBRA_CHECK_MSG(static_cast<bool>(def.cells),
+                  "experiment " << def.name << " has no cell enumerator");
+  COBRA_CHECK_MSG(find(def.name) == nullptr,
+                  "duplicate experiment name " << def.name);
+  experiments_.push_back(std::move(def));
+}
+
+std::vector<const ExperimentDef*> Registry::all() const {
+  return match("");
+}
+
+std::vector<const ExperimentDef*> Registry::match(
+    std::string_view filter) const {
+  std::vector<const ExperimentDef*> out;
+  for (const ExperimentDef& def : experiments_) {
+    if (filter.empty() || def.name.find(filter) != std::string::npos)
+      out.push_back(&def);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExperimentDef* a, const ExperimentDef* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+const ExperimentDef* Registry::find(std::string_view name) const {
+  for (const ExperimentDef& def : experiments_) {
+    if (def.name == name) return &def;
+  }
+  return nullptr;
+}
+
+std::vector<std::size_t> shard_slice(std::size_t num_cells, int index,
+                                     int count) {
+  COBRA_CHECK_MSG(count >= 1 && index >= 1 && index <= count,
+                  "invalid shard " << index << "/" << count);
+  std::vector<std::size_t> slice;
+  for (std::size_t i = static_cast<std::size_t>(index - 1); i < num_cells;
+       i += static_cast<std::size_t>(count)) {
+    slice.push_back(i);
+  }
+  return slice;
+}
+
+}  // namespace cobra::runner

@@ -1,0 +1,470 @@
+#include "runner/sweep.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "runner/journal.hpp"
+#include "sim/experiment.hpp"
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+
+namespace cobra::runner {
+
+namespace {
+
+std::vector<CellDef> enumerate_cells(const ExperimentDef& def) {
+  std::vector<CellDef> cells = def.cells();
+  COBRA_CHECK_MSG(!cells.empty(), def.name << " enumerated no cells");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      COBRA_CHECK_MSG(cells[i].id != cells[j].id,
+                      def.name << " cell id not unique: " << cells[i].id);
+    }
+  }
+  return cells;
+}
+
+/// Journaled entries must replay the slice in order (the sweep always
+/// walks its slice front to back), so a valid journal is a prefix of the
+/// slice. Anything else means the enumeration changed under the journal.
+void check_journal_prefix(const ExperimentDef& def,
+                          const std::vector<CellDef>& cells,
+                          const std::vector<std::size_t>& slice,
+                          const std::vector<JournalEntry>& entries,
+                          const std::string& journal_path) {
+  COBRA_CHECK_MSG(entries.size() <= slice.size(),
+                  journal_path << " lists more cells than the slice has");
+  for (std::size_t j = 0; j < entries.size(); ++j) {
+    COBRA_CHECK_MSG(
+        entries[j].cell_id == cells[slice[j]].id,
+        journal_path << " does not match the current enumeration of "
+                     << def.name << " (journaled '" << entries[j].cell_id
+                     << "' where '" << cells[slice[j]].id
+                     << "' was expected) — was it written at a different "
+                     << "scale?");
+  }
+}
+
+/// Rows grouped by the cell that produced them, one vector per table:
+/// the unit both renderers and the merge work with.
+struct CellRows {
+  std::string group;
+  std::vector<std::string> notes;
+  std::vector<std::vector<CellRow>> tables;  // [table][row]
+};
+
+/// Prints the classic per-experiment console output (banner, aligned
+/// table, rules between groups, notes under the last table).
+void render_console(const ExperimentDef& def,
+                    const std::vector<CellRows>& cells,
+                    const std::vector<std::string>& extra_notes) {
+  for (std::size_t t = 0; t < def.tables.size(); ++t) {
+    const TableDef& table = def.tables[t];
+    sim::Experiment exp(table.id, table.title, table.columns,
+                        sim::ExperimentOutput{.csv_path = {},
+                                              .write_csv = false,
+                                              .append = false,
+                                              .console = true});
+    std::string last_group;
+    bool first = true;
+    for (const CellRows& cell : cells) {
+      if (cell.tables[t].empty()) continue;
+      if (!first && cell.group != last_group) exp.rule();
+      first = false;
+      last_group = cell.group;
+      for (const CellRow& row : cell.tables[t]) {
+        exp.row();
+        for (const CellValue& value : row)
+          exp.add_formatted(value.console_text, value.csv_text);
+      }
+    }
+    if (t + 1 == def.tables.size()) {
+      for (const CellRows& cell : cells)
+        for (const std::string& n : cell.notes) exp.note(n);
+      for (const std::string& n : extra_notes) exp.note(n);
+    }
+    exp.finish();
+  }
+}
+
+/// Runs def.summarize over the canonical CSVs (all cells present) and
+/// returns computed notes followed by the experiment's fixed notes.
+std::vector<std::string> collect_summary_notes(const ExperimentDef& def,
+                                               const std::string& out_dir) {
+  std::vector<std::string> notes;
+  if (def.summarize) {
+    std::vector<util::CsvTable> tables;
+    tables.reserve(def.tables.size());
+    for (const TableDef& table : def.tables)
+      tables.push_back(util::read_csv(out_dir + "/" + table.id + ".csv"));
+    notes = def.summarize(tables);
+  }
+  notes.insert(notes.end(), def.notes.begin(), def.notes.end());
+  return notes;
+}
+
+/// Truncates `path` back to its first `keep_rows` data rows. Used when a
+/// crash left rows of an unjournaled cell at the fragment's tail.
+void truncate_fragment(const std::string& path,
+                       const std::vector<std::string>& columns,
+                       std::size_t keep_rows) {
+  util::CsvTable table = util::read_csv(path);
+  COBRA_CHECK_MSG(table.header == columns,
+                  path << ": fragment header mismatch");
+  COBRA_CHECK_MSG(table.num_rows() >= keep_rows,
+                  path << " holds fewer rows than its journal records — "
+                       << "the fragment was modified; delete the run "
+                       << "directory and restart");
+  if (table.num_rows() == keep_rows) return;
+  util::CsvWriter writer(path, columns);
+  for (std::size_t r = 0; r < keep_rows; ++r) writer.add_row(table.rows[r]);
+  writer.close();
+}
+
+}  // namespace
+
+std::string fragment_path(const std::string& out_dir, const TableDef& table,
+                          int shard_index, int shard_count) {
+  if (shard_count == 1) return out_dir + "/" + table.id + ".csv";
+  std::ostringstream os;
+  os << out_dir << '/' << table.id << ".shard" << shard_index << "of"
+     << shard_count << ".csv";
+  return os.str();
+}
+
+SweepResult run_experiment(const ExperimentDef& def,
+                           const SweepConfig& config) {
+  COBRA_CHECK_MSG(config.shard_count >= 1 && config.shard_index >= 1 &&
+                      config.shard_index <= config.shard_count,
+                  "invalid shard " << config.shard_index << "/"
+                                   << config.shard_count);
+
+  const std::vector<CellDef> cells = enumerate_cells(def);
+  const std::vector<std::size_t> slice =
+      shard_slice(cells.size(), config.shard_index, config.shard_count);
+
+  const JournalHeader header{def.name, config.shard_index,
+                             config.shard_count, util::global_seed(),
+                             util::scale()};
+  const std::string journal_path = Journal::path_for(
+      config.out_dir, def.name, config.shard_index, config.shard_count);
+
+  std::size_t skip = 0;
+  bool fresh = true;
+  std::unique_ptr<Journal> journal;
+  if (config.resume && std::filesystem::exists(journal_path)) {
+    fresh = false;
+    journal = std::make_unique<Journal>(
+        Journal::resume(journal_path, header));
+    check_journal_prefix(def, cells, slice, journal->entries(),
+                         journal_path);
+    for (const JournalEntry& entry : journal->entries()) {
+      COBRA_CHECK_MSG(entry.rows_per_table.size() == def.tables.size(),
+                      journal_path << ": entry '" << entry.cell_id
+                                   << "' records " << entry.rows_per_table.size()
+                                   << " tables, expected "
+                                   << def.tables.size());
+    }
+    skip = journal->entries().size();
+    // Reconcile fragments with the journal: a torn tail (crash between a
+    // cell's flush and its journal line) is cut off so the resumed run
+    // re-executes that cell exactly once.
+    for (std::size_t t = 0; t < def.tables.size(); ++t) {
+      const std::string path = fragment_path(
+          config.out_dir, def.tables[t], config.shard_index,
+          config.shard_count);
+      const std::size_t expected = journal->journaled_rows(t);
+      if (std::filesystem::exists(path)) {
+        truncate_fragment(path, def.tables[t].columns, expected);
+      } else {
+        COBRA_CHECK_MSG(expected == 0,
+                        path << " is missing but its journal records "
+                             << expected << " rows");
+      }
+    }
+  } else {
+    // A fresh run (or --resume with nothing to resume) starts clean.
+    journal =
+        std::make_unique<Journal>(Journal::create(journal_path, header));
+  }
+
+  std::vector<std::unique_ptr<util::CsvWriter>> writers;
+  for (const TableDef& table : def.tables) {
+    writers.push_back(std::make_unique<util::CsvWriter>(
+        fragment_path(config.out_dir, table, config.shard_index,
+                      config.shard_count),
+        table.columns,
+        fresh ? util::CsvWriter::Mode::kTruncate
+              : util::CsvWriter::Mode::kAppend));
+  }
+
+  SweepResult result;
+  result.cells_total = slice.size();
+  result.cells_skipped = skip;
+
+  std::vector<CellRows> executed;  // console replay on unsharded runs
+  const bool keep_rows_in_memory =
+      config.shard_count == 1 && config.console && skip == 0;
+
+  for (std::size_t j = skip; j < slice.size(); ++j) {
+    if (config.max_cells >= 0 &&
+        result.cells_run >= static_cast<std::size_t>(config.max_cells)) {
+      break;
+    }
+    const CellDef& cell = cells[slice[j]];
+    if (config.log) {
+      *config.log << "[" << (j + 1) << "/" << slice.size() << "] "
+                  << def.name << "/" << cell.id << " ..." << std::flush;
+    }
+
+    CellContext context(def.tables.size());
+    cell.run(context);
+
+    JournalEntry entry;
+    entry.cell_id = cell.id;
+    for (std::size_t t = 0; t < def.tables.size(); ++t) {
+      for (const CellRow& row : context.tables()[t]) {
+        writers[t]->row();
+        for (const CellValue& value : row) writers[t]->add(value.csv_text);
+      }
+      writers[t]->flush();
+      entry.rows_per_table.push_back(context.rows_in_table(t));
+    }
+    // Rows are durable before the journal line: a crash in between makes
+    // the cell re-run on resume, and the reconciliation above drops the
+    // orphaned rows first.
+    journal->record(entry);
+    ++result.cells_run;
+
+    if (config.log) {
+      std::size_t rows = 0;
+      for (const auto& table : context.tables()) rows += table.size();
+      *config.log << " done (" << rows << " rows)\n";
+      for (const std::string& n : context.notes())
+        *config.log << "    note: " << n << '\n';
+    }
+    if (keep_rows_in_memory) {
+      executed.push_back(CellRows{cell.group,
+                                  context.notes(),
+                                  context.tables()});
+    }
+  }
+  result.cells_remaining =
+      slice.size() - result.cells_skipped - result.cells_run;
+
+  for (auto& writer : writers) writer->close();
+
+  if (result.complete() && config.shard_count == 1 && config.console) {
+    const std::vector<std::string> summary =
+        collect_summary_notes(def, config.out_dir);
+    if (keep_rows_in_memory) {
+      render_console(def, executed, summary);
+    } else {
+      // Some rows were restored from the journal, so replay the archive:
+      // journal order is enumeration order, and each entry records how
+      // many rows its cell contributed per table. Cell notes are not
+      // journaled, so warn rather than silently diverging from an
+      // uninterrupted run's output.
+      std::vector<util::CsvTable> archives;
+      for (std::size_t t = 0; t < def.tables.size(); ++t) {
+        archives.push_back(util::read_csv(config.out_dir + "/" +
+                                          def.tables[t].id + ".csv"));
+        COBRA_CHECK_MSG(archives.back().num_rows() ==
+                            journal->journaled_rows(t),
+                        def.tables[t].id
+                            << ".csv row count disagrees with the journal");
+      }
+      std::vector<std::size_t> cursor(def.tables.size(), 0);
+      std::vector<CellRows> replay;
+      for (std::size_t j = 0; j < journal->entries().size(); ++j) {
+        const JournalEntry& entry = journal->entries()[j];
+        CellRows cell;
+        cell.group = cells[slice[j]].group;
+        cell.tables.resize(def.tables.size());
+        for (std::size_t t = 0; t < def.tables.size(); ++t) {
+          for (std::size_t r = 0; r < entry.rows_per_table[t]; ++r) {
+            CellRow row;
+            for (const std::string& text :
+                 archives[t].rows[cursor[t] + r])
+              row.push_back(CellValue{text, text});
+            cell.tables[t].push_back(std::move(row));
+          }
+          cursor[t] += entry.rows_per_table[t];
+        }
+        replay.push_back(std::move(cell));
+      }
+      std::vector<std::string> notes = summary;
+      if (result.cells_skipped > 0) {
+        notes.push_back(
+            "(resumed run: values shown at archive precision; per-cell "
+            "notes from the " + std::to_string(result.cells_skipped) +
+            " cells completed by earlier invocations appeared in their "
+            "own run logs and are not repeated here)");
+      }
+      render_console(def, replay, notes);
+    }
+  } else if (config.log && result.complete() && config.shard_count > 1) {
+    *config.log << def.name << " shard " << config.shard_index << "/"
+                << config.shard_count
+                << " complete; run `cobra merge " << def.name
+                << " --out-dir " << config.out_dir
+                << "` once all shards finished\n";
+  }
+  return result;
+}
+
+MergeResult merge_experiment(const ExperimentDef& def,
+                             const std::string& out_dir, std::ostream* log) {
+  namespace fs = std::filesystem;
+
+  // Discover this experiment's shard journals.
+  int shard_count = 0;
+  std::vector<std::string> journal_paths;
+  {
+    std::vector<std::pair<int, std::string>> found;  // (index, path)
+    const std::string prefix = def.name + ".";
+    COBRA_CHECK_MSG(fs::exists(out_dir),
+                    "no such run directory: " << out_dir);
+    for (const auto& entry : fs::directory_iterator(out_dir)) {
+      const std::string file = entry.path().filename().string();
+      if (file.rfind(prefix, 0) != 0) continue;
+      if (entry.path().extension() != ".journal") continue;
+      // <name>.<i>of<k>.journal
+      const std::string spec = file.substr(
+          prefix.size(), file.size() - prefix.size() - 8 /* ".journal" */);
+      const auto of = spec.find("of");
+      if (of == std::string::npos) continue;
+      const int index = std::atoi(spec.substr(0, of).c_str());
+      const int count = std::atoi(spec.substr(of + 2).c_str());
+      if (index < 1 || count < 1) continue;
+      COBRA_CHECK_MSG(shard_count == 0 || shard_count == count,
+                      out_dir << " mixes journals of different shard "
+                              << "counts for " << def.name);
+      shard_count = count;
+      found.emplace_back(index, entry.path().string());
+    }
+    COBRA_CHECK_MSG(!found.empty(),
+                    "no journals for " << def.name << " under " << out_dir);
+    std::sort(found.begin(), found.end());
+    for (int i = 1; i <= shard_count; ++i) {
+      COBRA_CHECK_MSG(static_cast<std::size_t>(i) <= found.size() &&
+                          found[static_cast<std::size_t>(i) - 1].first == i,
+                      "shard " << i << "/" << shard_count << " of "
+                               << def.name << " has no journal in "
+                               << out_dir);
+      journal_paths.push_back(found[static_cast<std::size_t>(i) - 1].second);
+    }
+  }
+
+  // All shards must come from one run configuration; adopt it (seed and
+  // scale drive the enumeration we validate against).
+  std::vector<std::vector<JournalEntry>> shard_entries;
+  JournalHeader first_header;
+  for (int s = 1; s <= shard_count; ++s) {
+    auto [header, entries] =
+        Journal::read(journal_paths[static_cast<std::size_t>(s) - 1]);
+    if (s == 1) {
+      first_header = header;
+    } else {
+      COBRA_CHECK_MSG(header.seed == first_header.seed &&
+                          header.scale == first_header.scale,
+                      def.name << " shards were run with different "
+                               << "seed/scale; refusing to merge");
+    }
+    COBRA_CHECK_MSG(header.experiment == def.name &&
+                        header.shard_index == s,
+                    journal_paths[static_cast<std::size_t>(s) - 1]
+                        << ": unexpected journal header");
+    shard_entries.push_back(std::move(entries));
+  }
+  util::set_seed_override(first_header.seed);
+  util::set_scale_override(first_header.scale);
+
+  const std::vector<CellDef> cells = enumerate_cells(def);
+
+  // Every shard must have journaled its entire slice, in order.
+  std::vector<std::vector<std::size_t>> slices;
+  for (int s = 1; s <= shard_count; ++s) {
+    const auto slice = shard_slice(cells.size(), s, shard_count);
+    const auto& entries = shard_entries[static_cast<std::size_t>(s) - 1];
+    check_journal_prefix(def, cells, slice, entries,
+                         journal_paths[static_cast<std::size_t>(s) - 1]);
+    COBRA_CHECK_MSG(entries.size() == slice.size(),
+                    def.name << " shard " << s << "/" << shard_count
+                             << " is incomplete (" << entries.size() << "/"
+                             << slice.size()
+                             << " cells journaled); resume it before "
+                             << "merging");
+    slices.push_back(slice);
+  }
+
+  MergeResult result;
+  result.shard_count = shard_count;
+
+  for (std::size_t t = 0; t < def.tables.size(); ++t) {
+    const TableDef& table = def.tables[t];
+
+    // Load fragments and cut them into per-cell chunks via the journals.
+    // chunk[cell index in global enumeration] = that cell's rows.
+    std::vector<std::vector<std::vector<std::string>>> chunks(cells.size());
+    for (int s = 1; s <= shard_count; ++s) {
+      const util::CsvTable fragment = util::read_csv(
+          fragment_path(out_dir, table, s, shard_count));
+      COBRA_CHECK_MSG(fragment.header == table.columns,
+                      table.id << " shard " << s
+                               << ": fragment header mismatch");
+      const auto& entries = shard_entries[static_cast<std::size_t>(s) - 1];
+      const auto& slice = slices[static_cast<std::size_t>(s) - 1];
+      std::size_t cursor = 0;
+      for (std::size_t j = 0; j < entries.size(); ++j) {
+        COBRA_CHECK_MSG(t < entries[j].rows_per_table.size(),
+                        def.name << " shard " << s << ": journal entry '"
+                                 << entries[j].cell_id
+                                 << "' lacks a count for table " << t);
+        const std::size_t rows = entries[j].rows_per_table[t];
+        COBRA_CHECK_MSG(cursor + rows <= fragment.num_rows(),
+                        table.id << " shard " << s
+                                 << ": fragment shorter than its journal");
+        auto& chunk = chunks[slice[j]];
+        for (std::size_t r = 0; r < rows; ++r)
+          chunk.push_back(fragment.rows[cursor + r]);
+        cursor += rows;
+      }
+      COBRA_CHECK_MSG(cursor == fragment.num_rows(),
+                      table.id << " shard " << s
+                               << ": fragment has rows no journal entry "
+                               << "accounts for");
+    }
+
+    // Emit in global enumeration order: byte-identical to an unsharded
+    // run at the same seed/scale.
+    util::CsvWriter writer(out_dir + "/" + table.id + ".csv",
+                           table.columns);
+    std::size_t rows = 0;
+    for (const auto& chunk : chunks) {
+      for (const auto& row : chunk) {
+        writer.add_row(row);
+        ++rows;
+      }
+    }
+    writer.close();
+    result.rows_per_table.push_back(rows);
+    if (log) {
+      *log << "merged " << table.id << ".csv: " << rows << " rows from "
+           << shard_count << " shards\n";
+    }
+  }
+
+  if (log) {
+    for (const std::string& n : collect_summary_notes(def, out_dir))
+      *log << "  * " << n << '\n';
+  }
+  return result;
+}
+
+}  // namespace cobra::runner

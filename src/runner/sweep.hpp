@@ -1,0 +1,64 @@
+// Sharded, resumable execution of registered experiments, plus the merge
+// that reassembles shard fragments into the canonical archives.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runner/registry.hpp"
+
+namespace cobra::runner {
+
+struct SweepConfig {
+  std::string out_dir = "bench_results";
+  int shard_index = 1;
+  int shard_count = 1;
+  bool resume = false;
+  /// Stop after this many cells (negative: unlimited). The journal keeps
+  /// the run resumable, so chunked execution composes with --resume.
+  std::int64_t max_cells = -1;
+  /// Render the console tables when an unsharded run completes.
+  bool console = true;
+  /// Progress log (one line per cell); nullptr silences it.
+  std::ostream* log = nullptr;
+};
+
+struct SweepResult {
+  std::size_t cells_total = 0;     // cells in this shard's slice
+  std::size_t cells_run = 0;       // executed by this invocation
+  std::size_t cells_skipped = 0;   // journaled by a previous invocation
+  std::size_t cells_remaining = 0; // left behind by --max-cells
+  [[nodiscard]] bool complete() const { return cells_remaining == 0; }
+};
+
+/// Runs the shard's slice of `def`, journaling each completed cell and
+/// appending its rows to the shard's CSV fragments. With resume enabled an
+/// existing journal is continued: completed cells are skipped and torn
+/// fragment tails (crash between flush and journal) are truncated first.
+/// Unsharded complete runs write the canonical <table>.csv directly and,
+/// when configured, print the familiar console tables.
+SweepResult run_experiment(const ExperimentDef& def,
+                           const SweepConfig& config);
+
+struct MergeResult {
+  int shard_count = 0;
+  std::vector<std::size_t> rows_per_table;
+};
+
+/// Discovers the shard journals of `def` under `out_dir`, validates that
+/// they form one complete run (consistent k, shards 1..k, matching
+/// seed/scale, every slice fully journaled), and stitches the fragments
+/// into canonical <table>.csv files in cell-enumeration order — so the
+/// merged archive is byte-identical to an unsharded run. Prints the
+/// experiment's summary notes to `log`.
+MergeResult merge_experiment(const ExperimentDef& def,
+                             const std::string& out_dir, std::ostream* log);
+
+/// The fragment CSV path for one table of one shard; shard 1/1 is the
+/// canonical <out_dir>/<table id>.csv itself.
+std::string fragment_path(const std::string& out_dir, const TableDef& table,
+                          int shard_index, int shard_count);
+
+}  // namespace cobra::runner

@@ -1,7 +1,10 @@
 #include "util/csv.hpp"
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <sstream>
 
 #include "util/assert.hpp"
 #include "util/table.hpp"
@@ -29,21 +32,46 @@ struct CsvWriter::Impl {
 };
 
 CsvWriter::CsvWriter(const std::string& path,
-                     std::vector<std::string> header)
-    : impl_(new Impl) {
+                     std::vector<std::string> header, Mode mode) {
+  // Owned locally until construction succeeds: the checks below throw,
+  // and a half-constructed writer must not leak its Impl.
+  auto impl = std::make_unique<Impl>();
   const std::filesystem::path p(path);
   if (p.has_parent_path()) {
     std::error_code ec;
     std::filesystem::create_directories(p.parent_path(), ec);
   }
-  impl_->out.open(path, std::ios::trunc);
-  COBRA_CHECK_MSG(impl_->out.good(), "cannot open CSV file " << path);
-  impl_->columns = header.size();
-  for (std::size_t i = 0; i < header.size(); ++i) {
-    if (i) impl_->out << ',';
-    impl_->out << csv_escape(header[i]);
+  impl->columns = header.size();
+
+  bool continue_existing = false;
+  if (mode == Mode::kAppend) {
+    std::error_code ec;
+    continue_existing = std::filesystem::exists(p, ec) &&
+                        std::filesystem::file_size(p, ec) > 0;
+    if (continue_existing) {
+      // The archive being continued must agree on the schema; a mismatch
+      // means the caller is appending to some unrelated file. Only the
+      // header line is read — fragments can be large.
+      std::ifstream in(path, std::ios::binary);
+      COBRA_CHECK_MSG(in.good(), "cannot read CSV file " << path);
+      std::string first_line;
+      std::getline(in, first_line);
+      const CsvTable existing = parse_csv(first_line + "\n");
+      COBRA_CHECK_MSG(existing.header == header,
+                      "append to " << path << ": header mismatch");
+    }
   }
-  impl_->out << '\n';
+
+  impl->out.open(path, continue_existing ? std::ios::app : std::ios::trunc);
+  COBRA_CHECK_MSG(impl->out.good(), "cannot open CSV file " << path);
+  if (!continue_existing) {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (i) impl->out << ',';
+      impl->out << csv_escape(header[i]);
+    }
+    impl->out << '\n';
+  }
+  impl_ = impl.release();
 }
 
 CsvWriter::~CsvWriter() {
@@ -87,12 +115,116 @@ CsvWriter& CsvWriter::add(std::uint64_t value) {
   return add(std::to_string(value));
 }
 
+CsvWriter& CsvWriter::add_row(const std::vector<std::string>& cells) {
+  row();
+  for (const std::string& cell : cells) add(cell);
+  return *this;
+}
+
+void CsvWriter::flush() {
+  COBRA_CHECK(impl_ != nullptr);
+  end_row_if_open();
+  impl_->out.flush();
+}
+
 void CsvWriter::close() {
   if (impl_ == nullptr) return;
   end_row_if_open();
   impl_->out.flush();
   delete impl_;
   impl_ = nullptr;
+}
+
+CsvTable parse_csv(const std::string& text) {
+  CsvTable table;
+  std::vector<std::string> record;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;  // record has at least one cell (even empty)
+
+  const auto end_cell = [&] {
+    record.push_back(cell);
+    cell.clear();
+    cell_started = false;
+  };
+  const auto end_record = [&] {
+    end_cell();
+    if (table.header.empty() && table.rows.empty()) {
+      table.header = record;
+    } else {
+      table.rows.push_back(record);
+    }
+    record.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;  // escaped quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        cell_started = true;  // a separator implies a following cell
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        cell += ch;
+        cell_started = true;
+        break;
+    }
+  }
+  // Final record without a trailing newline.
+  if (cell_started || !cell.empty() || !record.empty()) end_record();
+  COBRA_CHECK_MSG(!in_quotes, "CSV ends inside a quoted field");
+  return table;
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  COBRA_CHECK_MSG(false, "no CSV column named " << name);
+}
+
+std::vector<double> CsvTable::numeric_column(const std::string& name) const {
+  const std::size_t index = column(name);
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const auto& row : rows) {
+    values.push_back(index < row.size() ? csv_number(row[index]) : 0.0);
+  }
+  return values;
+}
+
+double csv_number(const std::string& cell) {
+  return std::strtod(cell.c_str(), nullptr);
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  COBRA_CHECK_MSG(in.good(), "cannot read CSV file " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
 }
 
 }  // namespace cobra::util

@@ -2,9 +2,38 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <thread>
 
+#include "util/assert.hpp"
+
 namespace cobra::util {
+
+namespace {
+// CLI-provided values (runner/options) that shadow the environment. Plain
+// statics: overrides are applied once at process startup, before any
+// experiment code runs.
+std::optional<double> scale_override;
+std::optional<std::uint64_t> seed_override;
+std::optional<int> threads_override;
+}  // namespace
+
+void set_scale_override(double value) {
+  COBRA_CHECK_MSG(value > 0.0, "scale override must be positive");
+  scale_override = value;
+}
+
+void set_seed_override(std::uint64_t value) { seed_override = value; }
+
+void set_threads_override(int value) {
+  threads_override = std::clamp(value, 1, 1024);
+}
+
+void clear_env_overrides() {
+  scale_override.reset();
+  seed_override.reset();
+  threads_override.reset();
+}
 
 double env_double(const char* name, double fallback) {
   const char* raw = std::getenv(name);
@@ -30,6 +59,7 @@ std::string env_string(const char* name, const std::string& fallback) {
 }
 
 double scale() {
+  if (scale_override) return *scale_override;
   const double s = env_double("COBRA_SCALE", 1.0);
   return s > 0.0 ? s : 1.0;
 }
@@ -41,6 +71,7 @@ std::int64_t scaled(std::int64_t base, std::int64_t min_value) {
 }
 
 int max_threads() {
+  if (threads_override) return *threads_override;
   const auto hw = static_cast<std::int64_t>(
       std::max(1u, std::thread::hardware_concurrency()));
   const std::int64_t cap = env_int("COBRA_THREADS", hw);
@@ -48,6 +79,7 @@ int max_threads() {
 }
 
 std::uint64_t global_seed() {
+  if (seed_override) return *seed_override;
   return static_cast<std::uint64_t>(env_int("COBRA_SEED", 20170724));
 }
 

@@ -22,6 +22,18 @@ std::string env_string(const char* name, const std::string& fallback);
 /// Global experiment scale multiplier (COBRA_SCALE).
 double scale();
 
+/// Programmatic overrides, set by the runner CLI when `--scale`, `--seed`
+/// or `--threads` are passed: they take precedence over the environment
+/// variables in scale()/global_seed()/max_threads(). Values are validated
+/// the same way as their env counterparts (scale must be positive, threads
+/// are clamped to [1, 1024]).
+void set_scale_override(double value);
+void set_seed_override(std::uint64_t value);
+void set_threads_override(int value);
+
+/// Drops all programmatic overrides (tests; the CLI never needs this).
+void clear_env_overrides();
+
 /// Scales an integer quantity by COBRA_SCALE, keeping at least `min_value`.
 std::int64_t scaled(std::int64_t base, std::int64_t min_value = 1);
 

@@ -1,0 +1,152 @@
+// Registry coverage for the 14 real experiments (this binary links the
+// cobra_experiments OBJECT library, so every bench/exp_* registration is
+// present) plus shard-slice algebra.
+#include "runner/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/env.hpp"
+
+namespace cobra::runner {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  // Tiny scale: enumeration must be cheap and deterministic at any scale.
+  void SetUp() override { util::set_scale_override(0.01); }
+  void TearDown() override { util::clear_env_overrides(); }
+};
+
+const std::vector<std::string>& expected_names() {
+  static const std::vector<std::string> kNames = {
+      "baselines",     "bips_growth",   "branching", "cover_profile",
+      "duality",       "families",      "general_bound", "hypercube",
+      "lazy_bipartite", "lower_bound",  "martingale", "mixing",
+      "regular_bound", "whp"};
+  return kNames;
+}
+
+TEST_F(RegistryTest, AllFourteenExperimentsRegistered) {
+  const auto all = Registry::instance().all();
+  std::vector<std::string> names;
+  for (const ExperimentDef* def : all) names.push_back(def->name);
+  for (const std::string& name : expected_names()) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << "missing experiment: " << name;
+    EXPECT_NE(Registry::instance().find(name), nullptr);
+  }
+  EXPECT_GE(all.size(), 14u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST_F(RegistryTest, EveryExperimentIsSelfDescribing) {
+  for (const ExperimentDef* def : Registry::instance().all()) {
+    EXPECT_FALSE(def->description.empty()) << def->name;
+    ASSERT_FALSE(def->tables.empty()) << def->name;
+    for (const TableDef& table : def->tables) {
+      EXPECT_FALSE(table.id.empty()) << def->name;
+      EXPECT_FALSE(table.columns.empty()) << def->name << "/" << table.id;
+    }
+  }
+}
+
+TEST_F(RegistryTest, EnumerationIsDeterministicWithUniqueIds) {
+  for (const ExperimentDef* def : Registry::instance().all()) {
+    const auto first = def->cells();
+    const auto second = def->cells();
+    ASSERT_FALSE(first.empty()) << def->name;
+    ASSERT_EQ(first.size(), second.size()) << def->name;
+    std::set<std::string> ids;
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i].id, second[i].id) << def->name << " cell " << i;
+      EXPECT_TRUE(ids.insert(first[i].id).second)
+          << def->name << " duplicate cell id " << first[i].id;
+      // Journal keys must survive the tab-separated manifest format.
+      EXPECT_EQ(first[i].id.find_first_of("\t\n\r"), std::string::npos)
+          << def->name << " cell id has separators: " << first[i].id;
+    }
+  }
+}
+
+TEST_F(RegistryTest, ScaleChangesEnumerationNotStability) {
+  // hypercube's cell count is scale-dependent; the enumeration at each
+  // scale must still be internally stable.
+  const ExperimentDef* def = Registry::instance().find("hypercube");
+  ASSERT_NE(def, nullptr);
+  const auto tiny = def->cells().size();
+  util::set_scale_override(1.0);
+  const auto full = def->cells().size();
+  EXPECT_LT(tiny, full);
+}
+
+TEST_F(RegistryTest, FilterMatchesSubstrings) {
+  const auto hits = Registry::instance().match("bound");
+  std::vector<std::string> names;
+  for (const ExperimentDef* def : hits) names.push_back(def->name);
+  EXPECT_EQ(names, (std::vector<std::string>{"general_bound", "lower_bound",
+                                             "regular_bound"}));
+  EXPECT_TRUE(Registry::instance().match("no_such_experiment").empty());
+}
+
+TEST(ShardSlice, PartitionIsDisjointAndComplete) {
+  for (const std::size_t num_cells : {1u, 2u, 5u, 24u, 123u}) {
+    for (const int k : {1, 2, 4}) {
+      std::set<std::size_t> seen;
+      std::size_t total = 0;
+      for (int i = 1; i <= k; ++i) {
+        const auto slice = shard_slice(num_cells, i, k);
+        total += slice.size();
+        for (const std::size_t index : slice) {
+          EXPECT_LT(index, num_cells);
+          EXPECT_TRUE(seen.insert(index).second)
+              << "index " << index << " in two shards (k=" << k << ")";
+        }
+        // Deterministic: same request, same slice.
+        EXPECT_EQ(slice, shard_slice(num_cells, i, k));
+      }
+      EXPECT_EQ(total, num_cells) << "k=" << k;
+      EXPECT_EQ(seen.size(), num_cells) << "k=" << k;
+    }
+  }
+}
+
+TEST(ShardSlice, RoundRobinBalancesSizeOrderedSweeps) {
+  const auto a = shard_slice(6, 1, 2);
+  const auto b = shard_slice(6, 2, 2);
+  EXPECT_EQ(a, (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(b, (std::vector<std::size_t>{1, 3, 5}));
+}
+
+TEST(ShardSlice, MoreShardsThanCellsLeavesSomeEmpty) {
+  EXPECT_TRUE(shard_slice(2, 3, 4).empty());
+  EXPECT_EQ(shard_slice(2, 2, 4), (std::vector<std::size_t>{1}));
+}
+
+TEST(ShardSlice, RejectsInvalidShards) {
+  EXPECT_THROW(shard_slice(10, 0, 4), util::CheckError);
+  EXPECT_THROW(shard_slice(10, 5, 4), util::CheckError);
+}
+
+TEST_F(RegistryTest, RegistryRejectsDuplicatesAndMalformedDefs) {
+  Registry registry;
+  ExperimentDef def;
+  def.name = "x";
+  def.tables = {{"t", "", {"a"}}};
+  def.cells = [] { return std::vector<CellDef>{}; };
+  registry.add(def);
+  EXPECT_THROW(registry.add(def), util::CheckError);  // duplicate name
+  ExperimentDef unnamed = def;
+  unnamed.name = "";
+  EXPECT_THROW(registry.add(unnamed), util::CheckError);
+  ExperimentDef tableless = def;
+  tableless.name = "y";
+  tableless.tables.clear();
+  EXPECT_THROW(registry.add(tableless), util::CheckError);
+}
+
+}  // namespace
+}  // namespace cobra::runner

@@ -1,0 +1,331 @@
+// Sharded sweep execution: shard ∪ = full sweep, kill-then-resume equals
+// an uninterrupted run byte for byte, torn fragments are reconciled, and
+// merge validates its inputs. Uses a synthetic two-table experiment whose
+// rows are a deterministic function of (seed, cell), mirroring the
+// contract the real cells obey.
+#include "runner/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rng/stream.hpp"
+#include "runner/journal.hpp"
+#include "runner/registry.hpp"
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+
+namespace cobra::runner {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kCells = 7;
+
+ExperimentDef make_test_experiment() {
+  ExperimentDef def;
+  def.name = "synthetic";
+  def.description = "deterministic two-table test experiment";
+  def.tables = {
+      {"synthetic_main", "main table", {"cell", "i", "value"}},
+      {"synthetic_aux", "aux table", {"cell", "j"}}};
+  def.cells = [] {
+    std::vector<CellDef> cells;
+    for (int i = 0; i < kCells; ++i) {
+      // Built in two steps: GCC 12's -Wrestrict misfires on
+      // "c" + std::to_string(i) inlined through std::function.
+      std::string id = "c";
+      id += std::to_string(i);
+      cells.push_back(
+          {id, i < 4 ? "first" : "second",
+           [i, id](CellContext& ctx) {
+             const std::uint64_t seed = util::global_seed();
+             const auto value = rng::derive_seed(seed, i);
+             ctx.row().add(id)
+                 .add(static_cast<std::int64_t>(i))
+                 .add(static_cast<double>(value % 1000) / 7.0, 2);
+             // Variable-length aux output exercises per-cell row counts.
+             ctx.table(1);
+             for (int j = 0; j < i % 3; ++j) {
+               ctx.row().add(id).add(static_cast<std::int64_t>(j));
+             }
+           }});
+    }
+    return cells;
+  };
+  return def;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+class SweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::set_seed_override(12345);
+    dir_ = fs::path(::testing::TempDir()) /
+           ("sweep_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()
+                    ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    util::clear_env_overrides();
+    fs::remove_all(dir_);
+  }
+
+  SweepConfig config(const std::string& sub, int i = 1, int k = 1) {
+    SweepConfig c;
+    c.out_dir = (dir_ / sub).string();
+    c.shard_index = i;
+    c.shard_count = k;
+    c.console = false;
+    return c;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(SweepTest, UnshardedRunWritesCanonicalCsvs) {
+  const ExperimentDef def = make_test_experiment();
+  const SweepResult result = run_experiment(def, config("full"));
+  EXPECT_EQ(result.cells_run, static_cast<std::size_t>(kCells));
+  EXPECT_TRUE(result.complete());
+
+  const auto main_table =
+      util::read_csv((dir_ / "full/synthetic_main.csv").string());
+  EXPECT_EQ(main_table.header,
+            (std::vector<std::string>{"cell", "i", "value"}));
+  EXPECT_EQ(main_table.num_rows(), static_cast<std::size_t>(kCells));
+  // Aux rows: sum of i % 3 over 0..6 = 0+1+2+0+1+2+0.
+  const auto aux_table =
+      util::read_csv((dir_ / "full/synthetic_aux.csv").string());
+  EXPECT_EQ(aux_table.num_rows(), 6u);
+}
+
+TEST_F(SweepTest, ShardsPartitionTheSweepAndMergeRestoresByteIdentity) {
+  const ExperimentDef def = make_test_experiment();
+  run_experiment(def, config("full"));
+
+  for (const int k : {2, 4}) {
+    const std::string sub = "k" + std::to_string(k);
+    std::size_t total = 0;
+    for (int i = 1; i <= k; ++i) {
+      const SweepResult r = run_experiment(def, config(sub, i, k));
+      EXPECT_TRUE(r.complete());
+      total += r.cells_run;
+    }
+    EXPECT_EQ(total, static_cast<std::size_t>(kCells));
+
+    const MergeResult merged =
+        merge_experiment(def, (dir_ / sub).string(), nullptr);
+    EXPECT_EQ(merged.shard_count, k);
+    EXPECT_EQ(merged.rows_per_table,
+              (std::vector<std::size_t>{7, 6}));
+    for (const char* table : {"synthetic_main.csv", "synthetic_aux.csv"}) {
+      EXPECT_EQ(slurp((dir_ / "full" / table).string()),
+                slurp((dir_ / sub / table).string()))
+          << "k=" << k << " " << table;
+    }
+  }
+}
+
+TEST_F(SweepTest, InterruptedShardResumesWithoutRerunningJournaledCells) {
+  const ExperimentDef def = make_test_experiment();
+  // Uninterrupted reference shard.
+  run_experiment(def, config("ref", 2, 2));
+
+  // Interrupted run: one cell at a time, resuming each time.
+  SweepConfig chunked = config("chunked", 2, 2);
+  chunked.resume = true;
+  chunked.max_cells = 1;
+  std::size_t runs = 0;
+  for (;;) {
+    const SweepResult r = run_experiment(def, chunked);
+    EXPECT_LE(r.cells_run, 1u);
+    runs += r.cells_run;
+    // Cells journaled by earlier invocations are skipped, never re-run.
+    EXPECT_EQ(r.cells_skipped, runs - r.cells_run);
+    if (r.complete()) break;
+  }
+  EXPECT_EQ(runs, shard_slice(kCells, 2, 2).size());
+
+  for (const char* table :
+       {"synthetic_main.shard2of2.csv", "synthetic_aux.shard2of2.csv"}) {
+    EXPECT_EQ(slurp((dir_ / "ref" / table).string()),
+              slurp((dir_ / "chunked" / table).string()))
+        << table;
+  }
+  // Journals agree too (same header, same cells in the same order).
+  const auto [ref_header, ref_entries] =
+      Journal::read((dir_ / "ref/synthetic.2of2.journal").string());
+  const auto [chunk_header, chunk_entries] =
+      Journal::read((dir_ / "chunked/synthetic.2of2.journal").string());
+  EXPECT_EQ(ref_header, chunk_header);
+  ASSERT_EQ(ref_entries.size(), chunk_entries.size());
+  for (std::size_t i = 0; i < ref_entries.size(); ++i) {
+    EXPECT_EQ(ref_entries[i].cell_id, chunk_entries[i].cell_id);
+    EXPECT_EQ(ref_entries[i].rows_per_table,
+              chunk_entries[i].rows_per_table);
+  }
+}
+
+TEST_F(SweepTest, TornFragmentRowsAreDroppedOnResume) {
+  const ExperimentDef def = make_test_experiment();
+  run_experiment(def, config("ref"));
+
+  // Run one cell, then simulate a crash after the second cell's rows were
+  // flushed but before it was journaled: its rows sit at the fragment
+  // tail with no journal line.
+  SweepConfig torn = config("torn");
+  torn.max_cells = 1;
+  run_experiment(def, torn);
+  {
+    std::ofstream out((dir_ / "torn/synthetic_main.csv").string(),
+                      std::ios::app);
+    out << "c1,1,999.0\n";  // orphaned rows of the unjournaled cell
+  }
+
+  SweepConfig resume = config("torn");
+  resume.resume = true;
+  const SweepResult r = run_experiment(def, resume);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.cells_skipped, 1u);
+
+  EXPECT_EQ(slurp((dir_ / "ref/synthetic_main.csv").string()),
+            slurp((dir_ / "torn/synthetic_main.csv").string()));
+  EXPECT_EQ(slurp((dir_ / "ref/synthetic_aux.csv").string()),
+            slurp((dir_ / "torn/synthetic_aux.csv").string()));
+}
+
+TEST_F(SweepTest, TornJournalLineMeansCellReruns) {
+  const ExperimentDef def = make_test_experiment();
+  run_experiment(def, config("ref"));
+
+  SweepConfig partial = config("tornj");
+  partial.max_cells = 2;
+  run_experiment(def, partial);
+
+  // Simulate a crash mid-write of the second journal line: cut it inside
+  // the counts list (the "ok" terminator is lost). The cell's rows are
+  // already in the fragments and must be dropped with it.
+  const std::string jpath = (dir_ / "tornj/synthetic.1of1.journal").string();
+  std::string text = slurp(jpath);
+  const auto last_c2 = text.rfind("cell\tc1");
+  ASSERT_NE(last_c2, std::string::npos);
+  const auto tab = text.find('\t', last_c2 + 8);  // after "cell\tc1\t"
+  ASSERT_NE(tab, std::string::npos);
+  {
+    std::ofstream out(jpath, std::ios::trunc | std::ios::binary);
+    out << text.substr(0, tab);  // "...cell\tc1\t<counts cut, no newline>"
+  }
+
+  SweepConfig resume = config("tornj");
+  resume.resume = true;
+  const SweepResult r = run_experiment(def, resume);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.cells_skipped, 1u);  // only c0 survives the torn journal
+  EXPECT_EQ(r.cells_run, static_cast<std::size_t>(kCells) - 1);
+
+  for (const char* table : {"synthetic_main.csv", "synthetic_aux.csv"}) {
+    EXPECT_EQ(slurp((dir_ / "ref" / table).string()),
+              slurp((dir_ / "tornj" / table).string()))
+        << table;
+  }
+  // The repaired journal must parse cleanly (newline restored before the
+  // appended records).
+  const auto [header, entries] = Journal::read(jpath);
+  EXPECT_EQ(entries.size(), static_cast<std::size_t>(kCells));
+}
+
+TEST_F(SweepTest, ScaleWithManyDecimalsRoundTripsThroughTheJournal) {
+  util::set_scale_override(0.0123456789);
+  const ExperimentDef def = make_test_experiment();
+  SweepConfig partial = config("precise");
+  partial.max_cells = 1;
+  run_experiment(def, partial);
+
+  SweepConfig resume = config("precise");
+  resume.resume = true;
+  const SweepResult r = run_experiment(def, resume);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.cells_skipped, 1u);
+}
+
+TEST_F(SweepTest, ResumeRefusesAForeignJournal) {
+  const ExperimentDef def = make_test_experiment();
+  SweepConfig first = config("mismatch");
+  first.max_cells = 1;
+  run_experiment(def, first);
+
+  util::set_seed_override(999);  // different run configuration
+  SweepConfig resume = config("mismatch");
+  resume.resume = true;
+  EXPECT_THROW(run_experiment(def, resume), util::CheckError);
+}
+
+TEST_F(SweepTest, FreshRunIgnoresAndReplacesAnOldJournal) {
+  const ExperimentDef def = make_test_experiment();
+  SweepConfig partial = config("restart");
+  partial.max_cells = 2;
+  run_experiment(def, partial);
+
+  // No --resume: start over and complete.
+  const SweepResult r = run_experiment(def, config("restart"));
+  EXPECT_EQ(r.cells_run, static_cast<std::size_t>(kCells));
+  EXPECT_EQ(r.cells_skipped, 0u);
+  const auto table =
+      util::read_csv((dir_ / "restart/synthetic_main.csv").string());
+  EXPECT_EQ(table.num_rows(), static_cast<std::size_t>(kCells));
+}
+
+TEST_F(SweepTest, MergeRefusesIncompleteOrMissingShards) {
+  const ExperimentDef def = make_test_experiment();
+  SweepConfig partial = config("incomplete", 1, 2);
+  partial.max_cells = 1;
+  run_experiment(def, partial);
+  run_experiment(def, config("incomplete", 2, 2));
+  EXPECT_THROW(merge_experiment(def, (dir_ / "incomplete").string(),
+                                nullptr),
+               util::CheckError);
+
+  run_experiment(def, config("missing", 1, 2));
+  // Shard 2/2 never ran.
+  EXPECT_THROW(merge_experiment(def, (dir_ / "missing").string(), nullptr),
+               util::CheckError);
+}
+
+TEST_F(SweepTest, MergeRefusesMixedSeeds) {
+  const ExperimentDef def = make_test_experiment();
+  run_experiment(def, config("mixed", 1, 2));
+  util::set_seed_override(54321);
+  run_experiment(def, config("mixed", 2, 2));
+  EXPECT_THROW(merge_experiment(def, (dir_ / "mixed").string(), nullptr),
+               util::CheckError);
+}
+
+TEST_F(SweepTest, MaxCellsZeroRunsNothingButStaysResumable) {
+  const ExperimentDef def = make_test_experiment();
+  SweepConfig none = config("zero");
+  none.max_cells = 0;
+  const SweepResult r = run_experiment(def, none);
+  EXPECT_EQ(r.cells_run, 0u);
+  EXPECT_FALSE(r.complete());
+
+  SweepConfig rest = config("zero");
+  rest.resume = true;
+  EXPECT_TRUE(run_experiment(def, rest).complete());
+}
+
+}  // namespace
+}  // namespace cobra::runner

@@ -4,6 +4,8 @@
 
 #include <cstdlib>
 
+#include "util/assert.hpp"
+
 namespace cobra::util {
 namespace {
 
@@ -13,6 +15,8 @@ class EnvTest : public ::testing::Test {
     unsetenv("COBRA_TEST_VAR");
     unsetenv("COBRA_SCALE");
     unsetenv("COBRA_THREADS");
+    unsetenv("COBRA_SEED");
+    clear_env_overrides();
   }
 };
 
@@ -63,6 +67,34 @@ TEST_F(EnvTest, MaxThreadsAtLeastOne) {
 TEST_F(EnvTest, GlobalSeedDefault) {
   unsetenv("COBRA_SEED");
   EXPECT_EQ(global_seed(), 20170724ull);
+}
+
+TEST_F(EnvTest, OverridesShadowEnvironmentUntilCleared) {
+  setenv("COBRA_SCALE", "2.0", 1);
+  setenv("COBRA_SEED", "111", 1);
+  setenv("COBRA_THREADS", "3", 1);
+
+  set_scale_override(0.5);
+  set_seed_override(222);
+  set_threads_override(7);
+  EXPECT_DOUBLE_EQ(scale(), 0.5);
+  EXPECT_EQ(scaled(100, 1), 50);
+  EXPECT_EQ(global_seed(), 222ull);
+  EXPECT_EQ(max_threads(), 7);
+
+  clear_env_overrides();
+  EXPECT_DOUBLE_EQ(scale(), 2.0);
+  EXPECT_EQ(global_seed(), 111ull);
+  EXPECT_EQ(max_threads(), 3);
+}
+
+TEST_F(EnvTest, OverrideValidation) {
+  EXPECT_THROW(set_scale_override(0.0), CheckError);
+  EXPECT_THROW(set_scale_override(-1.0), CheckError);
+  set_threads_override(100000);  // clamped like the env path
+  EXPECT_EQ(max_threads(), 1024);
+  set_threads_override(-5);
+  EXPECT_EQ(max_threads(), 1);
 }
 
 }  // namespace

@@ -83,5 +83,124 @@ TEST(CsvWriter, RejectsOverfullRow) {
   std::remove(path.c_str());
 }
 
+TEST(CsvWriter, AppendModeContinuesAnExistingArchive) {
+  const std::string path = "test_output_csv_append.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.row().add(std::int64_t{1}).add(std::int64_t{2});
+    w.close();
+  }
+  {
+    // Reopen: header must not be duplicated, old rows must survive.
+    CsvWriter w(path, {"x", "y"}, CsvWriter::Mode::kAppend);
+    w.row().add(std::int64_t{3}).add(std::int64_t{4});
+    w.close();
+  }
+  const CsvTable table = read_csv(path);
+  EXPECT_EQ(table.header, (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"3", "4"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, AppendModeStartsFreshFilesWithAHeader) {
+  const std::string path = "test_output_csv_append_fresh.csv";
+  std::remove(path.c_str());
+  {
+    CsvWriter w(path, {"a"}, CsvWriter::Mode::kAppend);
+    w.row().add("v");
+    w.close();
+  }
+  const CsvTable table = read_csv(path);
+  EXPECT_EQ(table.header, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(table.num_rows(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, AppendModeRejectsHeaderMismatch) {
+  const std::string path = "test_output_csv_append_mismatch.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.close();
+  }
+  EXPECT_THROW(CsvWriter(path, {"x", "z"}, CsvWriter::Mode::kAppend),
+               CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, TruncateModeStillTruncates) {
+  const std::string path = "test_output_csv_trunc.csv";
+  {
+    CsvWriter w(path, {"x"});
+    w.row().add("old");
+    w.close();
+  }
+  {
+    CsvWriter w(path, {"x"});
+    w.row().add("new");
+    w.close();
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.rows[0][0], "new");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, AddRowWritesPreformattedCells) {
+  const std::string path = "test_output_csv_addrow.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.add_row({"a,b", "2"});
+    w.close();
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"a,b", "2"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvParse, RoundTripsQuotedFields) {
+  const std::string text =
+      "graph,note\n"
+      "\"with,comma\",plain\n"
+      "\"with\"\"quote\",\"line\nbreak\"\n";
+  const CsvTable table = parse_csv(text);
+  EXPECT_EQ(table.header, (std::vector<std::string>{"graph", "note"}));
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.rows[0],
+            (std::vector<std::string>{"with,comma", "plain"}));
+  EXPECT_EQ(table.rows[1],
+            (std::vector<std::string>{"with\"quote", "line\nbreak"}));
+}
+
+TEST(CsvParse, HandlesEdgeShapes) {
+  EXPECT_TRUE(parse_csv("").header.empty());
+  EXPECT_EQ(parse_csv("a,b").header,
+            (std::vector<std::string>{"a", "b"}));  // no trailing newline
+  const CsvTable empties = parse_csv("a,b\n,\n");
+  ASSERT_EQ(empties.num_rows(), 1u);
+  EXPECT_EQ(empties.rows[0], (std::vector<std::string>{"", ""}));
+  const CsvTable crlf = parse_csv("a\r\n1\r\n");
+  EXPECT_EQ(crlf.header, (std::vector<std::string>{"a"}));
+  ASSERT_EQ(crlf.num_rows(), 1u);
+  EXPECT_EQ(crlf.rows[0][0], "1");
+  EXPECT_THROW(parse_csv("a\n\"unterminated"), CheckError);
+}
+
+TEST(CsvParse, ColumnLookupAndNumbers) {
+  const CsvTable table = parse_csv("name,value\na,1.5\nb,2.5\n");
+  EXPECT_EQ(table.column("value"), 1u);
+  EXPECT_THROW(static_cast<void>(table.column("missing")), CheckError);
+  EXPECT_EQ(table.numeric_column("value"),
+            (std::vector<double>{1.5, 2.5}));
+  EXPECT_DOUBLE_EQ(csv_number("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(csv_number("junk"), 0.0);
+}
+
+TEST(CsvRead, MissingFileThrows) {
+  EXPECT_THROW(read_csv("no_such_dir/no_such_file.csv"), CheckError);
+}
+
 }  // namespace
 }  // namespace cobra::util
