@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Regression-threshold checks for the COBRA stepping-engine benchmarks.
+
+Two modes:
+
+  check_step_bench.py BASELINE.json
+      Validates the committed baseline (bench_results/BENCH_step.json):
+      the dense engine must be at least --min-speedup (default 2.0) times
+      faster than the reference engine on the steady-state round of the
+      largest b = 2 random-regular graph — the headline guarantee of the
+      fast-frontier engine (runs in ctest as `bench_step_baseline_check`).
+
+  check_step_bench.py BASELINE.json FRESH.json [--tolerance 0.30]
+      Compares a fresh `micro_cobra --benchmark_out=FRESH.json` run against
+      the baseline: any shared benchmark whose per-iteration real_time
+      regressed by more than the tolerance fails the check. Only
+      meaningful on hardware comparable to the baseline's; CI uses it to
+      catch order-of-magnitude regressions, not single-digit noise.
+
+Regenerate the baseline with:
+  ./build/bench/micro_cobra --benchmark_out=bench_results/BENCH_step.json \
+      --benchmark_out_format=json
+"""
+
+import argparse
+import json
+import sys
+
+# The acceptance pair: steady-state step on the largest random-regular
+# graph (bench/micro_cobra.cpp keeps these labels stable).
+TARGET_GRAPH = "regular_262144_r8"
+DENSE_LABEL = f"{TARGET_GRAPH}/dense"
+REFERENCE_LABEL = f"{TARGET_GRAPH}/reference"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    benches = [
+        b
+        for b in doc.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    ]
+    if not benches:
+        sys.exit(f"{path}: no benchmark entries found")
+    return benches
+
+
+def step_time(benches, label):
+    for b in benches:
+        if b["name"].startswith("BM_CobraStep/") and b.get("label") == label:
+            return b["real_time"]
+    sys.exit(f"missing BM_CobraStep entry labelled {label!r}")
+
+
+def check_baseline(benches, min_speedup):
+    reference = step_time(benches, REFERENCE_LABEL)
+    dense = step_time(benches, DENSE_LABEL)
+    speedup = reference / dense
+    print(
+        f"steady-state step on {TARGET_GRAPH}: reference {reference:.0f} ns, "
+        f"dense {dense:.0f} ns, speedup {speedup:.2f}x "
+        f"(required >= {min_speedup:.2f}x)"
+    )
+    if speedup < min_speedup:
+        sys.exit(f"FAIL: dense engine speedup {speedup:.2f}x < {min_speedup}x")
+    print("OK")
+
+
+def check_regression(baseline, fresh, tolerance):
+    base_by_key = {(b["name"], b.get("label", "")): b for b in baseline}
+    failures = []
+    compared = 0
+    for b in fresh:
+        key = (b["name"], b.get("label", ""))
+        if key not in base_by_key:
+            continue
+        compared += 1
+        base_time = base_by_key[key]["real_time"]
+        ratio = b["real_time"] / base_time
+        if ratio > 1.0 + tolerance:
+            failures.append(f"{b['name']} [{b.get('label', '')}]: "
+                            f"{ratio:.2f}x baseline")
+    print(f"compared {compared} benchmarks against baseline "
+          f"(tolerance +{tolerance:.0%})")
+    if compared == 0:
+        sys.exit("FAIL: no overlapping benchmarks between the two files")
+    if failures:
+        print("\n".join("REGRESSED: " + f for f in failures))
+        sys.exit(f"FAIL: {len(failures)} benchmark(s) regressed")
+    print("OK")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_step.json")
+    parser.add_argument("fresh", nargs="?",
+                        help="fresh micro_cobra JSON to compare (optional)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required dense/reference speedup (default 2.0)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed per-benchmark slowdown vs baseline "
+                             "(default 0.30 = +30%%)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    if args.fresh is None:
+        check_baseline(baseline, args.min_speedup)
+    else:
+        check_regression(baseline, load(args.fresh), args.tolerance)
+
+
+if __name__ == "__main__":
+    main()

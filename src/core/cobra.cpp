@@ -1,15 +1,35 @@
 #include "core/cobra.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace cobra::core {
 
 CobraProcess::CobraProcess(const graph::Graph& g, ProcessOptions options)
-    : graph_(&g), options_(options) {
+    : graph_(&g),
+      options_(std::move(options)),
+      engine_(resolve_engine(options_.engine)) {
   options_.validate();
   COBRA_CHECK_MSG(g.num_vertices() >= 1, "empty graph");
-  COBRA_CHECK_MSG(g.min_degree() >= 1,
-                  "COBRA needs every vertex to have a neighbour to push to");
+  COBRA_CHECK_MSG(g.num_vertices() == 1 || g.min_degree() >= 1,
+                  "COBRA needs every vertex to have a neighbour to push to "
+                  "(the single-vertex graph is the one degree-0 exception)");
+  if (engine_ != Engine::kReference) {
+    if (options_.sampler) {
+      COBRA_CHECK_MSG(
+          &options_.sampler->graph() == graph_ &&
+              options_.sampler->laziness() == options_.laziness,
+          "shared NeighborSampler must match the process's graph and "
+          "laziness");
+      sampler_ = options_.sampler;
+    } else {
+      sampler_ = std::make_shared<const NeighborSampler>(g, options_.laziness);
+    }
+    if (engine_ != Engine::kSparse) {
+      frontier_.resize(g.num_vertices());
+      next_frontier_.resize(g.num_vertices());
+    }
+  }
   stamp_.assign(g.num_vertices(), 0);
   visited_.resize(g.num_vertices());
   reset(0);
@@ -28,6 +48,9 @@ void CobraProcess::reset(std::span<const graph::VertexId> start) {
   visited_count_ = 0;
   round_ = 0;
   transmissions_ = 0;
+  dense_mode_ = false;
+  active_valid_ = true;
+  dense_rounds_ = 0;
   for (const graph::VertexId u : start) {
     COBRA_CHECK(u < graph_->num_vertices());
     if (stamp_[u] == epoch_) continue;  // deduplicate
@@ -35,9 +58,28 @@ void CobraProcess::reset(std::span<const graph::VertexId> start) {
     active_.push_back(u);
     if (visited_.set_and_test(u)) ++visited_count_;
   }
+  num_active_ = static_cast<std::uint32_t>(active_.size());
 }
 
 std::uint32_t CobraProcess::step(rng::Rng& rng) {
+  if (engine_ == Engine::kReference) return step_reference(rng);
+
+  // Fast engines: one round key from the sequential stream; every
+  // per-vertex choice below is a pure function of (round_key, vertex), so
+  // the frontier representation cannot affect the outcome.
+  const std::uint64_t round_key = rng.next_u64();
+  bool dense = engine_ == Engine::kDense;
+  if (engine_ == Engine::kAuto) {
+    const double threshold =
+        options_.dense_density * static_cast<double>(graph_->num_vertices());
+    // Hysteresis: leave dense mode only below half the entry threshold.
+    dense = static_cast<double>(num_active_) >=
+            (dense_mode_ ? threshold / 2.0 : threshold);
+  }
+  return dense ? step_fast_dense(round_key) : step_fast_sparse(round_key);
+}
+
+std::uint32_t CobraProcess::step_reference(rng::Rng& rng) {
   const std::uint64_t next_epoch = epoch_ + 1;
   next_.clear();
   std::uint32_t newly_visited = 0;
@@ -51,6 +93,8 @@ std::uint32_t CobraProcess::step(rng::Rng& rng) {
       graph::VertexId dest;
       if (laziness > 0.0 && rng.bernoulli(laziness)) {
         dest = u;
+      } else if (nbrs.empty()) {
+        dest = u;  // single-vertex graph: every push stays put
       } else {
         dest = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
       }
@@ -63,9 +107,113 @@ std::uint32_t CobraProcess::step(rng::Rng& rng) {
 
   epoch_ = next_epoch;
   active_.swap(next_);
+  num_active_ = static_cast<std::uint32_t>(active_.size());
+  active_valid_ = true;
   visited_count_ += newly_visited;
   ++round_;
   return newly_visited;
+}
+
+std::uint32_t CobraProcess::step_fast_sparse(std::uint64_t round_key) {
+  if (dense_mode_) to_sparse_mode();
+  const std::uint64_t next_epoch = epoch_ + 1;
+  next_.clear();
+  std::uint32_t newly_visited = 0;
+  const Branching& branching = options_.branching;
+  const NeighborSampler& sampler = *sampler_;
+
+  for (const graph::VertexId u : active_) {
+    VertexDraws draws(round_key, u);
+    std::uint32_t fanout = branching.base;
+    if (branching.extra_prob > 0.0 && draws.bernoulli(branching.extra_prob))
+      ++fanout;
+    transmissions_ += fanout;
+    for (std::uint32_t j = 0; j < fanout; ++j) {
+      const graph::VertexId dest = sampler.sample(u, draws.next_word());
+      if (stamp_[dest] == next_epoch) continue;  // coalesce
+      stamp_[dest] = next_epoch;
+      next_.push_back(dest);
+      if (visited_.set_and_test(dest)) ++newly_visited;
+    }
+  }
+
+  epoch_ = next_epoch;
+  active_.swap(next_);
+  num_active_ = static_cast<std::uint32_t>(active_.size());
+  active_valid_ = true;
+  visited_count_ += newly_visited;
+  ++round_;
+  return newly_visited;
+}
+
+std::uint32_t CobraProcess::step_fast_dense(std::uint64_t round_key) {
+  next_frontier_.reset_all();
+  const Branching& branching = options_.branching;
+  const NeighborSampler& sampler = *sampler_;
+
+  const auto push_from = [&](graph::VertexId u) {
+    VertexDraws draws(round_key, u);
+    std::uint32_t fanout = branching.base;
+    if (branching.extra_prob > 0.0 && draws.bernoulli(branching.extra_prob))
+      ++fanout;
+    transmissions_ += fanout;
+    for (std::uint32_t j = 0; j < fanout; ++j)
+      next_frontier_.set(sampler.sample(u, draws.next_word()));
+  };
+
+  if (dense_mode_) {
+    // Ascending-id scan of the frontier bitset: adjacency reads walk the
+    // CSR arrays front to back, which is what makes this mode fast.
+    frontier_.for_each_set(
+        [&](std::size_t u) { push_from(static_cast<graph::VertexId>(u)); });
+  } else {
+    // Transition round (sparse -> dense): read C_t from the vector, write
+    // C_{t+1} straight into the bitset — no conversion pass needed.
+    for (const graph::VertexId u : active_) push_from(u);
+  }
+
+  // Branch-free visited update: one word-parallel pass merges the new
+  // frontier into the visited set and counts first visits via popcount.
+  std::uint32_t newly_visited = 0;
+  std::uint32_t active_count = 0;
+  const auto& next_words = next_frontier_.words();
+  std::uint64_t* visited_words = visited_.data();
+  for (std::size_t w = 0; w < next_words.size(); ++w) {
+    const std::uint64_t nw = next_words[w];
+    newly_visited +=
+        static_cast<std::uint32_t>(std::popcount(nw & ~visited_words[w]));
+    active_count += static_cast<std::uint32_t>(std::popcount(nw));
+    visited_words[w] |= nw;
+  }
+
+  std::swap(frontier_, next_frontier_);
+  dense_mode_ = true;
+  active_valid_ = false;
+  num_active_ = active_count;
+  visited_count_ += newly_visited;
+  ++dense_rounds_;
+  ++round_;
+  return newly_visited;
+}
+
+void CobraProcess::materialize_active() const {
+  active_.clear();
+  frontier_.for_each_set([this](std::size_t u) {
+    active_.push_back(static_cast<graph::VertexId>(u));
+  });
+  active_valid_ = true;
+}
+
+void CobraProcess::to_sparse_mode() {
+  if (!active_valid_) materialize_active();
+  ++epoch_;
+  for (const graph::VertexId u : active_) stamp_[u] = epoch_;
+  dense_mode_ = false;
+}
+
+const std::vector<graph::VertexId>& CobraProcess::active() const {
+  if (!active_valid_) materialize_active();
+  return active_;
 }
 
 std::optional<std::uint64_t> CobraProcess::run_until_cover(

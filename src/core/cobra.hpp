@@ -7,24 +7,40 @@
 // least one particle (multiple arrivals coalesce).
 //
 // cover(u) = min{ T : union of C_0..C_T = V } with C_0 = {u}.
+//
+// The per-round work is delegated to one of several stepping engines
+// (core::Engine, core/step_engine.hpp): the reference engine is the
+// original sequential loop; the fast engines share a counter-based
+// randomness protocol and add a dense bitset frontier with branch-free
+// visited updates plus alias-table destination sampling. See
+// docs/ARCHITECTURE.md ("Stepping engines") for the design and
+// tests/test_cobra_engines.cpp for the equivalence guarantees.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "core/process.hpp"
+#include "core/step_engine.hpp"
 #include "graph/graph.hpp"
 #include "rng/rng.hpp"
 #include "util/bitset.hpp"
 
 namespace cobra::core {
 
+/// Simulator for one COBRA trajectory on a fixed graph.
+///
+/// Not thread-safe; run one instance per replicate (sim/monte_carlo does).
 class CobraProcess {
  public:
-  /// The graph must be connected with min degree >= 1; the process keeps a
-  /// reference, so the graph must outlive it.
+  /// The graph must be connected with min degree >= 1 — except the trivial
+  /// single-vertex graph (n = 1, no edges), which is accepted and covers at
+  /// round 0 with every push staying put. Graphs with n >= 2 and an
+  /// isolated vertex are rejected. The process keeps a reference, so the
+  /// graph must outlive it.
   explicit CobraProcess(const graph::Graph& g,
                         ProcessOptions options = ProcessOptions{});
 
@@ -35,25 +51,37 @@ class CobraProcess {
   void reset(std::span<const graph::VertexId> start);
 
   /// Executes one synchronised round. Returns the number of first-time
-  /// visits this round.
+  /// visits this round. The reference engine consumes the stream draw by
+  /// draw; the fast engines consume exactly one 64-bit round key per call
+  /// and derive all per-vertex randomness from it (see step_engine.hpp).
   std::uint32_t step(rng::Rng& rng);
 
   /// Rounds executed since reset (t of C_t).
   [[nodiscard]] std::uint64_t round() const { return round_; }
 
-  /// Current particle set C_t (unordered, duplicate-free).
-  [[nodiscard]] const std::vector<graph::VertexId>& active() const {
-    return active_;
-  }
+  /// Current particle set C_t (duplicate-free). Order is engine-dependent:
+  /// arrival order under the reference/sparse engines, ascending vertex id
+  /// when the dense frontier produced the round. Materialised lazily after
+  /// dense rounds; prefer num_active() when only the size is needed.
+  [[nodiscard]] const std::vector<graph::VertexId>& active() const;
 
+  /// |C_t| without materialising the vector (O(1)).
+  [[nodiscard]] std::uint32_t num_active() const { return num_active_; }
+
+  /// True iff u holds a particle in C_t.
   [[nodiscard]] bool is_active(graph::VertexId u) const {
-    return stamp_[u] == epoch_;
+    return dense_mode_ ? frontier_.test(u) : stamp_[u] == epoch_;
   }
 
+  /// Vertices visited so far (|C_0 ∪ ... ∪ C_t|).
   [[nodiscard]] std::uint32_t num_visited() const { return visited_count_; }
+
+  /// True iff every vertex has been visited.
   [[nodiscard]] bool all_visited() const {
     return visited_count_ == graph_->num_vertices();
   }
+
+  /// True iff u appeared in some C_s, s <= t.
   [[nodiscard]] bool is_visited(graph::VertexId u) const {
     return visited_.test(u);
   }
@@ -73,8 +101,18 @@ class CobraProcess {
                                              graph::VertexId target,
                                              std::uint64_t max_rounds);
 
+  /// The graph this process walks on.
   [[nodiscard]] const graph::Graph& graph() const { return *graph_; }
+
+  /// The options the process was constructed with (engine unresolved).
   [[nodiscard]] const ProcessOptions& options() const { return options_; }
+
+  /// The resolved stepping engine (never Engine::kDefault).
+  [[nodiscard]] Engine engine() const { return engine_; }
+
+  /// Rounds since reset executed with the dense (bitset) frontier —
+  /// introspection for tests and the auto-switch benchmarks.
+  [[nodiscard]] std::uint64_t dense_rounds() const { return dense_rounds_; }
 
  private:
   /// Number of selections this vertex makes this round (base [+1]).
@@ -84,15 +122,38 @@ class CobraProcess {
                                                                          : 0u);
   }
 
+  std::uint32_t step_reference(rng::Rng& rng);
+  std::uint32_t step_fast_sparse(std::uint64_t round_key);
+  std::uint32_t step_fast_dense(std::uint64_t round_key);
+
+  /// Rebuilds active_ (ascending) from the dense frontier when stale.
+  void materialize_active() const;
+
+  /// Leaves dense mode: restores the sparse invariants (active_ valid,
+  /// stamp_[u] == epoch_ exactly for u in C_t).
+  void to_sparse_mode();
+
   const graph::Graph* graph_;
   ProcessOptions options_;
+  Engine engine_;
+  std::shared_ptr<const NeighborSampler> sampler_;  // fast engines only
 
-  std::vector<graph::VertexId> active_;
+  // Sparse frontier: C_t as a vector with epoch-stamped membership
+  // (stamp_[u] == epoch_ means u in C_t; avoids an O(n) clear per round).
+  // active_ doubles as the lazily materialised view of the dense frontier,
+  // hence mutable.
+  mutable std::vector<graph::VertexId> active_;
   std::vector<graph::VertexId> next_;
-  // Epoch-stamped membership: stamp_[u] == epoch_ means u in C_t. Avoids an
-  // O(n) clear per round.
   std::vector<std::uint64_t> stamp_;
   std::uint64_t epoch_ = 0;
+
+  // Dense frontier: C_t as a bitset (valid iff dense_mode_).
+  util::DynamicBitset frontier_;
+  util::DynamicBitset next_frontier_;
+  bool dense_mode_ = false;
+  mutable bool active_valid_ = true;  // active_ mirrors C_t
+  std::uint32_t num_active_ = 0;
+  std::uint64_t dense_rounds_ = 0;
 
   util::DynamicBitset visited_;
   std::uint32_t visited_count_ = 0;

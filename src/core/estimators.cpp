@@ -11,6 +11,19 @@ namespace {
 
 constexpr double kTimeoutSentinel = -1.0;
 
+// Resolves the stepping engine once per estimate and, for the fast
+// engines, builds the degree-bucketed alias tables a single time so every
+// replicate (and thread) shares them instead of rebuilding per process.
+ProcessOptions share_sampler(const graph::Graph& g,
+                             const ProcessOptions& options) {
+  ProcessOptions resolved = options;
+  resolved.engine = resolve_engine(options.engine);
+  if (resolved.engine != Engine::kReference && resolved.sampler == nullptr)
+    resolved.sampler =
+        std::make_shared<const NeighborSampler>(g, resolved.laziness);
+  return resolved;
+}
+
 TimeSamples collect(std::vector<double> rounds,
                     std::vector<double> transmissions) {
   TimeSamples out;
@@ -33,11 +46,12 @@ TimeSamples estimate_cobra_cover(const graph::Graph& g,
                                  std::uint64_t replicates, std::uint64_t seed,
                                  std::uint64_t max_rounds) {
   COBRA_CHECK(replicates >= 1);
+  const ProcessOptions shared = share_sampler(g, options);
   std::vector<double> rounds(replicates, 0.0);
   std::vector<double> transmissions(replicates, 0.0);
   sim::parallel_replicates(replicates, seed,
                            [&](std::uint64_t i, rng::Rng& rng) {
-    CobraProcess process(g, options);
+    CobraProcess process(g, shared);
     process.reset(start);
     const auto cover = process.run_until_cover(rng, max_rounds);
     rounds[i] = cover.has_value() ? static_cast<double>(*cover)
@@ -53,11 +67,12 @@ TimeSamples estimate_cobra_hit(const graph::Graph& g,
                                std::uint64_t replicates, std::uint64_t seed,
                                std::uint64_t max_rounds) {
   COBRA_CHECK(replicates >= 1);
+  const ProcessOptions shared = share_sampler(g, options);
   std::vector<double> rounds(replicates, 0.0);
   std::vector<double> transmissions(replicates, 0.0);
   sim::parallel_replicates(replicates, seed,
                            [&](std::uint64_t i, rng::Rng& rng) {
-    CobraProcess process(g, options);
+    CobraProcess process(g, shared);
     process.reset(start);
     const auto hit = process.run_until_hit(rng, target, max_rounds);
     rounds[i] =

@@ -2,10 +2,47 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
 
 #include "util/assert.hpp"
 
 namespace cobra::core {
+
+class NeighborSampler;  // core/step_engine.hpp
+
+/// Stepping-engine selection for CobraProcess (see docs/ARCHITECTURE.md,
+/// "Stepping engines").
+///
+/// The reference engine is the historical sequential loop: it consumes the
+/// replicate's Rng stream draw by draw and iterates the frontier in arrival
+/// order. The fast engines (kSparse/kDense/kAuto) share one counter-based
+/// randomness protocol — per round they consume a single 64-bit round key
+/// from the Rng and derive every per-vertex choice from Philox keyed by
+/// (round key, vertex) — so all three produce bit-for-bit identical visit
+/// sequences at a fixed seed, independent of frontier representation.
+/// Reference and fast engines agree in distribution but not draw-by-draw.
+enum class Engine : std::uint8_t {
+  kDefault,    ///< resolve from --engine / COBRA_ENGINE at construction
+  kReference,  ///< sequential-stream loop (the original implementation)
+  kSparse,     ///< fast path, vector frontier at every density
+  kDense,      ///< fast path, bitset frontier at every density
+  kAuto,       ///< fast path, sparse<->dense switch on frontier density
+};
+
+/// Parses an engine name ("reference", "sparse", "dense", "auto"; "fast" is
+/// accepted as an alias for "auto"). Returns nullopt for anything else.
+std::optional<Engine> parse_engine(std::string_view name);
+
+/// Canonical name of an engine ("default" for Engine::kDefault).
+const char* engine_name(Engine engine);
+
+/// Resolves kDefault against the session-wide setting (the --engine flag /
+/// COBRA_ENGINE environment variable, default "reference"); other values
+/// pass through. Throws util::CheckError when the session string is not a
+/// valid engine name.
+Engine resolve_engine(Engine engine);
 
 /// Branching factor model.
 ///
@@ -16,9 +53,10 @@ namespace cobra::core {
 ///   * b = 1 (simple random walk)       -> {base = 1, extra_prob = 0}
 /// Expected branching factor = base + extra_prob.
 struct Branching {
-  std::uint32_t base = 2;
-  double extra_prob = 0.0;
+  std::uint32_t base = 2;   ///< selections every vertex always makes
+  double extra_prob = 0.0;  ///< probability of one further selection
 
+  /// Deterministic integer branching factor b >= 1.
   static Branching integer(std::uint32_t b) {
     COBRA_CHECK(b >= 1);
     return Branching{b, 0.0};
@@ -30,6 +68,7 @@ struct Branching {
     return Branching{1, rho};
   }
 
+  /// Expected branching factor base + extra_prob.
   [[nodiscard]] double expected() const {
     return static_cast<double>(base) + extra_prob;
   }
@@ -42,13 +81,33 @@ struct Branching {
 /// remark after Theorem 1.2 uses laziness 1/2 to make bipartite graphs
 /// (where lambda = 1) tractable; 0 is the standard process.
 struct ProcessOptions {
+  /// Branching model; the paper's main case is integer b = 2.
   Branching branching = Branching::integer(2);
+  /// Probability a selection stays at the selecting vertex (see above).
   double laziness = 0.0;
 
+  /// Which stepping engine executes step(); kDefault defers to the
+  /// session-wide --engine / COBRA_ENGINE setting.
+  Engine engine = Engine::kDefault;
+
+  /// kAuto switches to the dense (bitset) frontier once |C_t| reaches
+  /// `dense_density * n`, and back to the sparse (vector) frontier below
+  /// half that threshold (hysteresis prevents representation thrash).
+  double dense_density = 1.0 / 32.0;
+
+  /// Optional pre-built destination sampler, shared across replicates so
+  /// the degree-bucketed alias tables are constructed once per graph
+  /// rather than once per CobraProcess. Must match the process's graph and
+  /// laziness; ignored by the reference engine. When null, fast engines
+  /// build their own.
+  std::shared_ptr<const NeighborSampler> sampler;
+
+  /// Throws util::CheckError on out-of-range parameters.
   void validate() const {
     COBRA_CHECK(branching.base >= 1);
     COBRA_CHECK(branching.extra_prob >= 0.0 && branching.extra_prob <= 1.0);
     COBRA_CHECK(laziness >= 0.0 && laziness < 1.0);
+    COBRA_CHECK(dense_density >= 0.0 && dense_density <= 1.0);
   }
 };
 

@@ -1,0 +1,66 @@
+#include "core/step_engine.hpp"
+
+#include <string>
+
+#include "core/process.hpp"
+#include "util/assert.hpp"
+#include "util/env.hpp"
+
+namespace cobra::core {
+
+NeighborSampler::NeighborSampler(const graph::Graph& g, double laziness)
+    : graph_(&g), laziness_(laziness) {
+  COBRA_CHECK(g.num_vertices() >= 1);
+  COBRA_CHECK(laziness >= 0.0 && laziness < 1.0);
+
+  bucket_of_degree_.assign(g.max_degree() + 1, 0u);
+  std::vector<bool> seen(g.max_degree() + 1, false);
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u)
+    seen[g.degree(u)] = true;
+
+  for (std::uint32_t d = 0; d <= g.max_degree(); ++d) {
+    if (!seen[d]) continue;
+    bucket_of_degree_[d] = static_cast<std::uint32_t>(tables_.size());
+    std::vector<double> weights;
+    if (d == 0) {
+      // Single-vertex graph: the only "destination" is staying put.
+      weights.assign(1, 1.0);
+    } else {
+      weights.assign(d, (1.0 - laziness_) / static_cast<double>(d));
+      if (laziness_ > 0.0) weights.push_back(laziness_);
+    }
+    tables_.emplace_back(weights);
+  }
+}
+
+const char* engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::kDefault: return "default";
+    case Engine::kReference: return "reference";
+    case Engine::kSparse: return "sparse";
+    case Engine::kDense: return "dense";
+    case Engine::kAuto: return "auto";
+  }
+  return "invalid";
+}
+
+std::optional<Engine> parse_engine(std::string_view name) {
+  if (name == "reference") return Engine::kReference;
+  if (name == "sparse") return Engine::kSparse;
+  if (name == "dense") return Engine::kDense;
+  if (name == "auto" || name == "fast") return Engine::kAuto;
+  return std::nullopt;
+}
+
+Engine resolve_engine(Engine engine) {
+  if (engine != Engine::kDefault) return engine;
+  const std::string session = util::engine();
+  const auto parsed = parse_engine(session);
+  COBRA_CHECK_MSG(parsed.has_value(),
+                  "COBRA_ENGINE/--engine must be one of "
+                  "reference|sparse|dense|auto (got \"" +
+                      session + "\")");
+  return *parsed;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,126 @@
+// Fast-frontier stepping machinery for CobraProcess (docs/ARCHITECTURE.md,
+// "Stepping engines").
+//
+// Two building blocks, both engine-order-invariant by construction:
+//
+//   * NeighborSampler — degree-bucketed alias tables (rng/discrete) mapping
+//     one 64-bit word to a push destination in O(1): each neighbour of u
+//     with probability (1 - laziness)/deg(u), u itself with probability
+//     `laziness`. One table per distinct degree, built once per graph and
+//     shared by every vertex of that degree, across replicates and threads
+//     (sampling is const and lock-free).
+//
+//   * VertexDraws — a counter-based randomness stream for one (round,
+//     vertex) pair. Word k of vertex u is a pure function of
+//     (round_key, u, k) through Philox4x32, so engines may process
+//     vertices in any order — or any frontier representation — and still
+//     make identical random choices. This is what makes the sparse and
+//     dense engines bit-for-bit equivalent at a fixed seed.
+//
+// Draw protocol per active vertex u in one round (stable; golden-seed
+// tests in tests/test_cobra_engines.cpp depend on it):
+//   word 0      — fanout Bernoulli, consumed only when
+//                 Branching::extra_prob > 0;
+//   next words  — one per push, fed to NeighborSampler::sample().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rng/discrete.hpp"
+#include "rng/philox.hpp"
+
+namespace cobra::core {
+
+/// O(1) push-destination sampler with degree-bucketed alias tables.
+///
+/// Immutable after construction; safe to share across threads and
+/// replicates via ProcessOptions::sampler. A vertex of degree 0 (only legal
+/// in the single-vertex graph) always "pushes" to itself.
+class NeighborSampler {
+ public:
+  /// Builds one alias table per distinct degree of `g`. With laziness > 0
+  /// each table has deg + 1 slots (slot deg = stay put); with laziness 0 it
+  /// degenerates to a uniform slot choice. The sampler keeps a reference to
+  /// the graph, which must outlive it.
+  NeighborSampler(const graph::Graph& g, double laziness);
+
+  /// Maps a uniform 64-bit `word` to the destination of one push from `u`.
+  /// Exact up to the alias table's 2^-32 fixed-point quantisation — far
+  /// below Monte-Carlo noise, and identical across engines by design.
+  [[nodiscard]] graph::VertexId sample(graph::VertexId u,
+                                       std::uint64_t word) const {
+    const std::uint32_t degree = graph_->degree(u);
+    const rng::AliasTable& table = tables_[bucket_of_degree_[degree]];
+    const std::uint32_t slot = table.sample_word(word);
+    return slot < degree ? graph_->neighbor(u, slot) : u;
+  }
+
+  /// The laziness the tables were built for (validated against
+  /// ProcessOptions::laziness when a shared sampler is injected).
+  [[nodiscard]] double laziness() const { return laziness_; }
+
+  /// The graph the tables were built for.
+  [[nodiscard]] const graph::Graph& graph() const { return *graph_; }
+
+  /// Number of distinct degree buckets (introspection/tests).
+  [[nodiscard]] std::size_t num_buckets() const { return tables_.size(); }
+
+ private:
+  const graph::Graph* graph_;
+  double laziness_;
+  std::vector<std::uint32_t> bucket_of_degree_;  // degree -> index in tables_
+  std::vector<rng::AliasTable> tables_;
+};
+
+/// Counter-based per-vertex randomness for one COBRA round.
+///
+/// Produces the 64-bit word stream philox4x32({u, block, salt}, round_key):
+/// unlimited words per (round_key, vertex) pair, two per Philox evaluation.
+class VertexDraws {
+ public:
+  /// Binds the stream to this round's key and one vertex.
+  VertexDraws(std::uint64_t round_key, graph::VertexId u)
+      : key_{static_cast<std::uint32_t>(round_key),
+             static_cast<std::uint32_t>(round_key >> 32)},
+        vertex_(u) {}
+
+  /// The next 64-bit word of this vertex's round stream.
+  std::uint64_t next_word() {
+    if (buffered_ == 0) refill();
+    return buffer_[--buffered_];
+  }
+
+  /// Uniform double in [0, 1) with 53 bits (same mapping as rng::Rng).
+  double uniform01() {
+    return static_cast<double>(next_word() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial; consumes one word unless p <= 0 or p >= 1 (the same
+  /// short-circuits as rng::Rng::bernoulli).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+ private:
+  void refill() {
+    // Distinct salts keep this keyed use of Philox disjoint from the
+    // replicate-stream derivation in rng/stream.hpp.
+    const rng::PhiloxBlock out = rng::philox4x32(
+        {vertex_, block_++, 0x0C0BFA57u, 0x5EED1E55u}, key_);
+    buffer_[1] = (static_cast<std::uint64_t>(out.x[1]) << 32) | out.x[0];
+    buffer_[0] = (static_cast<std::uint64_t>(out.x[3]) << 32) | out.x[2];
+    buffered_ = 2;
+  }
+
+  std::array<std::uint32_t, 2> key_;
+  std::uint32_t vertex_;
+  std::uint32_t block_ = 0;
+  std::array<std::uint64_t, 2> buffer_{};
+  int buffered_ = 0;
+};
+
+}  // namespace cobra::core

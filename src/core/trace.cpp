@@ -23,10 +23,9 @@ CobraTrace run_cobra_trace(const graph::Graph& g,
   process.reset(start);
   CobraTrace trace;
   auto record = [&](std::uint32_t new_visits) {
-    trace.rounds.push_back(
-        {process.round(),
-         static_cast<std::uint32_t>(process.active().size()),
-         process.num_visited(), new_visits, process.transmissions()});
+    trace.rounds.push_back({process.round(), process.num_active(),
+                            process.num_visited(), new_visits,
+                            process.transmissions()});
   };
   record(1);  // reset state: the start vertex counts as the first visit
   while (!process.all_visited() && process.round() < max_rounds)

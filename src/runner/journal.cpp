@@ -14,7 +14,7 @@ namespace cobra::runner {
 namespace {
 
 constexpr char kMagic[] = "cobra-journal";
-constexpr char kVersion[] = "v1";
+constexpr char kVersion[] = "v2";  // v2 added the engine header field
 
 std::vector<std::string> split(const std::string& line, char sep) {
   std::vector<std::string> parts;
@@ -30,7 +30,7 @@ std::string format_header(const JournalHeader& h) {
   // resume/merge can compare it with plain equality.
   os << "run\t" << h.experiment << '\t' << h.shard_index << '/'
      << h.shard_count << '\t' << h.seed << '\t'
-     << std::setprecision(17) << h.scale;
+     << std::setprecision(17) << h.scale << '\t' << h.engine;
   return os.str();
 }
 
@@ -90,7 +90,7 @@ std::pair<JournalHeader, std::vector<JournalEntry>> Journal::read(
                   path << ": missing run header");
   {
     const auto parts = split(line, '\t');
-    COBRA_CHECK_MSG(parts.size() == 5 && parts[0] == "run",
+    COBRA_CHECK_MSG(parts.size() == 6 && parts[0] == "run",
                     path << ": malformed run header");
     header.experiment = parts[1];
     const auto shard = split(parts[2], '/');
@@ -99,6 +99,7 @@ std::pair<JournalHeader, std::vector<JournalEntry>> Journal::read(
     header.shard_count = std::atoi(shard[1].c_str());
     header.seed = std::strtoull(parts[3].c_str(), nullptr, 10);
     header.scale = std::strtod(parts[4].c_str(), nullptr);
+    header.engine = parts[5];
   }
 
   std::vector<JournalEntry> entries;
@@ -127,8 +128,8 @@ Journal Journal::resume(const std::string& path,
   COBRA_CHECK_MSG(
       header == expected,
       "journal " << path << " was written by a different run configuration "
-                 << "(experiment/shard/seed/scale mismatch); refusing to "
-                 << "resume — delete it or rerun with matching flags");
+                 << "(experiment/shard/seed/scale/engine mismatch); refusing "
+                 << "to resume — delete it or rerun with matching flags");
 
   // A crash can cut the trailing newline of the last (now discarded)
   // record; without this repair the next record would glue onto it.

@@ -11,8 +11,8 @@
 // Format (tab-separated, one record per line; the trailing "ok" marker
 // makes records self-delimiting, so a line torn by a crash mid-write is
 // recognisably incomplete and treated as not journaled):
-//   cobra-journal	v1
-//   run	<experiment>	<shard>/<count>	<seed>	<scale>
+//   cobra-journal	v2
+//   run	<experiment>	<shard>/<count>	<seed>	<scale>	<engine>
 //   cell	<cell id>	<rows table 0>[,<rows table 1>,...]	ok
 #pragma once
 
@@ -22,21 +22,31 @@
 
 namespace cobra::runner {
 
+/// Run parameters a journal is bound to; a resume under different
+/// parameters is refused.
 struct JournalHeader {
-  std::string experiment;
-  int shard_index = 1;
-  int shard_count = 1;
-  std::uint64_t seed = 0;
-  double scale = 1.0;
+  std::string experiment;     ///< registry name
+  int shard_index = 1;        ///< 1-based shard i of i/k
+  int shard_count = 1;        ///< shard count k
+  std::uint64_t seed = 0;     ///< util::global_seed() of the run
+  double scale = 1.0;         ///< util::scale() of the run
+  /// util::engine() of the run — sparse/dense/auto archives are
+  /// byte-identical to each other but not to reference archives, so a
+  /// resume or merge across engine settings is refused like a seed
+  /// mismatch.
+  std::string engine = "reference";
 
+  /// Field-wise comparison (resume validation).
   bool operator==(const JournalHeader&) const = default;
 };
 
+/// One journaled (completed) cell.
 struct JournalEntry {
-  std::string cell_id;
-  std::vector<std::size_t> rows_per_table;
+  std::string cell_id;  ///< CellDef::id
+  std::vector<std::size_t> rows_per_table;  ///< CSV rows it contributed
 };
 
+/// Append-only checkpoint manifest of one shard's run.
 class Journal {
  public:
   /// Journal path for shard index/count of `experiment` under `out_dir`.
@@ -58,15 +68,18 @@ class Journal {
   static std::pair<JournalHeader, std::vector<JournalEntry>> read(
       const std::string& path);
 
+  /// Move-constructs, transferring ownership of the open file.
   Journal(Journal&&) noexcept;
   Journal& operator=(Journal&&) = delete;
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;
+  /// Closes the underlying file.
   ~Journal();
 
   /// Appends a completed cell and flushes to disk.
   void record(const JournalEntry& entry);
 
+  /// Cells journaled so far (including those loaded by resume()).
   [[nodiscard]] const std::vector<JournalEntry>& entries() const {
     return entries_;
   }

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "core/process.hpp"
 #include "util/env.hpp"
 
 namespace cobra::runner {
@@ -86,6 +87,14 @@ std::optional<std::string> parse_args(const std::vector<std::string>& args,
       if (!value || !parse_int(*value, parsed) || parsed < 1)
         return "--threads expects a positive integer";
       options.threads = static_cast<int>(parsed);
+    } else if (name == "--engine") {
+      const auto value = take_value();
+      const auto parsed = value ? core::parse_engine(*value) : std::nullopt;
+      if (!parsed)
+        return "--engine expects one of reference|sparse|dense|auto";
+      // Canonical name: "--engine fast" journals as "auto", so a resume
+      // under either spelling matches.
+      options.engine = core::engine_name(*parsed);
     } else if (name == "--out-dir") {
       const auto value = take_value();
       if (!value || value->empty()) return "--out-dir expects a path";
@@ -118,6 +127,7 @@ void apply_env_overrides(const RunnerOptions& options) {
   if (options.scale) util::set_scale_override(*options.scale);
   if (options.seed) util::set_seed_override(*options.seed);
   if (options.threads) util::set_threads_override(*options.threads);
+  if (options.engine) util::set_engine_override(*options.engine);
 }
 
 std::string usage() {
@@ -134,6 +144,12 @@ Options (each flag overrides its COBRA_* environment variable):
   --scale S        workload multiplier            (env COBRA_SCALE,  default 1)
   --seed N         base experiment seed           (env COBRA_SEED,   default 20170724)
   --threads T      Monte-Carlo worker cap         (env COBRA_THREADS, default hardware)
+  --engine E       COBRA stepping engine          (env COBRA_ENGINE, default reference)
+                   reference — sequential per-draw loop (bitwise-stable baseline)
+                   sparse    — counter-based draws, vector frontier
+                   dense     — counter-based draws, bitset frontier
+                   auto      — sparse<->dense switch on frontier density
+                   (sparse/dense/auto agree bit for bit; see docs/ARCHITECTURE.md)
   --out-dir DIR    result/journal directory       (default bench_results)
   --shard i/k      run only cells with index % k == i-1 (1-based i)
   --resume         continue a journaled run: completed cells are skipped,

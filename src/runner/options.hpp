@@ -13,28 +13,30 @@
 
 namespace cobra::runner {
 
+/// Parsed command line of the `cobra` binary (and the exp_* shims).
 struct RunnerOptions {
-  // util/env overrides (--scale, --seed, --threads).
-  std::optional<double> scale;
-  std::optional<std::uint64_t> seed;
-  std::optional<int> threads;
+  std::optional<double> scale;         ///< --scale: COBRA_SCALE override
+  std::optional<std::uint64_t> seed;   ///< --seed: COBRA_SEED override
+  std::optional<int> threads;          ///< --threads: COBRA_THREADS override
+  /// --engine: COBRA stepping engine (core::Engine) for every process the
+  /// selected experiments construct: reference|sparse|dense|auto
+  /// (validated at parse time; "fast" is an alias for auto).
+  std::optional<std::string> engine;
 
-  // Sweep configuration.
-  std::string out_dir = "bench_results";
-  int shard_index = 1;  // 1-based, --shard i/k
-  int shard_count = 1;
-  bool resume = false;
+  std::string out_dir = "bench_results";  ///< result/journal directory
+  int shard_index = 1;                    ///< 1-based i of --shard i/k
+  int shard_count = 1;                    ///< k of --shard i/k
+  bool resume = false;                    ///< --resume: continue a journal
 
-  // Selection / inspection.
-  bool list = false;    // --list: print cells instead of running them
-  bool help = false;    // --help / -h
-  std::string filter;   // substring match on experiment names
+  bool list = false;   ///< --list: print cells instead of running them
+  bool help = false;   ///< --help / -h
+  std::string filter;  ///< substring match on experiment names
 
-  // Stop after this many cells (chunked runs, interruption tests);
-  // negative means unlimited.
+  /// Stop after this many cells (chunked runs, interruption tests);
+  /// negative means unlimited.
   std::int64_t max_cells = -1;
 
-  // Everything that is not a flag: subcommand and experiment names.
+  /// Everything that is not a flag: subcommand and experiment names.
   std::vector<std::string> positional;
 };
 

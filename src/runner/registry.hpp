@@ -26,22 +26,23 @@ namespace cobra::runner {
 
 /// One console table + CSV archive produced by an experiment.
 struct TableDef {
-  std::string id;       // CSV base name, e.g. "exp_families_grid"
-  std::string title;    // banner line (the paper claim being reproduced)
-  std::vector<std::string> columns;
+  std::string id;     ///< CSV base name, e.g. "exp_families_grid"
+  std::string title;  ///< banner line (the paper claim being reproduced)
+  std::vector<std::string> columns;  ///< shared table/CSV header
 };
 
 /// One independently runnable slice of an experiment.
 struct CellDef {
-  std::string id;     // stable within the experiment (journal key)
-  std::string group;  // console grouping: a rule is drawn on group change
-  std::function<void(CellContext&)> run;
+  std::string id;     ///< stable within the experiment (journal key)
+  std::string group;  ///< console grouping: a rule is drawn on group change
+  std::function<void(CellContext&)> run;  ///< the cell body
 };
 
+/// A registered experiment: metadata, outputs and its cell enumeration.
 struct ExperimentDef {
-  std::string name;         // registry key, e.g. "families"
-  std::string description;  // one-liner for `cobra list`
-  std::vector<TableDef> tables;
+  std::string name;         ///< registry key, e.g. "families"
+  std::string description;  ///< one-liner for `cobra list`
+  std::vector<TableDef> tables;  ///< output tables, in definition order
   /// Enumerates the cells at the *current* scale (call after flag/env
   /// overrides are applied). Must be cheap — no graph construction — and
   /// deterministic: same scale, same list.
@@ -82,6 +83,7 @@ class Registry {
 /// Static registration helper:
 ///   namespace { const runner::Registration reg(make_my_experiment); }
 struct Registration {
+  /// Runs `factory` and adds its experiment to the global registry.
   explicit Registration(ExperimentDef (*factory)()) {
     Registry::instance().add(factory());
   }

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/process.hpp"
 #include "runner/journal.hpp"
 #include "sim/experiment.hpp"
 #include "util/assert.hpp"
@@ -148,9 +149,14 @@ SweepResult run_experiment(const ExperimentDef& def,
   const std::vector<std::size_t> slice =
       shard_slice(cells.size(), config.shard_index, config.shard_count);
 
+  // Canonical engine name (COBRA_ENGINE=fast journals as "auto", like the
+  // --engine flag); also rejects an invalid session engine before any
+  // cell runs rather than inside the first process construction.
+  const std::string engine =
+      core::engine_name(core::resolve_engine(core::Engine::kDefault));
   const JournalHeader header{def.name, config.shard_index,
                              config.shard_count, util::global_seed(),
-                             util::scale()};
+                             util::scale(), engine};
   const std::string journal_path = Journal::path_for(
       config.out_dir, def.name, config.shard_index, config.shard_count);
 
@@ -372,9 +378,10 @@ MergeResult merge_experiment(const ExperimentDef& def,
       first_header = header;
     } else {
       COBRA_CHECK_MSG(header.seed == first_header.seed &&
-                          header.scale == first_header.scale,
+                          header.scale == first_header.scale &&
+                          header.engine == first_header.engine,
                       def.name << " shards were run with different "
-                               << "seed/scale; refusing to merge");
+                               << "seed/scale/engine; refusing to merge");
     }
     COBRA_CHECK_MSG(header.experiment == def.name &&
                         header.shard_index == s,
@@ -384,6 +391,7 @@ MergeResult merge_experiment(const ExperimentDef& def,
   }
   util::set_seed_override(first_header.seed);
   util::set_scale_override(first_header.scale);
+  util::set_engine_override(first_header.engine);  // banner fidelity
 
   const std::vector<CellDef> cells = enumerate_cells(def);
 

@@ -11,11 +11,12 @@
 
 namespace cobra::runner {
 
+/// Execution parameters for one run_experiment() invocation.
 struct SweepConfig {
-  std::string out_dir = "bench_results";
-  int shard_index = 1;
-  int shard_count = 1;
-  bool resume = false;
+  std::string out_dir = "bench_results";  ///< fragment/journal directory
+  int shard_index = 1;                    ///< 1-based shard i of i/k
+  int shard_count = 1;                    ///< shard count k
+  bool resume = false;                    ///< continue an existing journal
   /// Stop after this many cells (negative: unlimited). The journal keeps
   /// the run resumable, so chunked execution composes with --resume.
   std::int64_t max_cells = -1;
@@ -25,11 +26,13 @@ struct SweepConfig {
   std::ostream* log = nullptr;
 };
 
+/// What one run_experiment() invocation did.
 struct SweepResult {
-  std::size_t cells_total = 0;     // cells in this shard's slice
-  std::size_t cells_run = 0;       // executed by this invocation
-  std::size_t cells_skipped = 0;   // journaled by a previous invocation
-  std::size_t cells_remaining = 0; // left behind by --max-cells
+  std::size_t cells_total = 0;      ///< cells in this shard's slice
+  std::size_t cells_run = 0;        ///< executed by this invocation
+  std::size_t cells_skipped = 0;    ///< journaled by a previous invocation
+  std::size_t cells_remaining = 0;  ///< left behind by --max-cells
+  /// True when the shard's slice is fully journaled.
   [[nodiscard]] bool complete() const { return cells_remaining == 0; }
 };
 
@@ -42,9 +45,10 @@ struct SweepResult {
 SweepResult run_experiment(const ExperimentDef& def,
                            const SweepConfig& config);
 
+/// What merge_experiment() reassembled.
 struct MergeResult {
-  int shard_count = 0;
-  std::vector<std::size_t> rows_per_table;
+  int shard_count = 0;  ///< k of the merged run
+  std::vector<std::size_t> rows_per_table;  ///< data rows per canonical CSV
 };
 
 /// Discovers the shard journals of `def` under `out_dir`, validates that

@@ -88,7 +88,8 @@ void Experiment::finish() {
     std::cout << "\n=== " << id_ << " ===\n"
               << title_ << "\n"
               << "seed=" << util::global_seed() << " scale=" << util::scale()
-              << " workers=" << worker_count() << "\n\n";
+              << " workers=" << worker_count()
+              << " engine=" << util::engine() << "\n\n";
     table_.print(std::cout);
     for (const std::string& n : notes_) std::cout << "  * " << n << '\n';
     if (csv_) std::cout << "  -> " << csv_path_ << '\n';

@@ -93,6 +93,21 @@ class DynamicBitset {
   /// True iff this and `other` share at least one set bit.
   [[nodiscard]] bool intersects(const DynamicBitset& other) const;
 
+  /// Calls fn(index) for every set bit in ascending order. The word-scan
+  /// idiom (countr_zero + clear-lowest-bit) shared by the dense process
+  /// engines; ~1 ns per set bit at moderate densities.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const auto tz = static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        fn((w << 6) + tz);
+      }
+    }
+  }
+
   /// Index of the lowest set bit, or size() when none.
   [[nodiscard]] std::size_t find_first() const;
 
@@ -111,6 +126,11 @@ class DynamicBitset {
   [[nodiscard]] const std::vector<std::uint64_t>& words() const {
     return words_;
   }
+
+  /// Mutable raw word storage for word-parallel writers (the dense COBRA
+  /// engine ORs whole frontiers in here). Callers must keep the tail
+  /// invariant: bits at positions >= size() stay clear.
+  [[nodiscard]] std::uint64_t* data() { return words_.data(); }
 
  private:
   static std::size_t word_count(std::size_t size) { return (size + 63) / 64; }

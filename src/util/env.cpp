@@ -16,6 +16,7 @@ namespace {
 std::optional<double> scale_override;
 std::optional<std::uint64_t> seed_override;
 std::optional<int> threads_override;
+std::optional<std::string> engine_override;
 }  // namespace
 
 void set_scale_override(double value) {
@@ -29,10 +30,16 @@ void set_threads_override(int value) {
   threads_override = std::clamp(value, 1, 1024);
 }
 
+void set_engine_override(const std::string& value) {
+  COBRA_CHECK_MSG(!value.empty(), "engine override must not be empty");
+  engine_override = value;
+}
+
 void clear_env_overrides() {
   scale_override.reset();
   seed_override.reset();
   threads_override.reset();
+  engine_override.reset();
 }
 
 double env_double(const char* name, double fallback) {
@@ -81,6 +88,11 @@ int max_threads() {
 std::uint64_t global_seed() {
   if (seed_override) return *seed_override;
   return static_cast<std::uint64_t>(env_int("COBRA_SEED", 20170724));
+}
+
+std::string engine() {
+  if (engine_override) return *engine_override;
+  return env_string("COBRA_ENGINE", "reference");
 }
 
 }  // namespace cobra::util

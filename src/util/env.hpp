@@ -7,6 +7,9 @@
 //   COBRA_THREADS  — max worker threads for Monte-Carlo; default: hardware
 //   COBRA_SEED     — global base seed for experiments; default 20170724
 //                    (the paper's presentation date at SPAA'17).
+//   COBRA_ENGINE   — default COBRA stepping engine for processes built
+//                    with Engine::kDefault: reference|sparse|dense|auto;
+//                    default "reference".
 #pragma once
 
 #include <cstdint>
@@ -30,6 +33,7 @@ double scale();
 void set_scale_override(double value);
 void set_seed_override(std::uint64_t value);
 void set_threads_override(int value);
+void set_engine_override(const std::string& value);
 
 /// Drops all programmatic overrides (tests; the CLI never needs this).
 void clear_env_overrides();
@@ -42,5 +46,9 @@ int max_threads();
 
 /// Base seed for experiments (COBRA_SEED).
 std::uint64_t global_seed();
+
+/// Session-wide stepping-engine name (COBRA_ENGINE / --engine), as a raw
+/// string: core::parse_engine validates it where it is consumed.
+std::string engine();
 
 }  // namespace cobra::util

@@ -220,6 +220,22 @@ TEST(Cobra, RejectsIsolatedVertexGraph) {
   EXPECT_THROW(CobraProcess{g}, util::CheckError);
 }
 
+TEST(Cobra, SingleVertexGraphIsTriviallyCovered) {
+  // The one permitted degree-0 case: n = 1 covers at round 0 and every
+  // push stays put (see the constructor contract in core/cobra.hpp).
+  graph::GraphBuilder b(1);
+  const graph::Graph g = std::move(b).build();
+  CobraProcess p(g);
+  auto rng = test_rng(17);
+  EXPECT_TRUE(p.all_visited());
+  const auto cover = p.run_until_cover(rng, 5);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(*cover, 0u);
+  p.step(rng);
+  EXPECT_EQ(p.active().size(), 1u);
+  EXPECT_EQ(p.active()[0], 0u);
+}
+
 TEST(Cobra, ResetClearsState) {
   const graph::Graph g = graph::complete(8);
   CobraProcess p(g);

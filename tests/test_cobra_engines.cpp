@@ -1,0 +1,323 @@
+// Equivalence and correctness guarantees of the COBRA stepping engines
+// (core/step_engine.hpp):
+//   * sparse, dense and auto are bit-for-bit identical at a fixed seed —
+//     same visit sequence, same frontier sets, same counters — because all
+//     per-vertex randomness is a pure function of (round key, vertex);
+//   * the reference engine agrees with them in distribution (checked by
+//     the shared invariants, not draw by draw);
+//   * the degree-bucketed alias sampler reproduces the push-destination
+//     distribution, including laziness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/cobra.hpp"
+#include "core/step_engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+#include "util/assert.hpp"
+#include "util/env.hpp"
+
+namespace cobra::core {
+namespace {
+
+rng::Rng test_rng(std::uint64_t salt) { return rng::make_stream(2024, salt); }
+
+std::vector<graph::Graph> fixture_graphs() {
+  rng::Rng gen = test_rng(999);
+  std::vector<graph::Graph> graphs;
+  graphs.push_back(graph::path(48));
+  graphs.push_back(graph::cycle(64));
+  graphs.push_back(graph::hypercube(7));
+  graphs.push_back(graph::connected_random_regular(256, 6, gen));
+  graphs.push_back(graph::complete(96));
+  return graphs;
+}
+
+std::vector<graph::VertexId> sorted_active(const CobraProcess& p) {
+  std::vector<graph::VertexId> v = p.active();
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Steps `a` and `b` in lockstep on identically seeded streams and asserts
+/// every observable agrees each round: the bit-for-bit claim.
+void expect_lockstep_identical(CobraProcess& a, CobraProcess& b,
+                               std::uint64_t seed, int max_rounds) {
+  rng::Rng rng_a = rng::make_stream(seed, 0);
+  rng::Rng rng_b = rng::make_stream(seed, 0);
+  a.reset(graph::VertexId{0});
+  b.reset(graph::VertexId{0});
+  for (int t = 0; t < max_rounds && !a.all_visited(); ++t) {
+    const std::uint32_t new_a = a.step(rng_a);
+    const std::uint32_t new_b = b.step(rng_b);
+    ASSERT_EQ(new_a, new_b) << "round " << t;
+    ASSERT_EQ(a.num_active(), b.num_active()) << "round " << t;
+    ASSERT_EQ(a.num_visited(), b.num_visited()) << "round " << t;
+    ASSERT_EQ(a.transmissions(), b.transmissions()) << "round " << t;
+    ASSERT_EQ(sorted_active(a), sorted_active(b)) << "round " << t;
+    for (graph::VertexId u = 0; u < a.graph().num_vertices(); ++u) {
+      ASSERT_EQ(a.is_visited(u), b.is_visited(u)) << "round " << t;
+      ASSERT_EQ(a.is_active(u), b.is_active(u)) << "round " << t;
+    }
+  }
+  EXPECT_EQ(a.round(), b.round());
+  EXPECT_EQ(a.all_visited(), b.all_visited());
+}
+
+TEST(CobraEngines, SparseDenseAutoBitForBitOnFixtures) {
+  for (const graph::Graph& g : fixture_graphs()) {
+    for (const Engine forced : {Engine::kDense, Engine::kAuto}) {
+      ProcessOptions sparse_opt;
+      sparse_opt.engine = Engine::kSparse;
+      ProcessOptions other_opt;
+      other_opt.engine = forced;
+      CobraProcess sparse(g, sparse_opt);
+      CobraProcess other(g, other_opt);
+      expect_lockstep_identical(sparse, other, 7000 + g.num_vertices(),
+                                5000);
+    }
+  }
+}
+
+TEST(CobraEngines, BitForBitWithLazinessAndBernoulliBranching) {
+  const graph::Graph g = graph::hypercube(6);
+  for (double laziness : {0.0, 0.5}) {
+    ProcessOptions sparse_opt;
+    sparse_opt.engine = Engine::kSparse;
+    sparse_opt.laziness = laziness;
+    sparse_opt.branching = Branching::one_plus_rho(0.3);
+    ProcessOptions dense_opt = sparse_opt;
+    dense_opt.engine = Engine::kDense;
+    dense_opt.sampler.reset();
+    CobraProcess sparse(g, sparse_opt);
+    CobraProcess dense(g, dense_opt);
+    expect_lockstep_identical(sparse, dense, 31, 5000);
+  }
+}
+
+TEST(CobraEngines, FirstVisitRoundsIdenticalAcrossFastEngines) {
+  // The full visit sequence — the round at which each vertex is first
+  // covered — must agree, not just the aggregate counts.
+  const graph::Graph g = graph::cycle(96);
+  std::map<Engine, std::vector<std::uint64_t>> first_visit;
+  for (const Engine e : {Engine::kSparse, Engine::kDense, Engine::kAuto}) {
+    ProcessOptions opt;
+    opt.engine = e;
+    CobraProcess p(g, opt);
+    rng::Rng rng = rng::make_stream(555, 0);
+    p.reset(graph::VertexId{0});
+    std::vector<std::uint64_t> rounds(g.num_vertices(), ~0ull);
+    rounds[0] = 0;
+    while (!p.all_visited()) {
+      ASSERT_LT(p.round(), 100000u);
+      p.step(rng);
+      for (graph::VertexId u = 0; u < g.num_vertices(); ++u)
+        if (rounds[u] == ~0ull && p.is_visited(u)) rounds[u] = p.round();
+    }
+    first_visit[e] = std::move(rounds);
+  }
+  EXPECT_EQ(first_visit[Engine::kSparse], first_visit[Engine::kDense]);
+  EXPECT_EQ(first_visit[Engine::kSparse], first_visit[Engine::kAuto]);
+}
+
+TEST(CobraEngines, CoverAgreesAcrossFastEnginesOnRandomRegular) {
+  rng::Rng gen = test_rng(3);
+  const graph::Graph g = graph::connected_random_regular(512, 8, gen);
+  std::map<Engine, std::vector<std::uint64_t>> covers;
+  for (const Engine e : {Engine::kSparse, Engine::kDense, Engine::kAuto}) {
+    ProcessOptions opt;
+    opt.engine = e;
+    CobraProcess p(g, opt);
+    for (std::uint64_t rep = 0; rep < 8; ++rep) {
+      rng::Rng rng = rng::make_stream(808, rep);
+      p.reset(graph::VertexId{0});
+      const auto cover = p.run_until_cover(rng, 100000);
+      ASSERT_TRUE(cover.has_value());
+      covers[e].push_back(*cover);
+    }
+  }
+  EXPECT_EQ(covers[Engine::kSparse], covers[Engine::kDense]);
+  EXPECT_EQ(covers[Engine::kSparse], covers[Engine::kAuto]);
+}
+
+TEST(CobraEngines, AutoSwitchesToDenseOnceFrontierSaturates) {
+  const graph::Graph g = graph::complete(512);
+  ProcessOptions opt;
+  opt.engine = Engine::kAuto;
+  CobraProcess p(g, opt);
+  rng::Rng rng = test_rng(4);
+  p.reset(graph::VertexId{0});
+  p.step(rng);
+  EXPECT_EQ(p.dense_rounds(), 0u);  // |C_0| = 1 is far below the threshold
+  p.run_until_cover(rng, 1000);
+  for (int t = 0; t < 10; ++t) p.step(rng);  // saturated steady state
+  EXPECT_GT(p.dense_rounds(), 0u);
+  CobraProcess forced(g, [] {
+    ProcessOptions o;
+    o.engine = Engine::kSparse;
+    return o;
+  }());
+  forced.reset(graph::VertexId{0});
+  rng::Rng rng2 = test_rng(4);
+  forced.run_until_cover(rng2, 1000);
+  EXPECT_EQ(forced.dense_rounds(), 0u);
+}
+
+TEST(CobraEngines, ReferenceEngineMatchesFastInDistributionBounds) {
+  // Not bit-for-bit (different draw protocols) — but the structural
+  // invariants must hold on every engine.
+  const graph::Graph g = graph::complete(64);
+  for (const Engine e :
+       {Engine::kReference, Engine::kSparse, Engine::kDense, Engine::kAuto}) {
+    ProcessOptions opt;
+    opt.engine = e;
+    CobraProcess p(g, opt);
+    rng::Rng rng = test_rng(5);
+    p.reset(graph::VertexId{0});
+    std::size_t before = p.num_active();
+    while (!p.all_visited() && p.round() < 200) {
+      p.step(rng);
+      EXPECT_LE(p.num_active(), 2 * before);  // b = 2 doubling bound
+      before = p.num_active();
+    }
+    EXPECT_TRUE(p.all_visited()) << engine_name(e);
+    EXPECT_GE(p.round(), 6u);  // log2(64): doubling lower bound
+  }
+}
+
+TEST(CobraEngines, ActiveVectorMatchesBitsetViewAfterDenseRounds) {
+  const graph::Graph g = graph::hypercube(8);
+  ProcessOptions opt;
+  opt.engine = Engine::kDense;
+  CobraProcess p(g, opt);
+  rng::Rng rng = test_rng(6);
+  p.reset(graph::VertexId{17});
+  for (int t = 0; t < 12; ++t) {
+    p.step(rng);
+    const auto& active = p.active();  // materialised lazily, ascending
+    ASSERT_EQ(active.size(), p.num_active());
+    EXPECT_TRUE(std::is_sorted(active.begin(), active.end()));
+    for (const graph::VertexId u : active) EXPECT_TRUE(p.is_active(u));
+  }
+}
+
+TEST(CobraEngines, SingleVertexGraphCoversAtRoundZeroOnEveryEngine) {
+  graph::GraphBuilder b(1);
+  const graph::Graph g = std::move(b).build();
+  for (const Engine e :
+       {Engine::kReference, Engine::kSparse, Engine::kDense, Engine::kAuto}) {
+    ProcessOptions opt;
+    opt.engine = e;
+    CobraProcess p(g, opt);
+    rng::Rng rng = test_rng(7);
+    p.reset(graph::VertexId{0});
+    EXPECT_TRUE(p.all_visited()) << engine_name(e);
+    const auto cover = p.run_until_cover(rng, 10);
+    ASSERT_TRUE(cover.has_value());
+    EXPECT_EQ(*cover, 0u);
+    // Stepping anyway keeps the lone particle in place.
+    p.step(rng);
+    EXPECT_EQ(p.num_active(), 1u);
+    EXPECT_TRUE(p.is_active(0));
+    EXPECT_EQ(p.transmissions(), 2u);
+  }
+}
+
+TEST(CobraEngines, SharedSamplerReproducesPerProcessResults) {
+  const graph::Graph g = graph::hypercube(6);
+  const auto sampler = std::make_shared<const NeighborSampler>(g, 0.0);
+  ProcessOptions own;
+  own.engine = Engine::kAuto;
+  ProcessOptions shared = own;
+  shared.sampler = sampler;
+  CobraProcess p_own(g, own);
+  CobraProcess p_shared(g, shared);
+  expect_lockstep_identical(p_own, p_shared, 99, 5000);
+}
+
+TEST(CobraEngines, SharedSamplerMustMatchGraphAndLaziness) {
+  const graph::Graph g = graph::hypercube(5);
+  const graph::Graph other = graph::cycle(32);
+  ProcessOptions opt;
+  opt.engine = Engine::kDense;
+  opt.sampler = std::make_shared<const NeighborSampler>(other, 0.0);
+  EXPECT_THROW(CobraProcess(g, opt), util::CheckError);
+  ProcessOptions lazy;
+  lazy.engine = Engine::kDense;
+  lazy.laziness = 0.5;
+  lazy.sampler = std::make_shared<const NeighborSampler>(g, 0.25);
+  EXPECT_THROW(CobraProcess(g, lazy), util::CheckError);
+}
+
+TEST(CobraEngines, DefaultEngineResolvesFromSession) {
+  const graph::Graph g = graph::cycle(8);
+  util::clear_env_overrides();
+  EXPECT_EQ(CobraProcess(g).engine(), Engine::kReference);
+  util::set_engine_override("dense");
+  EXPECT_EQ(CobraProcess(g).engine(), Engine::kDense);
+  util::set_engine_override("fast");
+  EXPECT_EQ(CobraProcess(g).engine(), Engine::kAuto);
+  util::set_engine_override("bogus");
+  EXPECT_THROW(CobraProcess{g}, util::CheckError);
+  util::clear_env_overrides();
+  // Explicit options always win over the session setting.
+  util::set_engine_override("dense");
+  ProcessOptions opt;
+  opt.engine = Engine::kSparse;
+  EXPECT_EQ(CobraProcess(g, opt).engine(), Engine::kSparse);
+  util::clear_env_overrides();
+}
+
+TEST(CobraEngines, ParseAndNameRoundTrip) {
+  for (const Engine e :
+       {Engine::kReference, Engine::kSparse, Engine::kDense, Engine::kAuto}) {
+    const auto parsed = parse_engine(engine_name(e));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, e);
+  }
+  EXPECT_EQ(parse_engine("fast"), Engine::kAuto);
+  EXPECT_FALSE(parse_engine("default").has_value());
+  EXPECT_FALSE(parse_engine("").has_value());
+  EXPECT_FALSE(parse_engine("Reference").has_value());
+}
+
+TEST(CobraEngines, NeighborSamplerMatchesUniformDistribution) {
+  const graph::Graph g = graph::path(4);  // degrees 1 and 2: two buckets
+  const NeighborSampler sampler(g, 0.0);
+  EXPECT_EQ(sampler.num_buckets(), 2u);
+  rng::Rng rng = test_rng(8);
+  std::map<graph::VertexId, int> counts;
+  const int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) counts[sampler.sample(1, rng.next_u64())]++;
+  // Vertex 1's neighbours are 0 and 2, each with probability 1/2.
+  EXPECT_EQ(counts.size(), 2u);
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.5, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.5, 0.02);
+}
+
+TEST(CobraEngines, NeighborSamplerHonoursLaziness) {
+  const graph::Graph g = graph::cycle(6);
+  const NeighborSampler sampler(g, 0.5);
+  EXPECT_DOUBLE_EQ(sampler.laziness(), 0.5);
+  rng::Rng rng = test_rng(9);
+  const int kDraws = 60000;
+  int self = 0, left = 0, right = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const graph::VertexId dest = sampler.sample(2, rng.next_u64());
+    if (dest == 2) ++self;
+    else if (dest == 1) ++left;
+    else if (dest == 3) ++right;
+    else FAIL() << "impossible destination " << dest;
+  }
+  EXPECT_NEAR(self / static_cast<double>(kDraws), 0.5, 0.02);
+  EXPECT_NEAR(left / static_cast<double>(kDraws), 0.25, 0.02);
+  EXPECT_NEAR(right / static_cast<double>(kDraws), 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -18,6 +18,7 @@ TEST(RunnerOptions, DefaultsAreUnset) {
   EXPECT_FALSE(o.scale.has_value());
   EXPECT_FALSE(o.seed.has_value());
   EXPECT_FALSE(o.threads.has_value());
+  EXPECT_FALSE(o.engine.has_value());
   EXPECT_EQ(o.out_dir, "bench_results");
   EXPECT_EQ(o.shard_index, 1);
   EXPECT_EQ(o.shard_count, 1);
@@ -44,6 +45,24 @@ TEST(RunnerOptions, ParsesEverySpaceSeparatedFlag) {
   EXPECT_TRUE(o.resume);
   EXPECT_EQ(o.filter, "fam");
   EXPECT_EQ(o.max_cells, 3);
+}
+
+TEST(RunnerOptions, EngineFlagValidatedAtParseTime) {
+  for (const std::string name : {"reference", "sparse", "dense", "auto"}) {
+    RunnerOptions o;
+    ASSERT_EQ(parse({"--engine", name}, o), std::nullopt) << name;
+    EXPECT_EQ(o.engine.value(), name);
+  }
+  // The alias is canonicalised so journals match either spelling.
+  RunnerOptions alias;
+  ASSERT_EQ(parse({"--engine", "fast"}, alias), std::nullopt);
+  EXPECT_EQ(alias.engine.value(), "auto");
+  RunnerOptions o;
+  EXPECT_TRUE(parse({"--engine", "warp"}, o).has_value());
+  EXPECT_TRUE(parse({"--engine"}, o).has_value());  // missing value
+  RunnerOptions eq;
+  ASSERT_EQ(parse({"--engine=dense"}, eq), std::nullopt);
+  EXPECT_EQ(eq.engine.value(), "dense");
 }
 
 TEST(RunnerOptions, ParsesEqualsSyntax) {

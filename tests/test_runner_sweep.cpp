@@ -314,6 +314,28 @@ TEST_F(SweepTest, MergeRefusesMixedSeeds) {
                util::CheckError);
 }
 
+TEST_F(SweepTest, ResumeAndMergeRefuseMixedEngines) {
+  // The stepping engine is part of the run configuration: fast-engine
+  // archives are not byte-identical to reference archives, so the journal
+  // pins it exactly like seed and scale.
+  const ExperimentDef def = make_test_experiment();
+  SweepConfig first = config("engines");
+  first.max_cells = 1;
+  run_experiment(def, first);
+
+  util::set_engine_override("auto");
+  SweepConfig resume = config("engines");
+  resume.resume = true;
+  EXPECT_THROW(run_experiment(def, resume), util::CheckError);
+
+  run_experiment(def, config("engines2", 1, 2));
+  util::clear_env_overrides();
+  util::set_seed_override(12345);  // restore the fixture seed
+  run_experiment(def, config("engines2", 2, 2));
+  EXPECT_THROW(merge_experiment(def, (dir_ / "engines2").string(), nullptr),
+               util::CheckError);
+}
+
 TEST_F(SweepTest, MaxCellsZeroRunsNothingButStaysResumable) {
   const ExperimentDef def = make_test_experiment();
   SweepConfig none = config("zero");

@@ -16,6 +16,7 @@ class EnvTest : public ::testing::Test {
     unsetenv("COBRA_SCALE");
     unsetenv("COBRA_THREADS");
     unsetenv("COBRA_SEED");
+    unsetenv("COBRA_ENGINE");
     clear_env_overrides();
   }
 };
@@ -67,6 +68,22 @@ TEST_F(EnvTest, MaxThreadsAtLeastOne) {
 TEST_F(EnvTest, GlobalSeedDefault) {
   unsetenv("COBRA_SEED");
   EXPECT_EQ(global_seed(), 20170724ull);
+}
+
+TEST_F(EnvTest, EngineDefaultsToReference) {
+  unsetenv("COBRA_ENGINE");
+  EXPECT_EQ(engine(), "reference");
+  setenv("COBRA_ENGINE", "auto", 1);
+  EXPECT_EQ(engine(), "auto");
+}
+
+TEST_F(EnvTest, EngineOverrideShadowsEnvironment) {
+  setenv("COBRA_ENGINE", "sparse", 1);
+  set_engine_override("dense");
+  EXPECT_EQ(engine(), "dense");
+  clear_env_overrides();
+  EXPECT_EQ(engine(), "sparse");
+  EXPECT_THROW(set_engine_override(""), CheckError);
 }
 
 TEST_F(EnvTest, OverridesShadowEnvironmentUntilCleared) {
