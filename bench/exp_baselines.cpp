@@ -61,6 +61,11 @@ void run_case(std::size_t index, runner::CellContext& ctx) {
   const auto k = static_cast<std::uint32_t>(std::ceil(
       std::log2(static_cast<double>(g.num_vertices()))));
 
+  // One destination sampler per cell, shared by every protocol, replicate
+  // and thread (the alias tables are immutable after construction).
+  baselines::BaselineOptions bopt;
+  bopt.sampler = std::make_shared<const core::NeighborSampler>(g, 0.0);
+
   // COBRA b = 2.
   {
     std::vector<double> rounds(reps), msgs(reps);
@@ -84,7 +89,8 @@ void run_case(std::size_t index, runner::CellContext& ctx) {
         reps, rng::derive_seed(seed, 202), [&](std::uint64_t i,
                                                rng::Rng& rng) {
           rounds[i] = static_cast<double>(
-              baselines::random_walk_cover(g, 0, rng, 1ull << 34).steps);
+              baselines::random_walk_cover(g, 0, rng, 1ull << 34, bopt)
+                  .steps);
         });
     const auto s = sim::summarize(rounds);
     ctx.row().add("").add("random walk b=1").add(s.mean, 1).add(s.p95, 1)
@@ -97,7 +103,7 @@ void run_case(std::size_t index, runner::CellContext& ctx) {
         reps, rng::derive_seed(seed, 203), [&](std::uint64_t i,
                                                rng::Rng& rng) {
           const auto r =
-              baselines::multi_walk_cover(g, 0, k, rng, 1ull << 32);
+              baselines::multi_walk_cover(g, 0, k, rng, 1ull << 32, bopt);
           rounds[i] = static_cast<double>(r.rounds);
           msgs[i] = static_cast<double>(r.transmissions);
         });
@@ -111,7 +117,8 @@ void run_case(std::size_t index, runner::CellContext& ctx) {
     sim::parallel_replicates(
         reps, rng::derive_seed(seed, 204), [&](std::uint64_t i,
                                                rng::Rng& rng) {
-          const auto r = baselines::push_gossip_cover(g, 0, rng, 1ull << 26);
+          const auto r =
+              baselines::push_gossip_cover(g, 0, rng, 1ull << 26, bopt);
           rounds[i] = static_cast<double>(r.rounds);
           msgs[i] = static_cast<double>(r.transmissions);
         });
@@ -125,7 +132,8 @@ void run_case(std::size_t index, runner::CellContext& ctx) {
     sim::parallel_replicates(
         reps, rng::derive_seed(seed, 205), [&](std::uint64_t i,
                                                rng::Rng& rng) {
-          const auto r = baselines::pull_gossip_cover(g, 0, rng, 1ull << 26);
+          const auto r =
+              baselines::pull_gossip_cover(g, 0, rng, 1ull << 26, bopt);
           rounds[i] = static_cast<double>(r.rounds);
           msgs[i] = static_cast<double>(r.transmissions);
         });
@@ -139,7 +147,7 @@ void run_case(std::size_t index, runner::CellContext& ctx) {
         reps, rng::derive_seed(seed, 206), [&](std::uint64_t i,
                                                rng::Rng& rng) {
           const auto r =
-              baselines::push_pull_gossip_cover(g, 0, rng, 1ull << 26);
+              baselines::push_pull_gossip_cover(g, 0, rng, 1ull << 26, bopt);
           rounds[i] = static_cast<double>(r.rounds);
           msgs[i] = static_cast<double>(r.transmissions);
         });
@@ -149,7 +157,7 @@ void run_case(std::size_t index, runner::CellContext& ctx) {
   }
   // Deterministic flooding (round-optimal broadcast; maximal traffic).
   {
-    const auto r = baselines::flooding_cover(g, 0, 1ull << 26);
+    const auto r = baselines::flooding_cover(g, 0, 1ull << 26, bopt);
     ctx.row().add("").add("flooding (det.)")
         .add(static_cast<double>(r.rounds), 1)
         .add(static_cast<double>(r.rounds), 1)

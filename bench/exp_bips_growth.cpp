@@ -63,7 +63,7 @@ void run_case(std::size_t index, runner::CellContext& ctx) {
   rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 91), index);
   const graph::Graph g = c.make(grng);
   const double n = static_cast<double>(g.num_vertices());
-  const auto spec = spectral::compute_lambda(g, seed);
+  const auto spec = spectral::compute_lambda_cached(g, seed);
 
   // Infection-time samples vs the applicable theorem bound.
   const double bound =

@@ -60,7 +60,7 @@ void run_case(std::size_t index, runner::CellContext& ctx) {
 
   // Lazy-walk gap: every eigenvalue mu maps to (1+mu)/2, so
   // lambda_lazy = (1 + mu2)/2 where mu2 is the second-largest.
-  const auto spec = spectral::compute_lambda(g, seed);
+  const auto spec = spectral::compute_lambda_cached(g, seed);
   // For bipartite graphs lambda = |mu_n| = 1; the lazy chain's lambda is
   // still (1 + mu2)/2 < 1, which compute_lambda does not give directly,
   // so recover mu2 from the lazy mixing itself when lambda ~ 1.

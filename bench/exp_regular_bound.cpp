@@ -69,7 +69,7 @@ void run_case(std::size_t index, runner::CellContext& ctx) {
   rng::Rng grng = rng::make_stream(rng::derive_seed(seed, 21), index);
   const graph::Graph g = c.make(n_base, grng);
 
-  const auto spec = spectral::compute_lambda(g, seed);
+  const auto spec = spectral::compute_lambda_cached(g, seed);
   const double phi = spectral::estimate_conductance(g, seed);
   const double margin =
       spectral::gap_condition_margin(spec.lambda, g.num_vertices());

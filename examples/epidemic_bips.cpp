@@ -58,7 +58,7 @@ int main() {
     const auto infec = core::estimate_bips_infection(
         sc.g, core::BipsOptions{}, 0, reps, rng::derive_seed(seed, 12),
         100'000'000);
-    const auto spec = spectral::compute_lambda(sc.g, seed);
+    const auto spec = spectral::compute_lambda_cached(sc.g, seed);
     table.row().add(sc.g.name()).add(spec.lambda, 4)
         .add(static_cast<std::uint64_t>(t_half))
         .add(static_cast<std::uint64_t>(t_full))

@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
 
   const auto stats = graph::degree_stats(g);
   const auto diam = graph::diameter_estimate(g);
-  const auto spec = spectral::compute_lambda(g, util::global_seed());
+  const auto spec = spectral::compute_lambda_cached(g, util::global_seed());
   const double phi = spectral::estimate_conductance(g, util::global_seed());
 
   std::cout << "name:        " << g.name() << "\n"

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
             << " m=" << g.num_edges() << "\n";
 
   // 2. Its spectral gap — the paper's key parameter for Theorem 1.2.
-  const auto spec = spectral::compute_lambda(g, seed);
+  const auto spec = spectral::compute_lambda_cached(g, seed);
   std::cout << "lambda = " << spec.lambda << " (gap " << spec.gap
             << ", method " << (spec.exact ? "dense" : "Lanczos") << ")\n";
 

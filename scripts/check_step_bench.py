@@ -1,24 +1,37 @@
 #!/usr/bin/env python3
-"""Regression-threshold checks for the COBRA stepping-engine benchmarks.
+"""Regression-threshold checks for the frontier-kernel benchmarks.
+
+Two suites, selected with --suite (default: step):
+
+  step    bench_results/BENCH_step.json, produced by micro_cobra. The
+          guarded pair is the steady-state COBRA round on the largest
+          b = 2 random-regular graph (BM_CobraStep, regular_262144_r8).
+  bips    bench_results/BENCH_bips.json, produced by micro_bips. The
+          guarded pair is the full-infection-trajectory BIPS round on the
+          largest b = 2 random-regular graph (BM_BipsRound,
+          regular_65536_r8).
 
 Two modes:
 
-  check_step_bench.py BASELINE.json
-      Validates the committed baseline (bench_results/BENCH_step.json):
-      the dense engine must be at least --min-speedup (default 2.0) times
-      faster than the reference engine on the steady-state round of the
-      largest b = 2 random-regular graph — the headline guarantee of the
-      fast-frontier engine (runs in ctest as `bench_step_baseline_check`).
+  check_step_bench.py [--suite S] BASELINE.json
+      Validates the committed baseline: the dense engine must be at least
+      --min-speedup (default 2.0) times faster than the reference engine
+      on the suite's guarded pair — the headline guarantee of the
+      frontier kernel (runs in ctest as `bench_step_baseline_check` and
+      `bench_bips_baseline_check`).
 
-  check_step_bench.py BASELINE.json FRESH.json [--tolerance 0.30]
-      Compares a fresh `micro_cobra --benchmark_out=FRESH.json` run against
-      the baseline: any shared benchmark whose per-iteration real_time
-      regressed by more than the tolerance fails the check. Only
-      meaningful on hardware comparable to the baseline's; CI uses it to
-      catch order-of-magnitude regressions, not single-digit noise.
+  check_step_bench.py [--suite S] BASELINE.json FRESH.json [--tolerance 0.30]
+      Compares a fresh benchmark JSON against the baseline: any shared
+      benchmark whose per-iteration real_time regressed by more than the
+      tolerance fails the check. Only meaningful on hardware comparable to
+      the baseline's; CI uses the single-file mode with a reduced
+      --min-speedup instead, so heterogeneous runners compare engine
+      ratios measured on the same box.
 
-Regenerate the baseline with:
+Regenerate the baselines with:
   ./build/bench/micro_cobra --benchmark_out=bench_results/BENCH_step.json \
+      --benchmark_out_format=json
+  ./build/bench/micro_bips --benchmark_out=bench_results/BENCH_bips.json \
       --benchmark_out_format=json
 """
 
@@ -26,11 +39,12 @@ import argparse
 import json
 import sys
 
-# The acceptance pair: steady-state step on the largest random-regular
-# graph (bench/micro_cobra.cpp keeps these labels stable).
-TARGET_GRAPH = "regular_262144_r8"
-DENSE_LABEL = f"{TARGET_GRAPH}/dense"
-REFERENCE_LABEL = f"{TARGET_GRAPH}/reference"
+# The guarded (bench prefix, graph label) per suite; the micro_* binaries
+# keep these labels stable.
+SUITES = {
+    "step": {"prefix": "BM_CobraStep/", "graph": "regular_262144_r8"},
+    "bips": {"prefix": "BM_BipsRound/", "graph": "regular_65536_r8"},
+}
 
 
 def load(path):
@@ -46,19 +60,21 @@ def load(path):
     return benches
 
 
-def step_time(benches, label):
+def step_time(benches, prefix, label):
     for b in benches:
-        if b["name"].startswith("BM_CobraStep/") and b.get("label") == label:
+        if b["name"].startswith(prefix) and b.get("label") == label:
             return b["real_time"]
-    sys.exit(f"missing BM_CobraStep entry labelled {label!r}")
+    sys.exit(f"missing {prefix}* entry labelled {label!r}")
 
 
-def check_baseline(benches, min_speedup):
-    reference = step_time(benches, REFERENCE_LABEL)
-    dense = step_time(benches, DENSE_LABEL)
+def check_baseline(benches, suite, min_speedup):
+    prefix = SUITES[suite]["prefix"]
+    graph = SUITES[suite]["graph"]
+    reference = step_time(benches, prefix, f"{graph}/reference")
+    dense = step_time(benches, prefix, f"{graph}/dense")
     speedup = reference / dense
     print(
-        f"steady-state step on {TARGET_GRAPH}: reference {reference:.0f} ns, "
+        f"[{suite}] round on {graph}: reference {reference:.0f} ns, "
         f"dense {dense:.0f} ns, speedup {speedup:.2f}x "
         f"(required >= {min_speedup:.2f}x)"
     )
@@ -93,9 +109,11 @@ def check_regression(baseline, fresh, tolerance):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed BENCH_step.json")
+    parser.add_argument("baseline", help="committed BENCH_*.json")
     parser.add_argument("fresh", nargs="?",
-                        help="fresh micro_cobra JSON to compare (optional)")
+                        help="fresh benchmark JSON to compare (optional)")
+    parser.add_argument("--suite", choices=sorted(SUITES), default="step",
+                        help="which guarded pair to validate (default step)")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="required dense/reference speedup (default 2.0)")
     parser.add_argument("--tolerance", type=float, default=0.30,
@@ -105,7 +123,7 @@ def main():
 
     baseline = load(args.baseline)
     if args.fresh is None:
-        check_baseline(baseline, args.min_speedup)
+        check_baseline(baseline, args.suite, args.min_speedup)
     else:
         check_regression(baseline, load(args.fresh), args.tolerance)
 

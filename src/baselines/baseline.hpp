@@ -1,0 +1,35 @@
+// Shared configuration for the baseline protocols (random walk, k walks,
+// flooding, push/pull gossip).
+//
+// Every baseline runs on the process-agnostic frontier kernel
+// (core/frontier_kernel.hpp): destinations come from the shared
+// NeighborSampler and all per-(round, entity) randomness is keyed, so for
+// each protocol the reference, sparse, dense and auto engines produce
+// bit-for-bit identical results at a fixed seed — the engine only selects
+// the frontier representation. The particle protocols (single/multi walk)
+// have no frontier to represent, so their engines coincide trivially; the
+// set protocols (flooding, push gossip, pull gossip) get real dense paths.
+#pragma once
+
+#include <memory>
+
+#include "core/frontier_kernel.hpp"
+#include "core/process.hpp"
+
+namespace cobra::baselines {
+
+/// Options accepted by every baseline cover function.
+struct BaselineOptions {
+  /// Stepping engine; kDefault defers to --engine / COBRA_ENGINE.
+  core::Engine engine = core::Engine::kDefault;
+  /// Keyed hash for the per-(round, entity) draws (kDefault -> mix64).
+  core::DrawHash draw_hash = core::DrawHash::kDefault;
+  /// Auto-switch threshold: dense frontier once |frontier| >= this
+  /// fraction of n (2x hysteresis on the way down), as in ProcessOptions.
+  double dense_density = 1.0 / 32.0;
+  /// Optional pre-built destination sampler (laziness 0), shared across
+  /// replicates; must match the graph. When null, each call builds one.
+  std::shared_ptr<const core::NeighborSampler> sampler;
+};
+
+}  // namespace cobra::baselines

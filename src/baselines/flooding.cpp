@@ -1,40 +1,49 @@
 #include "baselines/flooding.hpp"
 
-#include <vector>
-
 #include "util/assert.hpp"
-#include "util/bitset.hpp"
 
 namespace cobra::baselines {
 
 FloodingResult flooding_cover(const graph::Graph& g, graph::VertexId start,
-                              std::uint64_t max_rounds) {
+                              std::uint64_t max_rounds,
+                              const BaselineOptions& options) {
   COBRA_CHECK(start < g.num_vertices());
-  const graph::VertexId n = g.num_vertices();
-
-  util::DynamicBitset informed(n);
-  informed.set(start);
-  std::vector<graph::VertexId> frontier{start};
+  using core::FrontierKernel;
+  FrontierKernel::Config cfg;
+  cfg.engine = core::resolve_engine(options.engine);
+  cfg.dense_density = options.dense_density;
+  cfg.build_sampler = false;  // deterministic: no destinations to sample
+  cfg.track_visited = true;
+  FrontierKernel kernel(g, cfg);
+  const graph::VertexId one[] = {start};
+  kernel.assign(one);
   std::uint64_t informed_degree = g.degree(start);
-  std::uint32_t remaining = n - 1;
 
   FloodingResult result;
-  std::vector<graph::VertexId> next;
-  while (remaining > 0 && result.rounds < max_rounds) {
+  while (!kernel.all_visited() && result.rounds < max_rounds) {
     result.transmissions += informed_degree;
-    next.clear();
-    for (const graph::VertexId u : frontier)
-      for (const graph::VertexId v : g.neighbors(u))
-        if (informed.set_and_test(v)) {
-          next.push_back(v);
-          informed_degree += g.degree(v);
-          --remaining;
-        }
-    frontier.swap(next);
+    const bool dense =
+        kernel.begin_round(kernel.density_score(kernel.frontier_size()));
+    if (dense) {
+      auto sink = kernel.dense_sink();
+      kernel.for_each_in_frontier([&](graph::VertexId u) {
+        for (const graph::VertexId v : g.neighbors(u))
+          if (!kernel.is_visited(v)) sink.emit(v);
+      });
+    } else {
+      auto sink = kernel.growth_sink();
+      kernel.for_each_in_frontier([&](graph::VertexId u) {
+        for (const graph::VertexId v : g.neighbors(u)) sink.emit(v);
+      });
+    }
+    const std::uint32_t newly =
+        kernel.commit(FrontierKernel::Commit::kReplace);
     ++result.rounds;
-    if (frontier.empty()) break;  // disconnected graph: cannot progress
+    if (newly == 0) break;  // disconnected graph: cannot progress
+    kernel.for_each_in_frontier(
+        [&](graph::VertexId v) { informed_degree += g.degree(v); });
   }
-  result.completed = (remaining == 0);
+  result.completed = kernel.all_visited();
   return result;
 }
 

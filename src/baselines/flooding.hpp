@@ -2,22 +2,30 @@
 // every round. Covers in exactly ecc(start) rounds — the round-optimal
 // broadcast — at the maximal transmission cost. The third corner of the
 // rounds/traffic trade-off triangle next to COBRA and the random walk.
+//
+// Runs on the frontier kernel: the BFS layer is the frontier, the informed
+// set is the visited accumulator. No randomness is involved, so every
+// engine is trivially bit-identical; the engine still selects the layer
+// representation (vector vs bitset with word-parallel informed merges).
 #pragma once
 
 #include <cstdint>
 
+#include "baselines/baseline.hpp"
 #include "graph/graph.hpp"
 
 namespace cobra::baselines {
 
+/// Outcome of one flooding broadcast.
 struct FloodingResult {
-  std::uint64_t rounds = 0;          // == eccentricity of the start
-  std::uint64_t transmissions = 0;   // sum over rounds of d(informed set)
-  bool completed = false;
+  std::uint64_t rounds = 0;         ///< == eccentricity of the start
+  std::uint64_t transmissions = 0;  ///< sum over rounds of d(informed set)
+  bool completed = false;           ///< all vertices informed
 };
 
 /// Deterministic, no randomness needed.
 FloodingResult flooding_cover(const graph::Graph& g, graph::VertexId start,
-                              std::uint64_t max_rounds);
+                              std::uint64_t max_rounds,
+                              const BaselineOptions& options = {});
 
 }  // namespace cobra::baselines

@@ -9,10 +9,21 @@ namespace cobra::baselines {
 
 MultiWalkResult multi_walk_cover(const graph::Graph& g,
                                  graph::VertexId start, std::uint32_t k,
-                                 rng::Rng& rng, std::uint64_t max_rounds) {
+                                 rng::Rng& rng, std::uint64_t max_rounds,
+                                 const BaselineOptions& options) {
   COBRA_CHECK(start < g.num_vertices());
   COBRA_CHECK(k >= 1);
   COBRA_CHECK(g.min_degree() >= 1);
+  core::resolve_engine(options.engine);  // validate the session engine
+  const core::DrawHash hash = core::resolve_draw_hash(options.draw_hash);
+  std::shared_ptr<const core::NeighborSampler> sampler = options.sampler;
+  if (sampler) {
+    COBRA_CHECK_MSG(&sampler->graph() == &g && sampler->laziness() == 0.0,
+                    "shared NeighborSampler must match the graph with "
+                    "laziness 0");
+  } else {
+    sampler = std::make_shared<const core::NeighborSampler>(g, 0.0);
+  }
 
   util::DynamicBitset visited(g.num_vertices());
   visited.set(start);
@@ -21,9 +32,11 @@ MultiWalkResult multi_walk_cover(const graph::Graph& g,
 
   MultiWalkResult result;
   while (remaining > 0 && result.rounds < max_rounds) {
-    for (graph::VertexId& u : particles) {
-      const auto nbrs = g.neighbors(u);
-      u = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+    const std::uint64_t round_key = rng.next_u64();
+    for (std::uint32_t i = 0; i < k; ++i) {
+      core::VertexDraws draws(hash, round_key, i);
+      graph::VertexId& u = particles[i];
+      u = sampler->sample(u, draws.next_word());
       if (visited.set_and_test(u)) --remaining;
     }
     ++result.rounds;

@@ -1,24 +1,33 @@
 // k independent parallel random walks (Alon et al. [1], Elsässer-Sauerwald
 // [7] in the paper's references): the natural non-coalescing competitor to
 // COBRA. All k walks move simultaneously each round from a common start.
+//
+// Draw protocol: one 64-bit round key per round; walk i's move is derived
+// from (round key, i) through the frontier kernel's keyed draws — keyed by
+// the PARTICLE index, not the vertex, so two walks sharing a vertex still
+// move independently. Particles have no frontier representation, so every
+// engine runs the identical loop.
 #pragma once
 
 #include <cstdint>
 
+#include "baselines/baseline.hpp"
 #include "graph/graph.hpp"
 #include "rng/rng.hpp"
 
 namespace cobra::baselines {
 
+/// Outcome of one k-walk cover run.
 struct MultiWalkResult {
-  std::uint64_t rounds = 0;
-  std::uint64_t transmissions = 0;  // k per round
-  bool completed = false;
+  std::uint64_t rounds = 0;         ///< synchronised rounds until cover
+  std::uint64_t transmissions = 0;  ///< k per round
+  bool completed = false;           ///< all vertices visited
 };
 
 /// Cover time of k independent walks started at `start`.
 MultiWalkResult multi_walk_cover(const graph::Graph& g, graph::VertexId start,
                                  std::uint32_t k, rng::Rng& rng,
-                                 std::uint64_t max_rounds);
+                                 std::uint64_t max_rounds,
+                                 const BaselineOptions& options = {});
 
 }  // namespace cobra::baselines

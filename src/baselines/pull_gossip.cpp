@@ -1,79 +1,104 @@
 #include "baselines/pull_gossip.hpp"
 
-#include <vector>
-
 #include "util/assert.hpp"
-#include "util/bitset.hpp"
 
 namespace cobra::baselines {
 
+namespace {
+
+core::FrontierKernel make_gossip_kernel(const graph::Graph& g,
+                                        const BaselineOptions& options) {
+  core::FrontierKernel::Config cfg;
+  cfg.engine = core::resolve_engine(options.engine);
+  cfg.draw_hash = options.draw_hash;
+  cfg.dense_density = options.dense_density;
+  cfg.sampler = options.sampler;
+  return core::FrontierKernel(g, cfg);
+}
+
+}  // namespace
+
 PullResult pull_gossip_cover(const graph::Graph& g, graph::VertexId start,
-                             rng::Rng& rng, std::uint64_t max_rounds) {
+                             rng::Rng& rng, std::uint64_t max_rounds,
+                             const BaselineOptions& options) {
   COBRA_CHECK(start < g.num_vertices());
   COBRA_CHECK(g.min_degree() >= 1);
-  const graph::VertexId n = g.num_vertices();
-
-  util::DynamicBitset informed(n);
-  informed.set(start);
-  std::uint32_t remaining = n - 1;
+  using core::FrontierKernel;
+  FrontierKernel kernel = make_gossip_kernel(g, options);
+  const graph::VertexId one[] = {start};
+  kernel.assign(one);
+  const core::NeighborSampler& sampler = kernel.sampler();
 
   PullResult result;
-  std::vector<graph::VertexId> newly;
-  while (remaining > 0 && result.rounds < max_rounds) {
-    newly.clear();
-    for (graph::VertexId u = 0; u < n; ++u) {
-      if (informed.test(u)) continue;
-      const auto nbrs = g.neighbors(u);
-      const graph::VertexId contact =
-          nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
-      ++result.transmissions;
-      if (informed.test(contact)) newly.push_back(u);
+  while (!kernel.all_visited() && result.rounds < max_rounds) {
+    const std::uint64_t round_key = rng.next_u64();
+    const bool dense =
+        kernel.begin_round(kernel.density_score(kernel.frontier_size()));
+    // Synchronous semantics: pulls test the round's starting frontier; new
+    // adopters join only at commit.
+    const auto pull = [&](auto sink) {
+      kernel.for_each_outside_frontier([&](graph::VertexId u) {
+        const graph::VertexId contact =
+            sampler.sample(u, kernel.draws(round_key, u).next_word());
+        ++result.transmissions;
+        if (kernel.in_frontier(contact)) sink.emit(u);
+      });
+    };
+    if (dense) {
+      pull(kernel.dense_sink());
+    } else {
+      pull(kernel.growth_sink());
     }
-    // Synchronous semantics: pulls read this round's starting state.
-    for (const graph::VertexId u : newly) {
-      informed.set(u);
-      --remaining;
-    }
+    kernel.commit(FrontierKernel::Commit::kAccumulate);
     ++result.rounds;
   }
-  result.completed = (remaining == 0);
+  result.completed = kernel.all_visited();
   return result;
 }
 
 PullResult push_pull_gossip_cover(const graph::Graph& g,
                                   graph::VertexId start, rng::Rng& rng,
-                                  std::uint64_t max_rounds) {
+                                  std::uint64_t max_rounds,
+                                  const BaselineOptions& options) {
   COBRA_CHECK(start < g.num_vertices());
   COBRA_CHECK(g.min_degree() >= 1);
+  using core::FrontierKernel;
   const graph::VertexId n = g.num_vertices();
-
-  util::DynamicBitset informed(n);
-  informed.set(start);
-  std::uint32_t remaining = n - 1;
+  FrontierKernel kernel = make_gossip_kernel(g, options);
+  const graph::VertexId one[] = {start};
+  kernel.assign(one);
+  const core::NeighborSampler& sampler = kernel.sampler();
 
   PullResult result;
-  std::vector<graph::VertexId> newly;
-  while (remaining > 0 && result.rounds < max_rounds) {
-    newly.clear();
-    for (graph::VertexId u = 0; u < n; ++u) {
-      const auto nbrs = g.neighbors(u);
-      const graph::VertexId contact =
-          nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
-      ++result.transmissions;
-      if (informed.test(u)) {
-        // Push: u informs its contact.
-        if (!informed.test(contact)) newly.push_back(contact);
-      } else if (informed.test(contact)) {
-        // Pull: u learns from its contact.
-        newly.push_back(u);
+  while (!kernel.all_visited() && result.rounds < max_rounds) {
+    const std::uint64_t round_key = rng.next_u64();
+    // Every vertex contacts every round, so the representation never
+    // changes the work; the round inherits the current one.
+    const bool dense = kernel.begin_round(
+        kernel.dense_mode() ? 1.0 : 0.0);
+    const auto exchange = [&](auto sink) {
+      for (graph::VertexId u = 0; u < n; ++u) {
+        const graph::VertexId contact =
+            sampler.sample(u, kernel.draws(round_key, u).next_word());
+        ++result.transmissions;
+        if (kernel.in_frontier(u)) {
+          // Push: u informs its contact.
+          if (!kernel.in_frontier(contact)) sink.emit(contact);
+        } else if (kernel.in_frontier(contact)) {
+          // Pull: u learns from its contact.
+          sink.emit(u);
+        }
       }
+    };
+    if (dense) {
+      exchange(kernel.dense_sink());
+    } else {
+      exchange(kernel.growth_sink());
     }
-    for (const graph::VertexId u : newly) {
-      if (informed.set_and_test(u)) --remaining;
-    }
+    kernel.commit(FrontierKernel::Commit::kAccumulate);
     ++result.rounds;
   }
-  result.completed = (remaining == 0);
+  result.completed = kernel.all_visited();
   return result;
 }
 

@@ -5,26 +5,39 @@
 // information-spreading mirror of BIPS's polling dynamics (without the
 // refresh). Push-pull combines both directions and is the classic optimal
 // gossip protocol. Both complement the push baseline for experiment E12.
+//
+// Both run on the frontier kernel with the informed set as a monotone
+// frontier and keyed per-(round, vertex) contacts, so the engines are
+// bit-for-bit identical. Pull iterates the COMPLEMENT of the informed set;
+// its dense rounds scan complement words (O(n/64 + uninformed)), which is
+// where the dense engine pays off in the late phase. Push-pull contacts
+// every vertex every round, so its engines differ only in bookkeeping.
 #pragma once
 
 #include <cstdint>
 
+#include "baselines/baseline.hpp"
 #include "graph/graph.hpp"
 #include "rng/rng.hpp"
 
 namespace cobra::baselines {
 
+/// Outcome of one pull / push-pull broadcast.
 struct PullResult {
-  std::uint64_t rounds = 0;
-  std::uint64_t transmissions = 0;  // contacts made
-  bool completed = false;
+  std::uint64_t rounds = 0;         ///< rounds until all informed
+  std::uint64_t transmissions = 0;  ///< contacts made
+  bool completed = false;           ///< all vertices informed
 };
 
+/// Pull gossip cover from `start`.
 PullResult pull_gossip_cover(const graph::Graph& g, graph::VertexId start,
-                             rng::Rng& rng, std::uint64_t max_rounds);
+                             rng::Rng& rng, std::uint64_t max_rounds,
+                             const BaselineOptions& options = {});
 
+/// Push-pull gossip cover from `start`.
 PullResult push_pull_gossip_cover(const graph::Graph& g,
                                   graph::VertexId start, rng::Rng& rng,
-                                  std::uint64_t max_rounds);
+                                  std::uint64_t max_rounds,
+                                  const BaselineOptions& options = {});
 
 }  // namespace cobra::baselines

@@ -1,40 +1,50 @@
 #include "baselines/push_gossip.hpp"
 
-#include <vector>
-
 #include "util/assert.hpp"
-#include "util/bitset.hpp"
 
 namespace cobra::baselines {
 
 GossipResult push_gossip_cover(const graph::Graph& g, graph::VertexId start,
-                               rng::Rng& rng, std::uint64_t max_rounds) {
+                               rng::Rng& rng, std::uint64_t max_rounds,
+                               const BaselineOptions& options) {
   COBRA_CHECK(start < g.num_vertices());
   COBRA_CHECK(g.min_degree() >= 1);
-
-  util::DynamicBitset informed(g.num_vertices());
-  informed.set(start);
-  std::vector<graph::VertexId> informed_list{start};
-  std::uint32_t remaining = g.num_vertices() - 1;
+  using core::FrontierKernel;
+  FrontierKernel::Config cfg;
+  cfg.engine = core::resolve_engine(options.engine);
+  cfg.draw_hash = options.draw_hash;
+  cfg.dense_density = options.dense_density;
+  cfg.sampler = options.sampler;
+  FrontierKernel kernel(g, cfg);
+  const graph::VertexId one[] = {start};
+  kernel.assign(one);
+  const core::NeighborSampler& sampler = kernel.sampler();
 
   GossipResult result;
-  while (remaining > 0 && result.rounds < max_rounds) {
-    // Snapshot: pushes this round come from vertices informed before it.
-    const std::size_t senders = informed_list.size();
-    for (std::size_t i = 0; i < senders; ++i) {
-      const graph::VertexId u = informed_list[i];
-      const auto nbrs = g.neighbors(u);
-      const graph::VertexId v =
-          nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
-      if (informed.set_and_test(v)) {
-        informed_list.push_back(v);
-        --remaining;
-      }
+  while (!kernel.all_visited() && result.rounds < max_rounds) {
+    // Synchronous semantics: pushes this round come from vertices informed
+    // before it — the frontier snapshot the kernel iterates.
+    const std::uint32_t senders = kernel.frontier_size();
+    const std::uint64_t round_key = rng.next_u64();
+    const bool dense = kernel.begin_round(kernel.density_score(senders));
+    if (dense) {
+      auto sink = kernel.dense_sink();
+      kernel.for_each_in_frontier([&](graph::VertexId u) {
+        const graph::VertexId v =
+            sampler.sample(u, kernel.draws(round_key, u).next_word());
+        if (!kernel.is_visited(v)) sink.emit(v);
+      });
+    } else {
+      auto sink = kernel.growth_sink();
+      kernel.for_each_in_frontier([&](graph::VertexId u) {
+        sink.emit(sampler.sample(u, kernel.draws(round_key, u).next_word()));
+      });
     }
+    kernel.commit(FrontierKernel::Commit::kAccumulate);
     ++result.rounds;
     result.transmissions += senders;
   }
-  result.completed = (remaining == 0);
+  result.completed = kernel.all_visited();
   return result;
 }
 

@@ -6,18 +6,36 @@
 
 namespace cobra::baselines {
 
+namespace {
+
+std::shared_ptr<const core::NeighborSampler> walk_sampler(
+    const graph::Graph& g, const BaselineOptions& options) {
+  core::resolve_engine(options.engine);  // validate the session engine
+  if (options.sampler) {
+    COBRA_CHECK_MSG(&options.sampler->graph() == &g &&
+                        options.sampler->laziness() == 0.0,
+                    "shared NeighborSampler must match the graph with "
+                    "laziness 0");
+    return options.sampler;
+  }
+  return std::make_shared<const core::NeighborSampler>(g, 0.0);
+}
+
+}  // namespace
+
 WalkResult random_walk_cover(const graph::Graph& g, graph::VertexId start,
-                             rng::Rng& rng, std::uint64_t max_steps) {
+                             rng::Rng& rng, std::uint64_t max_steps,
+                             const BaselineOptions& options) {
   COBRA_CHECK(start < g.num_vertices());
   COBRA_CHECK(g.min_degree() >= 1);
+  const auto sampler = walk_sampler(g, options);
   util::DynamicBitset visited(g.num_vertices());
   visited.set(start);
   std::uint32_t remaining = g.num_vertices() - 1;
   graph::VertexId u = start;
   WalkResult result;
   while (remaining > 0 && result.steps < max_steps) {
-    const auto nbrs = g.neighbors(u);
-    u = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+    u = sampler->sample(u, rng.next_u64());
     ++result.steps;
     if (visited.set_and_test(u)) --remaining;
   }
@@ -27,15 +45,16 @@ WalkResult random_walk_cover(const graph::Graph& g, graph::VertexId start,
 
 WalkResult random_walk_hit(const graph::Graph& g, graph::VertexId start,
                            graph::VertexId target, rng::Rng& rng,
-                           std::uint64_t max_steps) {
+                           std::uint64_t max_steps,
+                           const BaselineOptions& options) {
   COBRA_CHECK(start < g.num_vertices() && target < g.num_vertices());
   COBRA_CHECK(g.min_degree() >= 1);
+  const auto sampler = walk_sampler(g, options);
   graph::VertexId u = start;
   WalkResult result;
   result.completed = (u == target);
   while (!result.completed && result.steps < max_steps) {
-    const auto nbrs = g.neighbors(u);
-    u = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+    u = sampler->sample(u, rng.next_u64());
     ++result.steps;
     result.completed = (u == target);
   }

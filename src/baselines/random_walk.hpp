@@ -6,30 +6,39 @@
 // A dedicated single-particle implementation is used instead of
 // CobraProcess(b=1) because one particle needs no set bookkeeping
 // (~10x faster), letting baselines run at the same scales as COBRA.
+//
+// Draw protocol: one 64-bit word per step from the replicate stream, fed
+// to the shared NeighborSampler. A single particle has no frontier, so
+// every engine runs the identical loop (BaselineOptions::engine is
+// accepted for uniformity and validated, nothing more).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 
+#include "baselines/baseline.hpp"
 #include "graph/graph.hpp"
 #include "rng/rng.hpp"
 
 namespace cobra::baselines {
 
+/// Outcome of one walk run.
 struct WalkResult {
-  std::uint64_t steps = 0;  // rounds (= transmissions for a single walk)
-  bool completed = false;
+  std::uint64_t steps = 0;  ///< rounds (= transmissions for a single walk)
+  bool completed = false;   ///< all vertices visited / target hit
 };
 
 /// Cover time of a simple random walk from `start`; gives up after
 /// `max_steps`.
 WalkResult random_walk_cover(const graph::Graph& g, graph::VertexId start,
-                             rng::Rng& rng, std::uint64_t max_steps);
+                             rng::Rng& rng, std::uint64_t max_steps,
+                             const BaselineOptions& options = {});
 
 /// Hitting time start -> target.
 WalkResult random_walk_hit(const graph::Graph& g, graph::VertexId start,
                            graph::VertexId target, rng::Rng& rng,
-                           std::uint64_t max_steps);
+                           std::uint64_t max_steps,
+                           const BaselineOptions& options = {});
 
 /// Expected cover-time reference values for sanity checks:
 /// K_n: (n-1) H_{n-1} (coupon collector); cycle C_n: n(n-1)/2;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/assert.hpp"
+
 namespace cobra::core {
 
 double bips_infection_probability(std::uint32_t d, std::uint32_t da,
@@ -25,17 +27,39 @@ double bips_infection_probability(std::uint32_t d, std::uint32_t da,
   return 1.0 - miss;
 }
 
+FrontierKernel::Config BipsProcess::kernel_config() const {
+  FrontierKernel::Config cfg;
+  // The probability kernel's scan is edge-driven whatever the frontier
+  // representation, so it always runs the sparse path; the engine choice
+  // only drives the sampling kernel.
+  cfg.engine = options_.kernel == BipsKernel::kProbability ? Engine::kSparse
+                                                           : engine_;
+  cfg.draw_hash = options_.process.draw_hash;
+  cfg.dense_density = options_.process.dense_density;
+  cfg.laziness = options_.process.laziness;
+  cfg.build_sampler = options_.kernel == BipsKernel::kSampling;
+  cfg.track_visited = false;  // A_t is not monotone
+  cfg.sampler = cfg.build_sampler ? options_.process.sampler : nullptr;
+  return cfg;
+}
+
 BipsProcess::BipsProcess(const graph::Graph& g, graph::VertexId source,
                          BipsOptions options)
-    : graph_(&g), options_(options) {
-  options_.process.validate();
+    : graph_(&g),
+      options_(options),
+      engine_((options_.process.validate(),
+               resolve_engine(options_.process.engine))),
+      kernel_(g, kernel_config()) {
   COBRA_CHECK_MSG(g.num_vertices() >= 1, "empty graph");
   COBRA_CHECK_MSG(g.min_degree() >= 1,
                   "BIPS needs every vertex to have a neighbour to select");
-  member_.resize(g.num_vertices());
+  COBRA_CHECK_MSG(options_.dense_edge_budget > 0.0,
+                  "dense_edge_budget must be positive");
   source_set_.resize(g.num_vertices());
   da_.assign(g.num_vertices(), 0);
   da_stamp_.assign(g.num_vertices(), 0);
+  avg_degree_ = static_cast<double>(g.degree_sum()) /
+                static_cast<double>(g.num_vertices());
   reset(source);
 }
 
@@ -53,66 +77,128 @@ void BipsProcess::reset(std::span<const graph::VertexId> sources) {
     if (source_set_.set_and_test(s)) sources_.push_back(s);
   }
   std::sort(sources_.begin(), sources_.end());
-  infected_ = sources_;
-  rebuild_membership();
+  kernel_.assign(sources_);
   round_ = 0;
+  infected_degree_valid_ = false;
 }
 
-void BipsProcess::rebuild_membership() {
-  member_.reset_all();
-  infected_degree_ = 0;
-  for (const graph::VertexId u : infected_) {
-    member_.set(u);
-    infected_degree_ += graph_->degree(u);
+std::uint64_t BipsProcess::infected_degree() const {
+  if (!infected_degree_valid_) {
+    std::uint64_t sum = 0;
+    kernel_.for_each_in_frontier(
+        [&](graph::VertexId u) { sum += graph_->degree(u); });
+    infected_degree_ = sum;
+    infected_degree_valid_ = true;
   }
+  return infected_degree_;
 }
 
 std::uint32_t BipsProcess::step(rng::Rng& rng) {
+  const std::uint64_t round_key = rng.next_u64();
   if (options_.kernel == BipsKernel::kSampling) {
-    step_sampling(rng);
+    step_sampling(round_key);
   } else {
-    step_probability(rng);
+    step_probability(round_key);
   }
-  infected_.swap(next_);
-  rebuild_membership();
   ++round_;
+  infected_degree_valid_ = false;
   return infected_count();
 }
 
-void BipsProcess::step_sampling(rng::Rng& rng) {
-  const graph::VertexId n = graph_->num_vertices();
+bool BipsProcess::catches_infection(std::uint64_t round_key,
+                                    graph::VertexId u) const {
+  VertexDraws draws = kernel_.draws(round_key, u);
   const Branching& b = options_.process.branching;
-  const double lazy = options_.process.laziness;
-  next_.clear();
-  for (graph::VertexId u = 0; u < n; ++u) {
-    if (source_set_.test(u)) {
-      next_.push_back(u);
-      continue;
-    }
-    const std::uint32_t fanout =
-        b.base +
-        ((b.extra_prob > 0.0 && rng.bernoulli(b.extra_prob)) ? 1u : 0u);
-    const auto nbrs = graph_->neighbors(u);
-    bool caught = false;
-    for (std::uint32_t j = 0; j < fanout && !caught; ++j) {
-      graph::VertexId pick;
-      if (lazy > 0.0 && rng.bernoulli(lazy)) {
-        pick = u;
-      } else {
-        pick = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
-      }
-      caught = member_.test(pick);
-    }
-    if (caught) next_.push_back(u);
-  }
+  std::uint32_t fanout = b.base;
+  if (b.extra_prob > 0.0 && draws.bernoulli(b.extra_prob)) ++fanout;
+  const NeighborSampler& sampler = kernel_.sampler();
+  // Early exit is legal: the draws are counter-based, so skipping the
+  // remaining selections cannot shift any other vertex's randomness.
+  for (std::uint32_t j = 0; j < fanout; ++j)
+    if (kernel_.in_frontier(sampler.sample(u, draws.next_word())))
+      return true;
+  return false;
 }
 
-void BipsProcess::step_probability(rng::Rng& rng) {
+void BipsProcess::step_sampling(std::uint64_t round_key) {
+  const graph::VertexId n = graph_->num_vertices();
+  const std::uint32_t a = kernel_.frontier_size();
+  // Dense rounds pay O(min-side edges) marking; the plain scan pays O(n·b)
+  // draws. Score >= 1 <=> the boundary pass is within the edge budget.
+  const double min_side_edges =
+      static_cast<double>(std::min(a, n - a)) * avg_degree_;
+  const double score =
+      min_side_edges <= 0.0
+          ? 2.0  // fully infected: the dense round is a pure word pass
+          : options_.dense_edge_budget * static_cast<double>(n) /
+                min_side_edges;
+  const bool dense = kernel_.begin_round(score);
+  if (dense) {
+    step_sampling_dense(round_key);
+  } else {
+    auto sink = kernel_.plain_sink();
+    for (graph::VertexId u = 0; u < n; ++u) {
+      if (source_set_.test(u)) {
+        sink.emit(u);
+        continue;
+      }
+      if (catches_infection(round_key, u)) sink.emit(u);
+    }
+  }
+  kernel_.commit(FrontierKernel::Commit::kReplace);
+}
+
+void BipsProcess::step_sampling_dense(std::uint64_t round_key) {
+  const graph::VertexId n = graph_->num_vertices();
+  const bool lazy = options_.process.laziness > 0.0;
+  if (scratch_.size() != n) scratch_.resize(n);
+  scratch_.reset_all();
+  auto sink = kernel_.dense_sink();
+  const std::uint32_t a = kernel_.frontier_size();
+
+  const auto sample_marked = [&] {
+    scratch_.for_each_set([&](std::size_t su) {
+      const auto u = static_cast<graph::VertexId>(su);
+      if (source_set_.test(u)) return;
+      if (catches_infection(round_key, u)) sink.emit(u);
+    });
+  };
+
+  if (2ull * a <= n) {
+    // Small infected side: only candidates = N(A_t) (∪ A_t with laziness)
+    // can catch the infection; everyone else is determined-uninfected and
+    // draws nothing.
+    kernel_.for_each_in_frontier([&](graph::VertexId v) {
+      if (lazy) scratch_.set(v);
+      for (const graph::VertexId w : graph_->neighbors(v)) scratch_.set(w);
+    });
+    sample_marked();
+  } else {
+    // Small uninfected side: only the undetermined boundary = N(V \ A_t)
+    // (∪ V \ A_t with laziness) can miss; everyone else is determined-
+    // infected, installed word-parallel as the complement of the marks.
+    kernel_.for_each_outside_frontier([&](graph::VertexId u) {
+      if (lazy) scratch_.set(u);
+      for (const graph::VertexId w : graph_->neighbors(u)) scratch_.set(w);
+    });
+    std::uint64_t* next = kernel_.next_words();
+    const auto& marked = scratch_.words();
+    for (std::size_t w = 0; w < marked.size(); ++w) next[w] = ~marked[w];
+    const std::size_t tail = static_cast<std::size_t>(n) & 63;
+    if (tail != 0) next[marked.size() - 1] &= (1ull << tail) - 1;
+    sample_marked();
+  }
+  // The persistent sources are infected whatever they drew.
+  for (const graph::VertexId s : sources_) sink.emit(s);
+}
+
+void BipsProcess::step_probability(std::uint64_t round_key) {
+  kernel_.begin_round(0.0);  // always a sparse round (see kernel_config)
   // Accumulate d_A(u) for u in N(A_t) by scanning infected adjacency.
   ++da_epoch_;
   std::vector<graph::VertexId> touched;
-  touched.reserve(infected_.size() * 2);
-  for (const graph::VertexId a : infected_) {
+  touched.reserve(static_cast<std::size_t>(kernel_.frontier_size()) * 2);
+  kernel_.for_each_in_frontier([&](graph::VertexId a) {
     for (const graph::VertexId u : graph_->neighbors(a)) {
       if (da_stamp_[u] != da_epoch_) {
         da_stamp_[u] = da_epoch_;
@@ -121,28 +207,29 @@ void BipsProcess::step_probability(rng::Rng& rng) {
       }
       ++da_[u];
     }
-  }
+  });
   const double lazy = options_.process.laziness;
-  next_.clear();
-  next_.insert(next_.end(), sources_.begin(), sources_.end());
+  auto sink = kernel_.plain_sink();
+  for (const graph::VertexId s : sources_) sink.emit(s);
   // With laziness, an infected vertex can catch from itself even when none
   // of its neighbours are infected, so infected vertices outside N(A) must
   // be considered too.
   if (lazy > 0.0) {
-    for (const graph::VertexId u : infected_) {
+    kernel_.for_each_in_frontier([&](graph::VertexId u) {
       if (da_stamp_[u] != da_epoch_) {
         da_stamp_[u] = da_epoch_;
         da_[u] = 0;
         touched.push_back(u);
       }
-    }
+    });
   }
   for (const graph::VertexId u : touched) {
     if (source_set_.test(u)) continue;
     const double p = bips_infection_probability(
-        graph_->degree(u), da_[u], member_.test(u), options_.process);
-    if (rng.bernoulli(p)) next_.push_back(u);
+        graph_->degree(u), da_[u], kernel_.in_frontier(u), options_.process);
+    if (kernel_.draws(round_key, u).bernoulli(p)) sink.emit(u);
   }
+  kernel_.commit(FrontierKernel::Commit::kReplace);
 }
 
 std::optional<std::uint64_t> BipsProcess::run_until_full(
@@ -164,8 +251,9 @@ std::vector<graph::VertexId> BipsProcess::candidate_set() const {
     if (infected_neighbor_count(u) < graph_->degree(u))  // u not in B_fix
       candidates.push_back(u);
   };
-  for (const graph::VertexId a : infected_)
+  kernel_.for_each_in_frontier([&](graph::VertexId a) {
     for (const graph::VertexId u : graph_->neighbors(a)) consider(u);
+  });
   for (const graph::VertexId s : sources_) consider(s);
   std::sort(candidates.begin(), candidates.end());
   return candidates;
@@ -181,7 +269,7 @@ std::uint32_t BipsProcess::fixed_count() const {
 std::uint32_t BipsProcess::infected_neighbor_count(graph::VertexId u) const {
   std::uint32_t count = 0;
   for (const graph::VertexId v : graph_->neighbors(u))
-    if (member_.test(v)) ++count;
+    if (kernel_.in_frontier(v)) ++count;
   return count;
 }
 
@@ -189,7 +277,7 @@ double BipsProcess::infection_probability(graph::VertexId u) const {
   COBRA_CHECK(!is_source(u));
   return bips_infection_probability(graph_->degree(u),
                                     infected_neighbor_count(u),
-                                    member_.test(u), options_.process);
+                                    kernel_.in_frontier(u), options_.process);
 }
 
 }  // namespace cobra::core

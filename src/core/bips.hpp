@@ -14,6 +14,19 @@
 //                   then flips one Bernoulli(1-(1-d_A(u)/d(u))^b) per
 //                   candidate; O(d(A_t)) time per round (wins while A_t is
 //                   small and on low-degree graphs).
+//
+// The sampling kernel runs on the shared frontier kernel
+// (core/frontier_kernel.hpp): all per-vertex randomness is keyed by
+// (round key, vertex), so the reference, sparse, dense and auto engines
+// are bit-for-bit identical at a fixed seed and differ only in cost. The
+// dense engine exploits determined outcomes: a vertex whose selections
+// cannot miss (every neighbour infected, and with laziness also itself) is
+// infected without drawing, and one whose selections cannot hit stays
+// uninfected without drawing — so a round costs O(min(d(A_t), d(V \ A_t)))
+// marking plus draws for the undetermined boundary only, instead of
+// O(n·b). The probability kernel's cost is already edge-driven; it uses
+// the same keyed draws (one Bernoulli per candidate) and is engine-
+// independent.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +34,7 @@
 #include <span>
 #include <vector>
 
+#include "core/frontier_kernel.hpp"
 #include "core/process.hpp"
 #include "graph/graph.hpp"
 #include "rng/rng.hpp"
@@ -28,22 +42,39 @@
 
 namespace cobra::core {
 
+/// Execution-kernel selection (identical infection law, different cost).
 enum class BipsKernel {
-  kSampling,
-  kProbability,
+  kSampling,     ///< b keyed draws per vertex with early exit
+  kProbability,  ///< one keyed Bernoulli(infection probability) per candidate
 };
 
+/// BipsProcess configuration.
 struct BipsOptions {
+  /// Branching/laziness/engine shared with COBRA (ProcessOptions::engine
+  /// picks the frontier representation; ProcessOptions::sampler may inject
+  /// a shared destination sampler for the sampling kernel).
   ProcessOptions process;
+  /// Which execution kernel runs the rounds.
   BipsKernel kernel = BipsKernel::kSampling;
+  /// Auto-engine rule for the sampling kernel: a round runs dense when
+  /// min(|A_t|, n - |A_t|) · avg_degree <= dense_edge_budget · n — i.e.
+  /// when the boundary-marking pass is cheaper than the all-vertex scan —
+  /// with the kernel's 2x hysteresis on the way out. Unlike COBRA's
+  /// density rule this fires at BOTH extremes (tiny and near-full infected
+  /// sets), where determined outcomes dominate.
+  double dense_edge_budget = 1.0;
 };
 
+/// Simulator for one BIPS trajectory on a fixed graph.
+///
+/// Not thread-safe; run one instance per replicate (sim/monte_carlo does).
 class BipsProcess {
  public:
   /// The graph must have min degree >= 1 and outlive the process.
   BipsProcess(const graph::Graph& g, graph::VertexId source,
               BipsOptions options = BipsOptions{});
 
+  /// Restarts with A_0 = {source}.
   void reset(graph::VertexId source);
 
   /// Generalisation: several persistent sources (deduplicated, non-empty).
@@ -52,9 +83,12 @@ class BipsProcess {
   /// (monotonicity checked in tests).
   void reset(std::span<const graph::VertexId> sources);
 
-  /// One synchronised round; returns |A_{t+1}|.
+  /// One synchronised round; returns |A_{t+1}|. Consumes exactly one
+  /// 64-bit round key from the stream; every per-vertex choice is derived
+  /// from it through the frontier kernel's keyed draws.
   std::uint32_t step(rng::Rng& rng);
 
+  /// Rounds executed since reset (t of A_t).
   [[nodiscard]] std::uint64_t round() const { return round_; }
 
   /// The (first) persistent source.
@@ -65,28 +99,35 @@ class BipsProcess {
     return sources_;
   }
 
+  /// True iff u is a persistent source.
   [[nodiscard]] bool is_source(graph::VertexId u) const {
     return source_set_.test(u);
   }
 
-  /// Current infected set A_t (unordered, duplicate-free).
+  /// Current infected set A_t (duplicate-free). Order is engine-dependent:
+  /// emission order after sparse rounds, ascending vertex id after dense
+  /// rounds (materialised lazily — prefer infected_count() for the size).
   [[nodiscard]] const std::vector<graph::VertexId>& infected() const {
-    return infected_;
+    return kernel_.frontier_vector();
   }
+
+  /// True iff u is infected in A_t.
   [[nodiscard]] bool is_infected(graph::VertexId u) const {
-    return member_.test(u);
+    return kernel_.in_frontier(u);
   }
+
+  /// |A_t| in O(1).
   [[nodiscard]] std::uint32_t infected_count() const {
-    return static_cast<std::uint32_t>(infected_.size());
+    return kernel_.frontier_size();
   }
 
   /// d(A_t): sum of degrees of infected vertices (the paper's §3 tracker).
-  [[nodiscard]] std::uint64_t infected_degree() const {
-    return infected_degree_;
-  }
+  /// Computed lazily per round — O(|A_t|) on first call after a step.
+  [[nodiscard]] std::uint64_t infected_degree() const;
 
+  /// True iff A_t = V.
   [[nodiscard]] bool fully_infected() const {
-    return infected_.size() == graph_->num_vertices();
+    return infected_count() == graph_->num_vertices();
   }
 
   /// Runs until A_t = V; returns the infection time infec(source), or
@@ -110,27 +151,52 @@ class BipsProcess {
   /// current A_t — the paper's (32)/(33) with optional laziness.
   [[nodiscard]] double infection_probability(graph::VertexId u) const;
 
+  /// The graph this process runs on.
   [[nodiscard]] const graph::Graph& graph() const { return *graph_; }
+
+  /// The options the process was constructed with (engine unresolved).
   [[nodiscard]] const BipsOptions& options() const { return options_; }
 
+  /// The resolved stepping engine (never Engine::kDefault). The
+  /// probability kernel is representation-independent, so for it every
+  /// engine runs the same edge-driven scan.
+  [[nodiscard]] Engine engine() const { return engine_; }
+
+  /// Rounds since reset executed with the dense (boundary-marking) path —
+  /// introspection for tests and the auto-switch benchmarks.
+  [[nodiscard]] std::uint64_t dense_rounds() const {
+    return kernel_.dense_rounds();
+  }
+
  private:
-  void step_sampling(rng::Rng& rng);
-  void step_probability(rng::Rng& rng);
-  void rebuild_membership();
+  /// Builds the kernel configuration for the resolved engine.
+  FrontierKernel::Config kernel_config() const;
+
+  void step_sampling(std::uint64_t round_key);
+  void step_sampling_dense(std::uint64_t round_key);
+  void step_probability(std::uint64_t round_key);
+
+  /// Keyed selection trial of vertex u against the current A_t: true iff
+  /// any of u's fanout selections hits an infected vertex (early exit —
+  /// legal because the draws are counter-based, not sequential).
+  bool catches_infection(std::uint64_t round_key, graph::VertexId u) const;
 
   const graph::Graph* graph_;
   BipsOptions options_;
+  Engine engine_;
+  FrontierKernel kernel_;
   std::vector<graph::VertexId> sources_;
   util::DynamicBitset source_set_;
-
-  std::vector<graph::VertexId> infected_;
-  std::vector<graph::VertexId> next_;
-  util::DynamicBitset member_;
-  std::uint64_t infected_degree_ = 0;
+  double avg_degree_ = 0.0;
   std::uint64_t round_ = 0;
 
-  // Scratch for the probability kernel: d_A(u) accumulated per round with
-  // epoch stamps (no O(n) clear).
+  // Lazy d(A_t) cache (invalidated per round).
+  mutable std::uint64_t infected_degree_ = 0;
+  mutable bool infected_degree_valid_ = false;
+
+  // Scratch for the dense sampling rounds (boundary marking) and the
+  // probability kernel's d_A accumulation (epoch stamps: no O(n) clear).
+  util::DynamicBitset scratch_;
   std::vector<std::uint32_t> da_;
   std::vector<std::uint64_t> da_stamp_;
   std::uint64_t da_epoch_ = 0;

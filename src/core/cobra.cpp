@@ -1,37 +1,34 @@
 #include "core/cobra.hpp"
 
 #include <algorithm>
-#include <bit>
+
+#include "util/assert.hpp"
 
 namespace cobra::core {
+
+FrontierKernel::Config CobraProcess::kernel_config() const {
+  FrontierKernel::Config cfg;
+  cfg.engine = engine_;
+  cfg.draw_hash = options_.draw_hash;
+  cfg.dense_density = options_.dense_density;
+  cfg.laziness = options_.laziness;
+  // The legacy reference engine draws destinations sequentially from the
+  // replicate stream and never needs the alias tables.
+  cfg.build_sampler = engine_ != Engine::kReference;
+  cfg.track_visited = true;
+  cfg.sampler = engine_ != Engine::kReference ? options_.sampler : nullptr;
+  return cfg;
+}
 
 CobraProcess::CobraProcess(const graph::Graph& g, ProcessOptions options)
     : graph_(&g),
       options_(std::move(options)),
-      engine_(resolve_engine(options_.engine)) {
-  options_.validate();
+      engine_((options_.validate(), resolve_engine(options_.engine))),
+      kernel_(g, kernel_config()) {
   COBRA_CHECK_MSG(g.num_vertices() >= 1, "empty graph");
   COBRA_CHECK_MSG(g.num_vertices() == 1 || g.min_degree() >= 1,
                   "COBRA needs every vertex to have a neighbour to push to "
                   "(the single-vertex graph is the one degree-0 exception)");
-  if (engine_ != Engine::kReference) {
-    if (options_.sampler) {
-      COBRA_CHECK_MSG(
-          &options_.sampler->graph() == graph_ &&
-              options_.sampler->laziness() == options_.laziness,
-          "shared NeighborSampler must match the process's graph and "
-          "laziness");
-      sampler_ = options_.sampler;
-    } else {
-      sampler_ = std::make_shared<const NeighborSampler>(g, options_.laziness);
-    }
-    if (engine_ != Engine::kSparse) {
-      frontier_.resize(g.num_vertices());
-      next_frontier_.resize(g.num_vertices());
-    }
-  }
-  stamp_.assign(g.num_vertices(), 0);
-  visited_.resize(g.num_vertices());
   reset(0);
 }
 
@@ -41,24 +38,9 @@ void CobraProcess::reset(graph::VertexId start) {
 }
 
 void CobraProcess::reset(std::span<const graph::VertexId> start) {
-  COBRA_CHECK(!start.empty());
-  ++epoch_;
-  active_.clear();
-  visited_.reset_all();
-  visited_count_ = 0;
+  kernel_.assign(start);
   round_ = 0;
   transmissions_ = 0;
-  dense_mode_ = false;
-  active_valid_ = true;
-  dense_rounds_ = 0;
-  for (const graph::VertexId u : start) {
-    COBRA_CHECK(u < graph_->num_vertices());
-    if (stamp_[u] == epoch_) continue;  // deduplicate
-    stamp_[u] = epoch_;
-    active_.push_back(u);
-    if (visited_.set_and_test(u)) ++visited_count_;
-  }
-  num_active_ = static_cast<std::uint32_t>(active_.size());
 }
 
 std::uint32_t CobraProcess::step(rng::Rng& rng) {
@@ -67,25 +49,15 @@ std::uint32_t CobraProcess::step(rng::Rng& rng) {
   // Fast engines: one round key from the sequential stream; every
   // per-vertex choice below is a pure function of (round_key, vertex), so
   // the frontier representation cannot affect the outcome.
-  const std::uint64_t round_key = rng.next_u64();
-  bool dense = engine_ == Engine::kDense;
-  if (engine_ == Engine::kAuto) {
-    const double threshold =
-        options_.dense_density * static_cast<double>(graph_->num_vertices());
-    // Hysteresis: leave dense mode only below half the entry threshold.
-    dense = static_cast<double>(num_active_) >=
-            (dense_mode_ ? threshold / 2.0 : threshold);
-  }
-  return dense ? step_fast_dense(round_key) : step_fast_sparse(round_key);
+  return step_fast(rng.next_u64());
 }
 
 std::uint32_t CobraProcess::step_reference(rng::Rng& rng) {
-  const std::uint64_t next_epoch = epoch_ + 1;
-  next_.clear();
-  std::uint32_t newly_visited = 0;
+  kernel_.begin_round(0.0);  // kReference: always a sparse round
+  auto sink = kernel_.coalescing_sink();
   const double laziness = options_.laziness;
 
-  for (const graph::VertexId u : active_) {
+  kernel_.for_each_in_frontier([&](graph::VertexId u) {
     const std::uint32_t fanout = draw_fanout(rng);
     transmissions_ += fanout;
     const auto nbrs = graph_->neighbors(u);
@@ -98,122 +70,41 @@ std::uint32_t CobraProcess::step_reference(rng::Rng& rng) {
       } else {
         dest = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
       }
-      if (stamp_[dest] == next_epoch) continue;  // coalesce
-      stamp_[dest] = next_epoch;
-      next_.push_back(dest);
-      if (visited_.set_and_test(dest)) ++newly_visited;
+      sink.emit(dest);
     }
-  }
+  });
 
-  epoch_ = next_epoch;
-  active_.swap(next_);
-  num_active_ = static_cast<std::uint32_t>(active_.size());
-  active_valid_ = true;
-  visited_count_ += newly_visited;
+  const std::uint32_t newly = kernel_.commit(FrontierKernel::Commit::kReplace);
   ++round_;
-  return newly_visited;
+  return newly;
 }
 
-std::uint32_t CobraProcess::step_fast_sparse(std::uint64_t round_key) {
-  if (dense_mode_) to_sparse_mode();
-  const std::uint64_t next_epoch = epoch_ + 1;
-  next_.clear();
-  std::uint32_t newly_visited = 0;
+template <typename Sink>
+void CobraProcess::push_round(std::uint64_t round_key, Sink sink) {
   const Branching& branching = options_.branching;
-  const NeighborSampler& sampler = *sampler_;
-
-  for (const graph::VertexId u : active_) {
-    VertexDraws draws(round_key, u);
-    std::uint32_t fanout = branching.base;
-    if (branching.extra_prob > 0.0 && draws.bernoulli(branching.extra_prob))
-      ++fanout;
-    transmissions_ += fanout;
-    for (std::uint32_t j = 0; j < fanout; ++j) {
-      const graph::VertexId dest = sampler.sample(u, draws.next_word());
-      if (stamp_[dest] == next_epoch) continue;  // coalesce
-      stamp_[dest] = next_epoch;
-      next_.push_back(dest);
-      if (visited_.set_and_test(dest)) ++newly_visited;
-    }
-  }
-
-  epoch_ = next_epoch;
-  active_.swap(next_);
-  num_active_ = static_cast<std::uint32_t>(active_.size());
-  active_valid_ = true;
-  visited_count_ += newly_visited;
-  ++round_;
-  return newly_visited;
-}
-
-std::uint32_t CobraProcess::step_fast_dense(std::uint64_t round_key) {
-  next_frontier_.reset_all();
-  const Branching& branching = options_.branching;
-  const NeighborSampler& sampler = *sampler_;
-
-  const auto push_from = [&](graph::VertexId u) {
-    VertexDraws draws(round_key, u);
+  const NeighborSampler& sampler = kernel_.sampler();
+  kernel_.for_each_in_frontier([&](graph::VertexId u) {
+    VertexDraws draws = kernel_.draws(round_key, u);
     std::uint32_t fanout = branching.base;
     if (branching.extra_prob > 0.0 && draws.bernoulli(branching.extra_prob))
       ++fanout;
     transmissions_ += fanout;
     for (std::uint32_t j = 0; j < fanout; ++j)
-      next_frontier_.set(sampler.sample(u, draws.next_word()));
-  };
-
-  if (dense_mode_) {
-    // Ascending-id scan of the frontier bitset: adjacency reads walk the
-    // CSR arrays front to back, which is what makes this mode fast.
-    frontier_.for_each_set(
-        [&](std::size_t u) { push_from(static_cast<graph::VertexId>(u)); });
-  } else {
-    // Transition round (sparse -> dense): read C_t from the vector, write
-    // C_{t+1} straight into the bitset — no conversion pass needed.
-    for (const graph::VertexId u : active_) push_from(u);
-  }
-
-  // Branch-free visited update: one word-parallel pass merges the new
-  // frontier into the visited set and counts first visits via popcount.
-  std::uint32_t newly_visited = 0;
-  std::uint32_t active_count = 0;
-  const auto& next_words = next_frontier_.words();
-  std::uint64_t* visited_words = visited_.data();
-  for (std::size_t w = 0; w < next_words.size(); ++w) {
-    const std::uint64_t nw = next_words[w];
-    newly_visited +=
-        static_cast<std::uint32_t>(std::popcount(nw & ~visited_words[w]));
-    active_count += static_cast<std::uint32_t>(std::popcount(nw));
-    visited_words[w] |= nw;
-  }
-
-  std::swap(frontier_, next_frontier_);
-  dense_mode_ = true;
-  active_valid_ = false;
-  num_active_ = active_count;
-  visited_count_ += newly_visited;
-  ++dense_rounds_;
-  ++round_;
-  return newly_visited;
-}
-
-void CobraProcess::materialize_active() const {
-  active_.clear();
-  frontier_.for_each_set([this](std::size_t u) {
-    active_.push_back(static_cast<graph::VertexId>(u));
+      sink.emit(sampler.sample(u, draws.next_word()));
   });
-  active_valid_ = true;
 }
 
-void CobraProcess::to_sparse_mode() {
-  if (!active_valid_) materialize_active();
-  ++epoch_;
-  for (const graph::VertexId u : active_) stamp_[u] = epoch_;
-  dense_mode_ = false;
-}
-
-const std::vector<graph::VertexId>& CobraProcess::active() const {
-  if (!active_valid_) materialize_active();
-  return active_;
+std::uint32_t CobraProcess::step_fast(std::uint64_t round_key) {
+  const bool dense =
+      kernel_.begin_round(kernel_.density_score(kernel_.frontier_size()));
+  if (dense) {
+    push_round(round_key, kernel_.dense_sink());
+  } else {
+    push_round(round_key, kernel_.coalescing_sink());
+  }
+  const std::uint32_t newly = kernel_.commit(FrontierKernel::Commit::kReplace);
+  ++round_;
+  return newly;
 }
 
 std::optional<std::uint64_t> CobraProcess::run_until_cover(

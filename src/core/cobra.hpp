@@ -8,13 +8,14 @@
 //
 // cover(u) = min{ T : union of C_0..C_T = V } with C_0 = {u}.
 //
-// The per-round work is delegated to one of several stepping engines
-// (core::Engine, core/step_engine.hpp): the reference engine is the
-// original sequential loop; the fast engines share a counter-based
-// randomness protocol and add a dense bitset frontier with branch-free
-// visited updates plus alias-table destination sampling. See
-// docs/ARCHITECTURE.md ("Stepping engines") for the design and
-// tests/test_cobra_engines.cpp for the equivalence guarantees.
+// The per-round work runs on the process-agnostic frontier kernel
+// (core::FrontierKernel, core/frontier_kernel.hpp), which owns the
+// sparse/dense frontier representations, the coalescing rule, the
+// auto-switch and the visited accumulator. The engine (core::Engine)
+// selects the representation; COBRA's reference engine additionally keeps
+// the original sequential draw protocol. See docs/ARCHITECTURE.md
+// ("Frontier kernel") for the design and tests/test_cobra_engines.cpp for
+// the equivalence guarantees.
 #pragma once
 
 #include <cstdint>
@@ -23,11 +24,10 @@
 #include <span>
 #include <vector>
 
+#include "core/frontier_kernel.hpp"
 #include "core/process.hpp"
-#include "core/step_engine.hpp"
 #include "graph/graph.hpp"
 #include "rng/rng.hpp"
-#include "util/bitset.hpp"
 
 namespace cobra::core {
 
@@ -53,7 +53,7 @@ class CobraProcess {
   /// Executes one synchronised round. Returns the number of first-time
   /// visits this round. The reference engine consumes the stream draw by
   /// draw; the fast engines consume exactly one 64-bit round key per call
-  /// and derive all per-vertex randomness from it (see step_engine.hpp).
+  /// and derive all per-vertex randomness from it (frontier_kernel.hpp).
   std::uint32_t step(rng::Rng& rng);
 
   /// Rounds executed since reset (t of C_t).
@@ -63,27 +63,31 @@ class CobraProcess {
   /// arrival order under the reference/sparse engines, ascending vertex id
   /// when the dense frontier produced the round. Materialised lazily after
   /// dense rounds; prefer num_active() when only the size is needed.
-  [[nodiscard]] const std::vector<graph::VertexId>& active() const;
+  [[nodiscard]] const std::vector<graph::VertexId>& active() const {
+    return kernel_.frontier_vector();
+  }
 
   /// |C_t| without materialising the vector (O(1)).
-  [[nodiscard]] std::uint32_t num_active() const { return num_active_; }
+  [[nodiscard]] std::uint32_t num_active() const {
+    return kernel_.frontier_size();
+  }
 
   /// True iff u holds a particle in C_t.
   [[nodiscard]] bool is_active(graph::VertexId u) const {
-    return dense_mode_ ? frontier_.test(u) : stamp_[u] == epoch_;
+    return kernel_.in_frontier(u);
   }
 
   /// Vertices visited so far (|C_0 ∪ ... ∪ C_t|).
-  [[nodiscard]] std::uint32_t num_visited() const { return visited_count_; }
+  [[nodiscard]] std::uint32_t num_visited() const {
+    return kernel_.num_visited();
+  }
 
   /// True iff every vertex has been visited.
-  [[nodiscard]] bool all_visited() const {
-    return visited_count_ == graph_->num_vertices();
-  }
+  [[nodiscard]] bool all_visited() const { return kernel_.all_visited(); }
 
   /// True iff u appeared in some C_s, s <= t.
   [[nodiscard]] bool is_visited(graph::VertexId u) const {
-    return visited_.test(u);
+    return kernel_.is_visited(u);
   }
 
   /// Total particle transmissions since reset (the process's message cost;
@@ -112,7 +116,9 @@ class CobraProcess {
 
   /// Rounds since reset executed with the dense (bitset) frontier —
   /// introspection for tests and the auto-switch benchmarks.
-  [[nodiscard]] std::uint64_t dense_rounds() const { return dense_rounds_; }
+  [[nodiscard]] std::uint64_t dense_rounds() const {
+    return kernel_.dense_rounds();
+  }
 
  private:
   /// Number of selections this vertex makes this round (base [+1]).
@@ -122,41 +128,20 @@ class CobraProcess {
                                                                          : 0u);
   }
 
+  /// Builds the kernel configuration for the resolved engine.
+  FrontierKernel::Config kernel_config() const;
+
   std::uint32_t step_reference(rng::Rng& rng);
-  std::uint32_t step_fast_sparse(std::uint64_t round_key);
-  std::uint32_t step_fast_dense(std::uint64_t round_key);
+  std::uint32_t step_fast(std::uint64_t round_key);
 
-  /// Rebuilds active_ (ascending) from the dense frontier when stale.
-  void materialize_active() const;
-
-  /// Leaves dense mode: restores the sparse invariants (active_ valid,
-  /// stamp_[u] == epoch_ exactly for u in C_t).
-  void to_sparse_mode();
+  /// One keyed round over the frontier into `sink` (sparse or dense).
+  template <typename Sink>
+  void push_round(std::uint64_t round_key, Sink sink);
 
   const graph::Graph* graph_;
   ProcessOptions options_;
   Engine engine_;
-  std::shared_ptr<const NeighborSampler> sampler_;  // fast engines only
-
-  // Sparse frontier: C_t as a vector with epoch-stamped membership
-  // (stamp_[u] == epoch_ means u in C_t; avoids an O(n) clear per round).
-  // active_ doubles as the lazily materialised view of the dense frontier,
-  // hence mutable.
-  mutable std::vector<graph::VertexId> active_;
-  std::vector<graph::VertexId> next_;
-  std::vector<std::uint64_t> stamp_;
-  std::uint64_t epoch_ = 0;
-
-  // Dense frontier: C_t as a bitset (valid iff dense_mode_).
-  util::DynamicBitset frontier_;
-  util::DynamicBitset next_frontier_;
-  bool dense_mode_ = false;
-  mutable bool active_valid_ = true;  // active_ mirrors C_t
-  std::uint32_t num_active_ = 0;
-  std::uint64_t dense_rounds_ = 0;
-
-  util::DynamicBitset visited_;
-  std::uint32_t visited_count_ = 0;
+  FrontierKernel kernel_;
   std::uint64_t round_ = 0;
   std::uint64_t transmissions_ = 0;
 };

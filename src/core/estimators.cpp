@@ -11,9 +11,10 @@ namespace {
 
 constexpr double kTimeoutSentinel = -1.0;
 
-// Resolves the stepping engine once per estimate and, for the fast
-// engines, builds the degree-bucketed alias tables a single time so every
-// replicate (and thread) shares them instead of rebuilding per process.
+// Resolves the stepping engine once per estimate and builds the
+// degree-bucketed alias tables a single time so every replicate (and
+// thread) shares them instead of rebuilding per process. COBRA's legacy
+// reference engine draws sequentially and needs no tables.
 ProcessOptions share_sampler(const graph::Graph& g,
                              const ProcessOptions& options) {
   ProcessOptions resolved = options;
@@ -21,6 +22,21 @@ ProcessOptions share_sampler(const graph::Graph& g,
   if (resolved.engine != Engine::kReference && resolved.sampler == nullptr)
     resolved.sampler =
         std::make_shared<const NeighborSampler>(g, resolved.laziness);
+  return resolved;
+}
+
+// BIPS counterpart: every engine of the sampling kernel consumes the
+// shared sampler (the keyed protocol covers reference too); the
+// probability kernel samples no destinations.
+BipsOptions share_bips_sampler(const graph::Graph& g,
+                               const BipsOptions& options) {
+  BipsOptions resolved = options;
+  resolved.process.engine = resolve_engine(options.process.engine);
+  if (resolved.kernel == BipsKernel::kSampling &&
+      resolved.process.sampler == nullptr) {
+    resolved.process.sampler = std::make_shared<const NeighborSampler>(
+        g, resolved.process.laziness);
+  }
   return resolved;
 }
 
@@ -89,10 +105,11 @@ TimeSamples estimate_bips_infection(const graph::Graph& g,
                                     std::uint64_t seed,
                                     std::uint64_t max_rounds) {
   COBRA_CHECK(replicates >= 1);
+  const BipsOptions shared = share_bips_sampler(g, options);
   std::vector<double> rounds(replicates, 0.0);
   sim::parallel_replicates(replicates, seed,
                            [&](std::uint64_t i, rng::Rng& rng) {
-    BipsProcess process(g, source, options);
+    BipsProcess process(g, source, shared);
     const auto full = process.run_until_full(rng, max_rounds);
     rounds[i] =
         full.has_value() ? static_cast<double>(*full) : kTimeoutSentinel;
@@ -107,11 +124,12 @@ std::vector<double> average_bips_growth(const graph::Graph& g,
                                         std::uint64_t replicates,
                                         std::uint64_t seed) {
   COBRA_CHECK(replicates >= 1);
+  const BipsOptions shared = share_bips_sampler(g, options);
   std::vector<double> acc(rounds + 1, 0.0);
   std::vector<std::vector<double>> per_rep(replicates);
   sim::parallel_replicates(replicates, seed,
                            [&](std::uint64_t i, rng::Rng& rng) {
-    BipsProcess process(g, source, options);
+    BipsProcess process(g, source, shared);
     std::vector<double> sizes;
     sizes.reserve(rounds + 1);
     sizes.push_back(static_cast<double>(process.infected_count()));

@@ -1,0 +1,238 @@
+#include "core/frontier_kernel.hpp"
+
+#include <bit>
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/env.hpp"
+
+namespace cobra::core {
+
+NeighborSampler::NeighborSampler(const graph::Graph& g, double laziness)
+    : graph_(&g), laziness_(laziness) {
+  COBRA_CHECK(g.num_vertices() >= 1);
+  COBRA_CHECK(laziness >= 0.0 && laziness < 1.0);
+
+  bucket_of_degree_.assign(g.max_degree() + 1, 0u);
+  std::vector<bool> seen(g.max_degree() + 1, false);
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u)
+    seen[g.degree(u)] = true;
+
+  for (std::uint32_t d = 0; d <= g.max_degree(); ++d) {
+    if (!seen[d]) continue;
+    bucket_of_degree_[d] = static_cast<std::uint32_t>(tables_.size());
+    std::vector<double> weights;
+    if (d == 0) {
+      // Single-vertex graph: the only "destination" is staying put.
+      weights.assign(1, 1.0);
+    } else {
+      weights.assign(d, (1.0 - laziness_) / static_cast<double>(d));
+      if (laziness_ > 0.0) weights.push_back(laziness_);
+    }
+    tables_.emplace_back(weights);
+  }
+}
+
+const char* engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::kDefault: return "default";
+    case Engine::kReference: return "reference";
+    case Engine::kSparse: return "sparse";
+    case Engine::kDense: return "dense";
+    case Engine::kAuto: return "auto";
+  }
+  return "invalid";
+}
+
+std::optional<Engine> parse_engine(std::string_view name) {
+  if (name == "reference") return Engine::kReference;
+  if (name == "sparse") return Engine::kSparse;
+  if (name == "dense") return Engine::kDense;
+  if (name == "auto" || name == "fast") return Engine::kAuto;
+  return std::nullopt;
+}
+
+Engine resolve_engine(Engine engine) {
+  if (engine != Engine::kDefault) return engine;
+  const std::string session = util::engine();
+  const auto parsed = parse_engine(session);
+  COBRA_CHECK_MSG(parsed.has_value(),
+                  "COBRA_ENGINE/--engine must be one of "
+                  "reference|sparse|dense|auto (got \"" +
+                      session + "\")");
+  return *parsed;
+}
+
+const char* draw_hash_name(DrawHash hash) {
+  switch (hash) {
+    case DrawHash::kDefault: return "default";
+    case DrawHash::kMix64: return "mix64";
+    case DrawHash::kPhilox: return "philox";
+  }
+  return "invalid";
+}
+
+DrawHash resolve_draw_hash(DrawHash hash) {
+  return hash == DrawHash::kDefault ? DrawHash::kMix64 : hash;
+}
+
+FrontierKernel::FrontierKernel(const graph::Graph& g, const Config& config)
+    : graph_(&g),
+      engine_(config.engine),
+      draw_hash_(resolve_draw_hash(config.draw_hash)),
+      dense_density_(config.dense_density),
+      track_visited_(config.track_visited) {
+  COBRA_CHECK_MSG(engine_ != Engine::kDefault,
+                  "FrontierKernel needs a resolved engine "
+                  "(run core::resolve_engine first)");
+  COBRA_CHECK(g.num_vertices() >= 1);
+  if (config.sampler) {
+    COBRA_CHECK_MSG(&config.sampler->graph() == graph_ &&
+                        config.sampler->laziness() == config.laziness,
+                    "shared NeighborSampler must match the process's graph "
+                    "and laziness");
+    sampler_ = config.sampler;
+  } else if (config.build_sampler) {
+    sampler_ = std::make_shared<const NeighborSampler>(g, config.laziness);
+  }
+  stamp_.assign(g.num_vertices(), 0);
+  if (track_visited_) visited_.resize(g.num_vertices());
+}
+
+void FrontierKernel::assign(std::span<const graph::VertexId> starts) {
+  COBRA_CHECK(!starts.empty());
+  ++epoch_;
+  active_.clear();
+  if (track_visited_) visited_.reset_all();
+  visited_count_ = 0;
+  dense_repr_ = false;
+  active_valid_ = true;
+  dense_rounds_ = 0;
+  for (const graph::VertexId u : starts) {
+    COBRA_CHECK(u < graph_->num_vertices());
+    if (stamp_[u] == epoch_) continue;  // deduplicate
+    stamp_[u] = epoch_;
+    active_.push_back(u);
+    if (track_visited_ && visited_.set_and_test(u)) ++visited_count_;
+  }
+  num_active_ = static_cast<std::uint32_t>(active_.size());
+}
+
+const std::vector<graph::VertexId>& FrontierKernel::frontier_vector() const {
+  if (!active_valid_) materialize_active();
+  return active_;
+}
+
+void FrontierKernel::materialize_active() const {
+  active_.clear();
+  frontier_.for_each_set([this](std::size_t u) {
+    active_.push_back(static_cast<graph::VertexId>(u));
+  });
+  active_valid_ = true;
+}
+
+void FrontierKernel::to_sparse_repr() {
+  if (!active_valid_) materialize_active();
+  ++epoch_;
+  for (const graph::VertexId u : active_) stamp_[u] = epoch_;
+  dense_repr_ = false;
+}
+
+void FrontierKernel::ensure_bitsets() {
+  if (frontier_.size() != graph_->num_vertices()) {
+    frontier_.resize(graph_->num_vertices());
+    next_frontier_.resize(graph_->num_vertices());
+  }
+}
+
+double FrontierKernel::density_score(std::uint32_t count) const {
+  const double threshold =
+      dense_density_ * static_cast<double>(graph_->num_vertices());
+  if (threshold <= 0.0) return 2.0;  // dense_density 0: always dense
+  return static_cast<double>(count) / threshold;
+}
+
+bool FrontierKernel::begin_round(double score) {
+  bool dense = engine_ == Engine::kDense;
+  if (engine_ == Engine::kAuto)
+    dense = score >= (dense_repr_ ? 0.5 : 1.0);
+  round_dense_ = dense;
+  round_stamped_ = false;
+  round_newly_ = 0;
+  if (dense) {
+    ensure_bitsets();
+    next_frontier_.reset_all();
+  } else {
+    if (dense_repr_) to_sparse_repr();
+    next_.clear();
+  }
+  return dense;
+}
+
+std::uint32_t FrontierKernel::commit(Commit policy) {
+  if (round_dense_) {
+    // Branch-free word-parallel pass: merge the next frontier into the
+    // visited set, count first visits and the new frontier size via
+    // popcount.
+    std::uint32_t newly = 0;
+    std::uint32_t active_count = 0;
+    const auto& next_words = next_frontier_.words();
+    if (track_visited_) {
+      std::uint64_t* visited_words = visited_.data();
+      for (std::size_t w = 0; w < next_words.size(); ++w) {
+        const std::uint64_t nw = next_words[w];
+        newly += static_cast<std::uint32_t>(
+            std::popcount(nw & ~visited_words[w]));
+        active_count += static_cast<std::uint32_t>(std::popcount(nw));
+        visited_words[w] |= nw;
+      }
+    } else {
+      for (const std::uint64_t nw : next_words)
+        active_count += static_cast<std::uint32_t>(std::popcount(nw));
+    }
+    if (policy == Commit::kReplace) {
+      std::swap(frontier_, next_frontier_);
+      num_active_ = active_count;
+    } else {
+      // A dense accumulate round entered from the sparse representation
+      // must first materialise the current set into the bitset.
+      if (!dense_repr_) {
+        frontier_.reset_all();
+        for (const graph::VertexId u : active_) frontier_.set(u);
+      }
+      std::uint64_t* frontier_words = frontier_.data();
+      std::uint32_t added = 0;
+      for (std::size_t w = 0; w < next_words.size(); ++w) {
+        added += static_cast<std::uint32_t>(
+            std::popcount(next_words[w] & ~frontier_words[w]));
+        frontier_words[w] |= next_words[w];
+      }
+      num_active_ += added;
+    }
+    dense_repr_ = true;
+    active_valid_ = false;
+    visited_count_ += newly;
+    ++dense_rounds_;
+    return newly;
+  }
+
+  // Sparse round.
+  if (policy == Commit::kReplace) {
+    ++epoch_;
+    // CoalescingSink already stamped next_ with the new epoch; other sinks
+    // leave stamping to the commit.
+    active_.swap(next_);
+    if (!round_stamped_)
+      for (const graph::VertexId u : active_) stamp_[u] = epoch_;
+    num_active_ = static_cast<std::uint32_t>(active_.size());
+  } else {
+    for (const graph::VertexId u : next_) stamp_[u] = epoch_;
+    active_.insert(active_.end(), next_.begin(), next_.end());
+    num_active_ += static_cast<std::uint32_t>(next_.size());
+  }
+  active_valid_ = true;
+  visited_count_ += round_newly_;
+  return round_newly_;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,480 @@
+// The process-agnostic frontier kernel (docs/ARCHITECTURE.md, "Frontier
+// kernel"): the engine machinery shared by every spreading process in the
+// library — COBRA, BIPS and the baselines (flooding, push/pull gossip,
+// random walks).
+//
+// Three building blocks, all engine-order-invariant by construction:
+//
+//   * NeighborSampler — degree-bucketed alias tables (rng/discrete) mapping
+//     one 64-bit word to a push destination in O(1): each neighbour of u
+//     with probability (1 - laziness)/deg(u), u itself with probability
+//     `laziness`. One table per distinct degree, built once per graph and
+//     shared by every vertex of that degree, across replicates and threads
+//     (sampling is const and lock-free).
+//
+//   * VertexDraws — a counter-based randomness stream for one (round,
+//     entity) pair, where the entity is a vertex id (set processes) or a
+//     particle index (walks). Word k is a pure function of (round_key,
+//     entity, k) through the selected DrawHash — the cheap 2-round
+//     SplitMix64 mix by default, Philox4x32 as the conservative fallback —
+//     so engines may process entities in any order, or any frontier
+//     representation, and still make identical random choices. This is
+//     what makes the engines of one process bit-for-bit equivalent at a
+//     fixed seed.
+//
+//   * FrontierKernel — the dual sparse/dense frontier state machine: a
+//     vector frontier with epoch-stamped O(1) membership, a bitset
+//     frontier with word-parallel commit, the auto density switch with 2x
+//     hysteresis, and the visited accumulator with branch-free popcount
+//     merges. Processes express only their per-entity policy (what an
+//     active vertex does with its draws); the kernel owns representation,
+//     deduplication, mode transitions and first-visit counting.
+//
+// Round protocol of a kernel process (see CobraProcess::step for the
+// canonical use):
+//   1. draw one 64-bit round key from the replicate stream;
+//   2. dense = begin_round(score)  — pick this round's representation;
+//   3. iterate (for_each_in_frontier / for_each_outside_frontier / a
+//      process-owned entity range), derive randomness via draws(key,
+//      entity), and emit next-frontier vertices into the matching sink;
+//   4. commit(kReplace | kAccumulate) — swap or grow the frontier, merge
+//      the visited set, return the number of first visits.
+//
+// Sink flavours (sparse rounds; dense rounds always use DenseSink):
+//   * CoalescingSink — deduplicates within the round via epoch stamps
+//     (COBRA's coalescing rule) and counts first visits;
+//   * GrowthSink     — deduplicates against the visited set (monotone
+//     processes: flooding layers, gossip);
+//   * PlainSink      — no deduplication; for processes that emit each
+//     vertex at most once per round by construction (BIPS).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/process.hpp"
+#include "graph/graph.hpp"
+#include "rng/discrete.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "util/bitset.hpp"
+
+namespace cobra::core {
+
+/// O(1) push-destination sampler with degree-bucketed alias tables.
+///
+/// Immutable after construction; safe to share across threads and
+/// replicates via ProcessOptions::sampler. A vertex of degree 0 (only legal
+/// in the single-vertex graph) always "pushes" to itself.
+class NeighborSampler {
+ public:
+  /// Builds one alias table per distinct degree of `g`. With laziness > 0
+  /// each table has deg + 1 slots (slot deg = stay put); with laziness 0 it
+  /// degenerates to a uniform slot choice. The sampler keeps a reference to
+  /// the graph, which must outlive it.
+  NeighborSampler(const graph::Graph& g, double laziness);
+
+  /// Maps a uniform 64-bit `word` to the destination of one push from `u`.
+  /// Exact up to the alias table's 2^-32 fixed-point quantisation — far
+  /// below Monte-Carlo noise, and identical across engines by design.
+  [[nodiscard]] graph::VertexId sample(graph::VertexId u,
+                                       std::uint64_t word) const {
+    const std::uint32_t degree = graph_->degree(u);
+    const rng::AliasTable& table = tables_[bucket_of_degree_[degree]];
+    const std::uint32_t slot = table.sample_word(word);
+    return slot < degree ? graph_->neighbor(u, slot) : u;
+  }
+
+  /// The laziness the tables were built for (validated against
+  /// ProcessOptions::laziness when a shared sampler is injected).
+  [[nodiscard]] double laziness() const { return laziness_; }
+
+  /// The graph the tables were built for.
+  [[nodiscard]] const graph::Graph& graph() const { return *graph_; }
+
+  /// Number of distinct degree buckets (introspection/tests).
+  [[nodiscard]] std::size_t num_buckets() const { return tables_.size(); }
+
+ private:
+  const graph::Graph* graph_;
+  double laziness_;
+  std::vector<std::uint32_t> bucket_of_degree_;  // degree -> index in tables_
+  std::vector<rng::AliasTable> tables_;
+};
+
+/// Counter-based per-entity randomness for one round of a kernel process.
+///
+/// Produces an unlimited 64-bit word stream that is a pure function of
+/// (round_key, entity, word index) through the selected DrawHash:
+///   * kMix64  — word k = mix64(base + k·C2) with
+///               base = mix64(round_key + (entity+1)·C1): two SplitMix64
+///               finalizer rounds from inputs to output, Weyl-spaced in
+///               both the entity and the word index (the same structure
+///               the SplitMix64 generator itself uses);
+///   * kPhilox — philox4x32({entity, block, salt}, round_key), two words
+///               per evaluation (the PR-3 protocol, kept for A/B).
+class VertexDraws {
+ public:
+  /// Binds the stream to this round's key and one entity (vertex id or
+  /// particle index). `hash` must be resolved (not DrawHash::kDefault).
+  VertexDraws(DrawHash hash, std::uint64_t round_key, std::uint32_t entity)
+      : hash_(hash) {
+    if (hash == DrawHash::kMix64) {
+      base_ = rng::mix64(round_key +
+                         (static_cast<std::uint64_t>(entity) + 1) *
+                             0x9E3779B97F4A7C15ull);
+    } else {
+      key_ = {static_cast<std::uint32_t>(round_key),
+              static_cast<std::uint32_t>(round_key >> 32)};
+      entity_ = entity;
+    }
+  }
+
+  /// The next 64-bit word of this entity's round stream.
+  std::uint64_t next_word() {
+    if (hash_ == DrawHash::kMix64)
+      return rng::mix64(base_ + (counter_++) * 0xD1B54A32D192ED03ull);
+    if (buffered_ == 0) refill();
+    return buffer_[--buffered_];
+  }
+
+  /// Uniform double in [0, 1) with 53 bits (same mapping as rng::Rng).
+  double uniform01() {
+    return static_cast<double>(next_word() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial; consumes one word unless p <= 0 or p >= 1 (the same
+  /// short-circuits as rng::Rng::bernoulli).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+ private:
+  void refill() {
+    // Distinct salts keep this keyed use of Philox disjoint from the
+    // replicate-stream derivation in rng/stream.hpp.
+    const rng::PhiloxBlock out = rng::philox4x32(
+        {entity_, block_++, 0x0C0BFA57u, 0x5EED1E55u}, key_);
+    buffer_[1] = (static_cast<std::uint64_t>(out.x[1]) << 32) | out.x[0];
+    buffer_[0] = (static_cast<std::uint64_t>(out.x[3]) << 32) | out.x[2];
+    buffered_ = 2;
+  }
+
+  DrawHash hash_;
+  // kMix64 state.
+  std::uint64_t base_ = 0;
+  std::uint64_t counter_ = 0;
+  // kPhilox state.
+  std::array<std::uint32_t, 2> key_{};
+  std::uint32_t entity_ = 0;
+  std::uint32_t block_ = 0;
+  std::array<std::uint64_t, 2> buffer_{};
+  int buffered_ = 0;
+};
+
+/// The dual sparse/dense frontier state machine shared by every spreading
+/// process (see the file comment for the round protocol).
+///
+/// Not thread-safe; one kernel per process instance, one process per
+/// replicate (sim/monte_carlo does this).
+class FrontierKernel {
+ public:
+  /// Construction parameters; `engine` must be resolved (not kDefault —
+  /// callers run core::resolve_engine first so the session default is
+  /// applied exactly once).
+  struct Config {
+    /// Resolved stepping engine (kReference behaves like kSparse at the
+    /// representation level: the kernel never picks a dense round for it).
+    Engine engine = Engine::kAuto;
+    /// Keyed hash for draws(); resolved at kernel construction.
+    DrawHash draw_hash = DrawHash::kDefault;
+    /// kAuto switches to the dense frontier when begin_round's score
+    /// reaches 1 and back below 0.5 (2x hysteresis); processes compute the
+    /// score, typically via density_score().
+    double dense_density = 1.0 / 32.0;
+    /// Laziness the sampler is built with (when the kernel builds one).
+    double laziness = 0.0;
+    /// Build a NeighborSampler when none is shared. Processes that never
+    /// sample destinations (flooding) or draw sequentially (COBRA's legacy
+    /// reference engine) skip the construction cost.
+    bool build_sampler = true;
+    /// Track the first-visit accumulator (visited set + count). BIPS turns
+    /// this off: its infected set is not monotone and full infection is
+    /// detected from the frontier size alone.
+    bool track_visited = true;
+    /// Optional pre-built sampler shared across replicates; must match the
+    /// kernel's graph and laziness.
+    std::shared_ptr<const NeighborSampler> sampler;
+  };
+
+  /// The graph must outlive the kernel. Throws util::CheckError when a
+  /// shared sampler does not match the graph/laziness.
+  FrontierKernel(const graph::Graph& g, const Config& config);
+
+  /// The graph the kernel walks on.
+  [[nodiscard]] const graph::Graph& graph() const { return *graph_; }
+
+  /// The resolved stepping engine.
+  [[nodiscard]] Engine engine() const { return engine_; }
+
+  /// The resolved draw hash feeding draws().
+  [[nodiscard]] DrawHash draw_hash() const { return draw_hash_; }
+
+  /// The destination sampler (only valid when built or shared).
+  [[nodiscard]] const NeighborSampler& sampler() const { return *sampler_; }
+
+  /// The shareable sampler handle (null when build_sampler was off and no
+  /// sampler was shared).
+  [[nodiscard]] std::shared_ptr<const NeighborSampler> shared_sampler()
+      const {
+    return sampler_;
+  }
+
+  /// The keyed word stream of `entity` for the round keyed by `round_key`.
+  [[nodiscard]] VertexDraws draws(std::uint64_t round_key,
+                                  std::uint32_t entity) const {
+    return VertexDraws(draw_hash_, round_key, entity);
+  }
+
+  // --- frontier lifecycle ------------------------------------------------
+
+  /// Resets the kernel: frontier = deduplicated `starts` (sparse
+  /// representation), visited = starts (when tracked), dense round counter
+  /// cleared.
+  void assign(std::span<const graph::VertexId> starts);
+
+  /// |frontier| in O(1).
+  [[nodiscard]] std::uint32_t frontier_size() const { return num_active_; }
+
+  /// True iff u is in the current frontier (O(1) in either
+  /// representation).
+  [[nodiscard]] bool in_frontier(graph::VertexId u) const {
+    return dense_repr_ ? frontier_.test(u) : stamp_[u] == epoch_;
+  }
+
+  /// The current frontier as a vector. Order is representation-dependent:
+  /// insertion order after sparse rounds, ascending vertex id when the
+  /// dense bitset produced it (materialised lazily — prefer
+  /// frontier_size() when only the size is needed).
+  [[nodiscard]] const std::vector<graph::VertexId>& frontier_vector() const;
+
+  /// Calls fn(u) for every frontier vertex: insertion order in the sparse
+  /// representation, ascending id in the dense one.
+  template <typename Fn>
+  void for_each_in_frontier(Fn&& fn) const {
+    if (dense_repr_) {
+      frontier_.for_each_set(
+          [&](std::size_t u) { fn(static_cast<graph::VertexId>(u)); });
+    } else {
+      for (const graph::VertexId u : active_) fn(u);
+    }
+  }
+
+  /// Calls fn(u) for every vertex NOT in the frontier, ascending. Dense
+  /// representation scans complement words (O(n/64 + output)); sparse
+  /// falls back to a full stamp scan (O(n)) — pull-style processes switch
+  /// to dense precisely to make this cheap.
+  template <typename Fn>
+  void for_each_outside_frontier(Fn&& fn) const {
+    const std::size_t n = graph_->num_vertices();
+    if (dense_repr_) {
+      const auto& words = frontier_.words();
+      for (std::size_t w = 0; w < words.size(); ++w) {
+        std::uint64_t bits = ~words[w];
+        if ((w << 6) + 64 > n) bits &= (1ull << (n & 63)) - 1;  // tail
+        while (bits != 0) {
+          const auto tz = static_cast<std::size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          fn(static_cast<graph::VertexId>((w << 6) + tz));
+        }
+      }
+    } else {
+      for (graph::VertexId u = 0; u < n; ++u)
+        if (stamp_[u] != epoch_) fn(u);
+    }
+  }
+
+  /// True iff the current frontier lives in the dense (bitset)
+  /// representation.
+  [[nodiscard]] bool dense_mode() const { return dense_repr_; }
+
+  /// Rounds committed with the dense representation since assign() —
+  /// introspection for tests and the auto-switch benchmarks.
+  [[nodiscard]] std::uint64_t dense_rounds() const { return dense_rounds_; }
+
+  // --- visited accumulator -----------------------------------------------
+
+  /// True iff u was ever in a committed frontier (requires track_visited).
+  [[nodiscard]] bool is_visited(graph::VertexId u) const {
+    return visited_.test(u);
+  }
+
+  /// Number of distinct vertices ever in a frontier.
+  [[nodiscard]] std::uint32_t num_visited() const { return visited_count_; }
+
+  /// True iff every vertex has been visited.
+  [[nodiscard]] bool all_visited() const {
+    return visited_count_ == graph_->num_vertices();
+  }
+
+  // --- round transaction -------------------------------------------------
+
+  /// The auto-switch score for a frontier of `count` vertices: count /
+  /// (dense_density · n), the rule COBRA uses. Processes with a different
+  /// cost model (BIPS) pass their own score to begin_round.
+  [[nodiscard]] double density_score(std::uint32_t count) const;
+
+  /// Starts a round and returns true when it runs dense: always for
+  /// kDense, never for kReference/kSparse, and for kAuto when `score`
+  /// reaches 1 (entry) or stays above 0.5 while already dense (the 2x
+  /// hysteresis that prevents representation thrash). Prepares the
+  /// matching next-frontier buffer; emit only into the matching sink
+  /// flavour until commit().
+  bool begin_round(double score);
+
+  /// Sparse-round sink with COBRA's coalescing rule: at most one copy of a
+  /// vertex per round (epoch-stamp deduplication), first visits counted at
+  /// emit time.
+  class CoalescingSink {
+   public:
+    /// Adds v to the next frontier unless it already coalesced this round.
+    void emit(graph::VertexId v) {
+      if (k_->stamp_[v] == k_->epoch_ + 1) return;
+      k_->stamp_[v] = k_->epoch_ + 1;
+      k_->next_.push_back(v);
+      if (k_->track_visited_ && k_->visited_.set_and_test(v))
+        ++k_->round_newly_;
+    }
+
+   private:
+    friend class FrontierKernel;
+    explicit CoalescingSink(FrontierKernel* k) : k_(k) {}
+    FrontierKernel* k_;
+  };
+
+  /// Sparse-round sink for monotone processes: only never-visited vertices
+  /// enter the next frontier (deduplication against the visited set).
+  class GrowthSink {
+   public:
+    /// Adds v to the next frontier iff it was never visited before.
+    void emit(graph::VertexId v) {
+      if (!k_->visited_.set_and_test(v)) return;
+      ++k_->round_newly_;
+      k_->next_.push_back(v);
+    }
+
+   private:
+    friend class FrontierKernel;
+    explicit GrowthSink(FrontierKernel* k) : k_(k) {}
+    FrontierKernel* k_;
+  };
+
+  /// Sparse-round sink with no deduplication, for processes that emit each
+  /// vertex at most once per round by construction (BIPS iterates every
+  /// vertex exactly once).
+  class PlainSink {
+   public:
+    /// Adds v to the next frontier unconditionally.
+    void emit(graph::VertexId v) { k_->next_.push_back(v); }
+
+   private:
+    friend class FrontierKernel;
+    explicit PlainSink(FrontierKernel* k) : k_(k) {}
+    FrontierKernel* k_;
+  };
+
+  /// Dense-round sink: sets the vertex's bit in the next-frontier bitset
+  /// (idempotent — the bitset is the deduplication).
+  class DenseSink {
+   public:
+    /// Marks v in the next frontier.
+    void emit(graph::VertexId v) { k_->next_frontier_.set(v); }
+
+   private:
+    friend class FrontierKernel;
+    explicit DenseSink(FrontierKernel* k) : k_(k) {}
+    FrontierKernel* k_;
+  };
+
+  /// The coalescing sink for the in-flight sparse round.
+  [[nodiscard]] CoalescingSink coalescing_sink() {
+    round_stamped_ = true;
+    return CoalescingSink(this);
+  }
+
+  /// The growth sink for the in-flight sparse round.
+  [[nodiscard]] GrowthSink growth_sink() { return GrowthSink(this); }
+
+  /// The plain sink for the in-flight sparse round.
+  [[nodiscard]] PlainSink plain_sink() { return PlainSink(this); }
+
+  /// The dense sink for the in-flight dense round.
+  [[nodiscard]] DenseSink dense_sink() { return DenseSink(this); }
+
+  /// Mutable word storage of the next-frontier bitset for word-parallel
+  /// writers (the dense BIPS round initialises whole complement words in
+  /// one pass). Only valid during a dense round; callers must keep bits at
+  /// positions >= n clear, like util::DynamicBitset::data().
+  [[nodiscard]] std::uint64_t* next_words() { return next_frontier_.data(); }
+
+  /// What commit() does with the next frontier.
+  enum class Commit : std::uint8_t {
+    kReplace,     ///< frontier = next (transient frontiers: COBRA, BIPS)
+    kAccumulate,  ///< frontier |= next (monotone sets: gossip)
+  };
+
+  /// Ends the round: installs the next frontier per `policy`, merges it
+  /// into the visited set (word-parallel with popcount in dense rounds)
+  /// and returns the number of first visits this round (0 when visited
+  /// tracking is off).
+  std::uint32_t commit(Commit policy);
+
+ private:
+  /// Rebuilds active_ (ascending) from the dense frontier when stale.
+  void materialize_active() const;
+
+  /// Leaves the dense representation: restores the sparse invariants
+  /// (active_ valid, stamp_[u] == epoch_ exactly for frontier vertices).
+  void to_sparse_repr();
+
+  /// Sizes the dense bitsets on first use (sparse-only runs never pay).
+  void ensure_bitsets();
+
+  const graph::Graph* graph_;
+  Engine engine_;
+  DrawHash draw_hash_;
+  double dense_density_;
+  bool track_visited_;
+  std::shared_ptr<const NeighborSampler> sampler_;
+
+  // Sparse frontier: a vector with epoch-stamped membership (stamp_[u] ==
+  // epoch_ means u in the frontier; avoids an O(n) clear per round).
+  // active_ doubles as the lazily materialised view of the dense frontier,
+  // hence mutable.
+  mutable std::vector<graph::VertexId> active_;
+  std::vector<graph::VertexId> next_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 0;
+
+  // Dense frontier: a bitset (valid iff dense_repr_), sized lazily.
+  util::DynamicBitset frontier_;
+  util::DynamicBitset next_frontier_;
+  bool dense_repr_ = false;
+  mutable bool active_valid_ = true;  // active_ mirrors the frontier
+  std::uint32_t num_active_ = 0;
+  std::uint64_t dense_rounds_ = 0;
+
+  // In-flight round state (between begin_round and commit).
+  bool round_dense_ = false;
+  bool round_stamped_ = false;    // a CoalescingSink pre-stamped next_
+  std::uint32_t round_newly_ = 0;  // first visits counted by sparse sinks
+
+  util::DynamicBitset visited_;
+  std::uint32_t visited_count_ = 0;
+};
+
+}  // namespace cobra::core

@@ -1,4 +1,6 @@
-// Shared configuration types for the COBRA and BIPS processes.
+// Shared configuration types for every spreading process (COBRA, BIPS and
+// the baselines): stepping-engine selection, the keyed-hash selection for
+// per-(round, vertex) randomness, the branching model, and ProcessOptions.
 #pragma once
 
 #include <cstdint>
@@ -10,19 +12,23 @@
 
 namespace cobra::core {
 
-class NeighborSampler;  // core/step_engine.hpp
+class NeighborSampler;  // core/frontier_kernel.hpp
 
-/// Stepping-engine selection for CobraProcess (see docs/ARCHITECTURE.md,
-/// "Stepping engines").
+/// Stepping-engine selection for the frontier-kernel processes (see
+/// docs/ARCHITECTURE.md, "Frontier kernel").
 ///
-/// The reference engine is the historical sequential loop: it consumes the
-/// replicate's Rng stream draw by draw and iterates the frontier in arrival
-/// order. The fast engines (kSparse/kDense/kAuto) share one counter-based
-/// randomness protocol — per round they consume a single 64-bit round key
-/// from the Rng and derive every per-vertex choice from Philox keyed by
-/// (round key, vertex) — so all three produce bit-for-bit identical visit
-/// sequences at a fixed seed, independent of frontier representation.
-/// Reference and fast engines agree in distribution but not draw-by-draw.
+/// For the kernel-ported processes (BIPS and the baselines) every engine —
+/// including kReference — derives its per-vertex randomness from one
+/// 64-bit round key per round, so reference, sparse, dense and auto are
+/// bit-for-bit identical at a fixed seed; the engine only selects the
+/// frontier representation (vector vs bitset vs density-switched).
+///
+/// CobraProcess keeps one historical exception: its kReference engine is
+/// the original sequential loop that consumes the replicate's Rng stream
+/// draw by draw, preserved bitwise for continuity with pre-kernel
+/// archives. COBRA's fast engines (kSparse/kDense/kAuto) share the keyed
+/// protocol and are bit-for-bit identical to each other, but agree with
+/// COBRA's reference only in distribution.
 enum class Engine : std::uint8_t {
   kDefault,    ///< resolve from --engine / COBRA_ENGINE at construction
   kReference,  ///< sequential-stream loop (the original implementation)
@@ -39,10 +45,35 @@ std::optional<Engine> parse_engine(std::string_view name);
 const char* engine_name(Engine engine);
 
 /// Resolves kDefault against the session-wide setting (the --engine flag /
-/// COBRA_ENGINE environment variable, default "reference"); other values
-/// pass through. Throws util::CheckError when the session string is not a
-/// valid engine name.
+/// COBRA_ENGINE environment variable, default "auto"); other values pass
+/// through. Throws util::CheckError when the session string is not a valid
+/// engine name.
 Engine resolve_engine(Engine engine);
+
+/// Keyed-hash selection for the per-(round, vertex) randomness of the
+/// frontier kernel (core::VertexDraws).
+///
+/// kMix64 is the default: two rounds of the SplitMix64 finalizer (one
+/// keying the (round key, vertex) pair, one per word) — about half the
+/// cost of a Philox evaluation per word, which closes most of the
+/// reference-vs-fast gap COBRA showed below 1% frontier density. kPhilox
+/// is the conservative fallback: the Philox4x32 stream the PR-3 engines
+/// shipped with, kept selectable behind the same draw protocol for A/B
+/// runs (bench/micro_cobra exercises both). Engines of one process always
+/// share one resolved hash, so the bit-for-bit engine guarantees hold
+/// under either choice.
+enum class DrawHash : std::uint8_t {
+  kDefault,  ///< resolve to kMix64 at construction
+  kMix64,    ///< 2-round SplitMix64 finalizer mix (cheap, the default)
+  kPhilox,   ///< Philox4x32 counter stream (the original PR-3 protocol)
+};
+
+/// Canonical name of a draw hash ("default" for DrawHash::kDefault).
+const char* draw_hash_name(DrawHash hash);
+
+/// Resolves kDefault to the session default (kMix64); other values pass
+/// through.
+DrawHash resolve_draw_hash(DrawHash hash);
 
 /// Branching factor model.
 ///
@@ -89,6 +120,11 @@ struct ProcessOptions {
   /// Which stepping engine executes step(); kDefault defers to the
   /// session-wide --engine / COBRA_ENGINE setting.
   Engine engine = Engine::kDefault;
+
+  /// Which keyed hash drives the per-(round, vertex) draws of the frontier
+  /// kernel; kDefault resolves to the cheap SplitMix64-based mix. Ignored
+  /// by COBRA's legacy reference engine (sequential stream draws).
+  DrawHash draw_hash = DrawHash::kDefault;
 
   /// kAuto switches to the dense (bitset) frontier once |C_t| reaches
   /// `dense_density * n`, and back to the sparse (vector) frontier below

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "rng/splitmix64.hpp"
 #include "util/assert.hpp"
 
 namespace cobra::graph {
@@ -46,6 +47,21 @@ std::uint64_t Graph::set_degree(std::span<const VertexId> set) const {
   std::uint64_t total = 0;
   for (const VertexId u : set) total += degree(u);
   return total;
+}
+
+std::uint64_t Graph::fingerprint() const {
+  const std::uint64_t cached =
+      fingerprint_.value.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  // The CSR pair (offsets, adjacency) is the canonical form of the graph,
+  // so mixing both arrays position-wise pins the structure exactly.
+  std::uint64_t h = rng::mix64(0xC0BBA6F1u ^ num_vertices());
+  for (std::size_t i = 0; i < offsets_.size(); ++i)
+    h = rng::mix64(h ^ (offsets_[i] + 0xBF58476D1CE4E5B9ull * (i + 1)));
+  for (std::size_t i = 0; i < adj_.size(); ++i)
+    h = rng::mix64(h ^ (adj_[i] + 0x9E3779B97F4A7C15ull * (i + 1)));
+  fingerprint_.value.store(h, std::memory_order_relaxed);
+  return h;
 }
 
 std::vector<std::pair<VertexId, VertexId>> Graph::edges() const {

@@ -12,6 +12,7 @@
 // generator functions (src/graph/generators.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -78,12 +79,40 @@ class Graph {
   /// All undirected edges as (u, v) with u < v, in CSR order.
   [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> edges() const;
 
+  /// A 64-bit structural digest of (n, adjacency), mixed via SplitMix64
+  /// over the CSR arrays. Two graphs with the same fingerprint are, for
+  /// caching purposes, the same graph regardless of how they were
+  /// generated — this keys the spectral cache so sharded cells that
+  /// rebuild an identical graph (same generator, seed and scale) reuse
+  /// one Lanczos solve. Computed once on first use, O(n + m); not part of
+  /// equality semantics.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
  private:
   std::vector<std::uint64_t> offsets_;
   std::vector<VertexId> adj_;
   std::uint32_t max_degree_ = 0;
   std::uint32_t min_degree_ = 0;
   std::string name_;
+
+  // Lazy fingerprint cache; 0 = not yet computed (the mix never yields 0
+  // for a non-empty graph input in practice, and a recompute is benign).
+  // Atomic (relaxed) so concurrent compute_lambda_cached callers sharing
+  // one graph race benignly instead of undefined-behaviourally; the
+  // wrapper restores copyability (copies carry the cached value, graphs
+  // are returned by value from every generator).
+  struct FingerprintCache {
+    std::atomic<std::uint64_t> value{0};
+    FingerprintCache() = default;
+    FingerprintCache(const FingerprintCache& other)
+        : value(other.value.load(std::memory_order_relaxed)) {}
+    FingerprintCache& operator=(const FingerprintCache& other) {
+      value.store(other.value.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      return *this;
+    }
+  };
+  mutable FingerprintCache fingerprint_;
 };
 
 }  // namespace cobra::graph

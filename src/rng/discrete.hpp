@@ -3,8 +3,8 @@
 // Used by weighted-start experiments (sampling a start vertex proportional
 // to degree, i.e. the random-walk stationary distribution), by the
 // Barabasi-Albert generator, and — degree-bucketed, one table per distinct
-// degree — by the fast COBRA stepping engines (core/step_engine.hpp) for
-// batched push-destination draws.
+// degree — by the frontier kernel (core/frontier_kernel.hpp) for batched
+// push-destination draws across every spreading process.
 #pragma once
 
 #include <cstdint>

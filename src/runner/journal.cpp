@@ -14,7 +14,8 @@ namespace cobra::runner {
 namespace {
 
 constexpr char kMagic[] = "cobra-journal";
-constexpr char kVersion[] = "v2";  // v2 added the engine header field
+// v2 added the engine header field; v3 the per-cell wall time.
+constexpr char kVersion[] = "v3";
 
 std::vector<std::string> split(const std::string& line, char sep) {
   std::vector<std::string> parts;
@@ -109,7 +110,7 @@ std::pair<JournalHeader, std::vector<JournalEntry>> Journal::read(
     // A torn final line (crash mid-write) lacks the "ok" terminator —
     // even when it broke inside the counts list — and is treated as not
     // journaled, so the cell re-runs on resume.
-    if (parts.size() != 4 || parts[0] != "cell" || parts[3] != "ok")
+    if (parts.size() != 5 || parts[0] != "cell" || parts[4] != "ok")
       continue;
     JournalEntry entry;
     entry.cell_id = parts[1];
@@ -117,6 +118,7 @@ std::pair<JournalHeader, std::vector<JournalEntry>> Journal::read(
       entry.rows_per_table.push_back(
           static_cast<std::size_t>(std::strtoull(count.c_str(), nullptr, 10)));
     }
+    entry.wall_us = std::strtoull(parts[3].c_str(), nullptr, 10);
     entries.push_back(std::move(entry));
   }
   return {header, entries};
@@ -161,7 +163,7 @@ void Journal::record(const JournalEntry& entry) {
     if (i) impl_->out << ',';
     impl_->out << entry.rows_per_table[i];
   }
-  impl_->out << "\tok\n";
+  impl_->out << '\t' << entry.wall_us << "\tok\n";
   impl_->out.flush();
   entries_.push_back(entry);
 }

@@ -3,17 +3,19 @@
 // A shard's journal records the run parameters (experiment, shard, seed,
 // scale — a resume with different parameters is refused) and one line per
 // completed cell with the number of CSV rows the cell contributed to each
-// table. Row counts let the resume path truncate a torn fragment (a crash
-// between "rows flushed" and "cell journaled") back to the last journaled
-// cell, so a resumed run's output is byte-identical to an uninterrupted
-// one.
+// table plus the cell's wall time. Row counts let the resume path truncate
+// a torn fragment (a crash between "rows flushed" and "cell journaled")
+// back to the last journaled cell, so a resumed run's output is
+// byte-identical to an uninterrupted one. Wall times feed `cobra merge`'s
+// cost summary and are the groundwork for cost-model shard balancing
+// (ROADMAP): they never affect resume/merge validation.
 //
 // Format (tab-separated, one record per line; the trailing "ok" marker
 // makes records self-delimiting, so a line torn by a crash mid-write is
 // recognisably incomplete and treated as not journaled):
-//   cobra-journal	v2
+//   cobra-journal	v3
 //   run	<experiment>	<shard>/<count>	<seed>	<scale>	<engine>
-//   cell	<cell id>	<rows table 0>[,<rows table 1>,...]	ok
+//   cell	<cell id>	<rows table 0>[,<rows table 1>,...]	<wall µs>	ok
 #pragma once
 
 #include <cstdint>
@@ -31,10 +33,10 @@ struct JournalHeader {
   std::uint64_t seed = 0;     ///< util::global_seed() of the run
   double scale = 1.0;         ///< util::scale() of the run
   /// util::engine() of the run — sparse/dense/auto archives are
-  /// byte-identical to each other but not to reference archives, so a
-  /// resume or merge across engine settings is refused like a seed
-  /// mismatch.
-  std::string engine = "reference";
+  /// byte-identical to each other but not to reference archives (the COBRA
+  /// reference engine keeps the legacy draw protocol), so a resume or
+  /// merge across engine settings is refused like a seed mismatch.
+  std::string engine = "auto";
 
   /// Field-wise comparison (resume validation).
   bool operator==(const JournalHeader&) const = default;
@@ -44,6 +46,7 @@ struct JournalHeader {
 struct JournalEntry {
   std::string cell_id;  ///< CellDef::id
   std::vector<std::size_t> rows_per_table;  ///< CSV rows it contributed
+  std::uint64_t wall_us = 0;  ///< cell body wall time, microseconds
 };
 
 /// Append-only checkpoint manifest of one shard's run.

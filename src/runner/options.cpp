@@ -144,12 +144,13 @@ Options (each flag overrides its COBRA_* environment variable):
   --scale S        workload multiplier            (env COBRA_SCALE,  default 1)
   --seed N         base experiment seed           (env COBRA_SEED,   default 20170724)
   --threads T      Monte-Carlo worker cap         (env COBRA_THREADS, default hardware)
-  --engine E       COBRA stepping engine          (env COBRA_ENGINE, default reference)
-                   reference — sequential per-draw loop (bitwise-stable baseline)
+  --engine E       frontier-kernel engine         (env COBRA_ENGINE, default auto)
+                   reference — plain sparse loop (COBRA: legacy sequential draws)
                    sparse    — counter-based draws, vector frontier
                    dense     — counter-based draws, bitset frontier
                    auto      — sparse<->dense switch on frontier density
-                   (sparse/dense/auto agree bit for bit; see docs/ARCHITECTURE.md)
+                   (engines agree bit for bit per process; COBRA's reference
+                   agrees in distribution — see docs/ARCHITECTURE.md)
   --out-dir DIR    result/journal directory       (default bench_results)
   --shard i/k      run only cells with index % k == i-1 (1-based i)
   --resume         continue a journaled run: completed cells are skipped,

@@ -1,7 +1,9 @@
 #include "runner/sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <iomanip>
 #include <memory>
 #include <ostream>
 #include <sstream>
@@ -129,6 +131,26 @@ void truncate_fragment(const std::string& path,
 
 }  // namespace
 
+std::string format_wall_time(std::uint64_t wall_us) {
+  std::ostringstream os;
+  const auto with_unit = [&](double value, const char* unit) {
+    // Fixed notation, ~3 significant digits (never scientific).
+    os << std::fixed
+       << std::setprecision(value < 10 ? 2 : (value < 100 ? 1 : 0)) << value
+       << ' ' << unit;
+  };
+  if (wall_us < 1000) {
+    os << wall_us << " µs";
+  } else if (wall_us < 1000 * 1000) {
+    with_unit(static_cast<double>(wall_us) / 1e3, "ms");
+  } else if (wall_us < 60ull * 1000 * 1000) {
+    with_unit(static_cast<double>(wall_us) / 1e6, "s");
+  } else {
+    with_unit(static_cast<double>(wall_us) / 60e6, "min");
+  }
+  return os.str();
+}
+
 std::string fragment_path(const std::string& out_dir, const TableDef& table,
                           int shard_index, int shard_count) {
   if (shard_count == 1) return out_dir + "/" + table.id + ".csv";
@@ -228,11 +250,16 @@ SweepResult run_experiment(const ExperimentDef& def,
                   << def.name << "/" << cell.id << " ..." << std::flush;
     }
 
+    const auto cell_start = std::chrono::steady_clock::now();
     CellContext context(def.tables.size());
     cell.run(context);
+    const auto cell_wall =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - cell_start);
 
     JournalEntry entry;
     entry.cell_id = cell.id;
+    entry.wall_us = static_cast<std::uint64_t>(cell_wall.count());
     for (std::size_t t = 0; t < def.tables.size(); ++t) {
       for (const CellRow& row : context.tables()[t]) {
         writers[t]->row();
@@ -250,7 +277,8 @@ SweepResult run_experiment(const ExperimentDef& def,
     if (config.log) {
       std::size_t rows = 0;
       for (const auto& table : context.tables()) rows += table.size();
-      *config.log << " done (" << rows << " rows)\n";
+      *config.log << " done (" << rows << " rows, "
+                  << format_wall_time(entry.wall_us) << ")\n";
       for (const std::string& n : context.notes())
         *config.log << "    note: " << n << '\n';
     }
@@ -469,6 +497,28 @@ MergeResult merge_experiment(const ExperimentDef& def,
   }
 
   if (log) {
+    // Journal v3 cost summary: where the run's wall time went (the input
+    // to cost-model shard balancing, see ROADMAP).
+    std::uint64_t total_us = 0;
+    std::vector<std::pair<std::uint64_t, const JournalEntry*>> by_cost;
+    for (const auto& entries : shard_entries) {
+      for (const JournalEntry& entry : entries) {
+        total_us += entry.wall_us;
+        by_cost.emplace_back(entry.wall_us, &entry);
+      }
+    }
+    std::sort(by_cost.begin(), by_cost.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    *log << "cell wall time: " << format_wall_time(total_us) << " across "
+         << by_cost.size() << " cells";
+    if (!by_cost.empty() && total_us > 0) {
+      *log << "; slowest:";
+      for (std::size_t i = 0; i < by_cost.size() && i < 3; ++i) {
+        *log << (i ? ", " : " ") << by_cost[i].second->cell_id << " ("
+             << format_wall_time(by_cost[i].first) << ")";
+      }
+    }
+    *log << '\n';
     for (const std::string& n : collect_summary_notes(def, out_dir))
       *log << "  * " << n << '\n';
   }

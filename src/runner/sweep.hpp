@@ -65,4 +65,8 @@ MergeResult merge_experiment(const ExperimentDef& def,
 std::string fragment_path(const std::string& out_dir, const TableDef& table,
                           int shard_index, int shard_count);
 
+/// Human-readable wall time for journal cost summaries: "734 µs",
+/// "12.3 ms", "4.56 s", "3.2 min".
+std::string format_wall_time(std::uint64_t wall_us);
+
 }  // namespace cobra::runner

@@ -1,8 +1,11 @@
 #include "spectral/spectral.hpp"
 
 #include <cmath>
+#include <mutex>
 #include <numbers>
+#include <unordered_map>
 
+#include "rng/splitmix64.hpp"
 #include "rng/stream.hpp"
 #include "spectral/dense.hpp"
 #include "spectral/lanczos.hpp"
@@ -38,6 +41,63 @@ SpectralInfo compute_lambda(const graph::Graph& g, std::uint64_t seed,
   info.lambda = std::min(1.0, std::max(0.0, info.lambda));
   info.gap = 1.0 - info.lambda;
   return info;
+}
+
+namespace {
+
+// Process-wide spectrum cache. Guarded by a mutex: cells run sequentially,
+// but examples and future drivers may solve from worker threads.
+struct SpectralCache {
+  std::mutex mutex;
+  std::unordered_map<std::uint64_t, SpectralInfo> entries;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+SpectralCache& spectral_cache() {
+  static SpectralCache cache;
+  return cache;
+}
+
+}  // namespace
+
+SpectralInfo compute_lambda_cached(const graph::Graph& g, std::uint64_t seed,
+                                   graph::VertexId dense_threshold) {
+  const std::uint64_t key =
+      rng::mix64(g.fingerprint() ^ rng::mix64(seed) ^
+                 rng::mix64(0x5BEC7247ull + dense_threshold));
+  SpectralCache& cache = spectral_cache();
+  {
+    const std::lock_guard<std::mutex> lock(cache.mutex);
+    const auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) {
+      ++cache.hits;
+      return it->second;
+    }
+  }
+  // Solve outside the lock: spectra of large graphs take seconds, and two
+  // threads racing on the same key at worst duplicate one solve.
+  const SpectralInfo info = compute_lambda(g, seed, dense_threshold);
+  {
+    const std::lock_guard<std::mutex> lock(cache.mutex);
+    ++cache.misses;
+    cache.entries.emplace(key, info);
+  }
+  return info;
+}
+
+SpectralCacheStats spectral_cache_stats() {
+  SpectralCache& cache = spectral_cache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  return SpectralCacheStats{cache.hits, cache.misses, cache.entries.size()};
+}
+
+void clear_spectral_cache() {
+  SpectralCache& cache = spectral_cache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.entries.clear();
+  cache.hits = 0;
+  cache.misses = 0;
 }
 
 double lambda_complete(graph::VertexId n) {

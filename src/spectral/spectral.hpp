@@ -27,6 +27,30 @@ struct SpectralInfo {
 SpectralInfo compute_lambda(const graph::Graph& g, std::uint64_t seed = 1,
                             graph::VertexId dense_threshold = 256);
 
+/// Memoised compute_lambda: results are cached process-wide, keyed by
+/// (Graph::fingerprint, seed, dense_threshold), so sharded cells that
+/// rebuild an identical graph — same generator, generator seed and scale —
+/// reuse one Lanczos/Jacobi solve instead of recomputing the spectrum.
+/// Thread-safe; the experiment drivers call this instead of
+/// compute_lambda.
+SpectralInfo compute_lambda_cached(const graph::Graph& g,
+                                   std::uint64_t seed = 1,
+                                   graph::VertexId dense_threshold = 256);
+
+/// Hit/miss counters of the compute_lambda_cached cache (tests and cost
+/// accounting).
+struct SpectralCacheStats {
+  std::size_t hits = 0;     ///< calls answered from the cache
+  std::size_t misses = 0;   ///< calls that ran a solve
+  std::size_t entries = 0;  ///< distinct (graph, seed, threshold) keys held
+};
+
+/// Current cache counters.
+SpectralCacheStats spectral_cache_stats();
+
+/// Drops all cached spectra and resets the counters (tests).
+void clear_spectral_cache();
+
 /// Closed-form lambda for families with known walk spectra. Returns nullopt
 /// if the name/parameters are not one of the known cases.
 /// Known: complete(n), cycle(n), hypercube(d), star(n),

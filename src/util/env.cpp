@@ -92,7 +92,7 @@ std::uint64_t global_seed() {
 
 std::string engine() {
   if (engine_override) return *engine_override;
-  return env_string("COBRA_ENGINE", "reference");
+  return env_string("COBRA_ENGINE", "auto");
 }
 
 }  // namespace cobra::util

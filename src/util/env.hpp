@@ -7,9 +7,9 @@
 //   COBRA_THREADS  — max worker threads for Monte-Carlo; default: hardware
 //   COBRA_SEED     — global base seed for experiments; default 20170724
 //                    (the paper's presentation date at SPAA'17).
-//   COBRA_ENGINE   — default COBRA stepping engine for processes built
-//                    with Engine::kDefault: reference|sparse|dense|auto;
-//                    default "reference".
+//   COBRA_ENGINE   — default stepping engine for processes built with
+//                    Engine::kDefault: reference|sparse|dense|auto;
+//                    default "auto" (the fast density-switched frontier).
 #pragma once
 
 #include <cstdint>

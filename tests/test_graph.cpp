@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/builder.hpp"
+#include "graph/generators.hpp"
 #include "util/assert.hpp"
 
 namespace cobra::graph {
@@ -96,6 +97,27 @@ TEST(Graph, EmptyGraph) {
   const Graph g;
   EXPECT_EQ(g.num_vertices(), 0u);
   EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, FingerprintIsStructural) {
+  // Same structure -> same digest (regardless of name or build path);
+  // different structure -> different digest. This keys the spectral cache.
+  const Graph a = cycle(32);
+  Graph b = cycle(32);
+  b.set_name("renamed");
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint(), a.fingerprint());  // stable across calls
+
+  EXPECT_NE(a.fingerprint(), cycle(33).fingerprint());
+  EXPECT_NE(a.fingerprint(), path(32).fingerprint());
+  EXPECT_NE(a.fingerprint(), complete(32).fingerprint());
+
+  GraphBuilder tri(3);
+  tri.add_edge(0, 1);
+  tri.add_edge(1, 2);
+  tri.add_edge(0, 2);
+  EXPECT_EQ((std::move(tri).build()).fingerprint(),
+            complete(3).fingerprint());
 }
 
 }  // namespace

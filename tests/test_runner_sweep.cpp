@@ -9,6 +9,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -305,6 +306,41 @@ TEST_F(SweepTest, MergeRefusesIncompleteOrMissingShards) {
                util::CheckError);
 }
 
+TEST_F(SweepTest, JournalRecordsWallTimeAndMergeSummarizesIt) {
+  const ExperimentDef def = make_test_experiment();
+  run_experiment(def, config("walltime", 1, 2));
+  run_experiment(def, config("walltime", 2, 2));
+
+  // Every journaled cell carries a wall-time field (format v3); trivial
+  // cells may legitimately round to 0 µs, so only sanity is asserted.
+  const auto [header, entries] =
+      Journal::read((dir_ / "walltime/synthetic.1of2.journal").string());
+  ASSERT_FALSE(entries.size() == 0);
+  for (const JournalEntry& entry : entries) {
+    EXPECT_LT(entry.wall_us, 10ull * 60 * 1000 * 1000) << entry.cell_id;
+  }
+
+  // `cobra merge` surfaces the cost summary built from those fields.
+  std::ostringstream log;
+  merge_experiment(def, (dir_ / "walltime").string(), &log);
+  EXPECT_NE(log.str().find("cell wall time:"), std::string::npos)
+      << log.str();
+  EXPECT_NE(log.str().find("across 7 cells"), std::string::npos)
+      << log.str();
+}
+
+TEST_F(SweepTest, OldJournalVersionsAreRefused) {
+  const ExperimentDef def = make_test_experiment();
+  const std::string path = (dir_ / "v2.journal").string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "cobra-journal\tv2\n"
+        << "run\tsynthetic\t1/1\t12345\t1\treference\n"
+        << "cell\tc0\t1,0\tok\n";
+  }
+  EXPECT_THROW(Journal::read(path), util::CheckError);
+}
+
 TEST_F(SweepTest, MergeRefusesMixedSeeds) {
   const ExperimentDef def = make_test_experiment();
   run_experiment(def, config("mixed", 1, 2));
@@ -323,7 +359,7 @@ TEST_F(SweepTest, ResumeAndMergeRefuseMixedEngines) {
   first.max_cells = 1;
   run_experiment(def, first);
 
-  util::set_engine_override("auto");
+  util::set_engine_override("reference");  // session default is "auto"
   SweepConfig resume = config("engines");
   resume.resume = true;
   EXPECT_THROW(run_experiment(def, resume), util::CheckError);

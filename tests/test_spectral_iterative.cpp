@@ -77,6 +77,52 @@ TEST(ComputeLambda, IterativePathAgreesWithDense) {
   EXPECT_NEAR(exact.lambda, 1.0, 1e-10);  // bipartite
 }
 
+TEST(ComputeLambda, CacheReusesIdenticalSpectra) {
+  clear_spectral_cache();
+  const graph::Graph g = graph::hypercube(6);
+  const auto first = compute_lambda_cached(g, 1);
+  auto stats = spectral_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  // A structurally identical graph built separately hits the cache: this
+  // is the sharded-cells case (same generator, same seed, same scale).
+  const graph::Graph twin = graph::hypercube(6);
+  const auto second = compute_lambda_cached(twin, 1);
+  stats = spectral_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(first.lambda, second.lambda);
+  EXPECT_EQ(first.exact, second.exact);
+
+  // Different iterative seed or threshold -> different key.
+  compute_lambda_cached(g, 2);
+  compute_lambda_cached(g, 1, /*dense_threshold=*/0);
+  stats = spectral_cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.entries, 3u);
+
+  // A different graph never collides.
+  compute_lambda_cached(graph::cycle(64), 1);
+  stats = spectral_cache_stats();
+  EXPECT_EQ(stats.misses, 4u);
+  clear_spectral_cache();
+  EXPECT_EQ(spectral_cache_stats().entries, 0u);
+}
+
+TEST(ComputeLambda, CachedAgreesWithUncached) {
+  clear_spectral_cache();
+  for (int id = 0; id < 13; ++id) {
+    const graph::Graph g = graph_case(id);
+    const auto direct = compute_lambda(g, 3);
+    const auto cached = compute_lambda_cached(g, 3);
+    EXPECT_EQ(direct.lambda, cached.lambda) << g.name();
+    EXPECT_EQ(direct.exact, cached.exact) << g.name();
+  }
+  clear_spectral_cache();
+}
+
 TEST(ComputeLambda, LambdaInUnitInterval) {
   for (int id = 0; id < 13; ++id) {
     const auto info = compute_lambda(graph_case(id));

@@ -70,11 +70,11 @@ TEST_F(EnvTest, GlobalSeedDefault) {
   EXPECT_EQ(global_seed(), 20170724ull);
 }
 
-TEST_F(EnvTest, EngineDefaultsToReference) {
+TEST_F(EnvTest, EngineDefaultsToAuto) {
   unsetenv("COBRA_ENGINE");
-  EXPECT_EQ(engine(), "reference");
-  setenv("COBRA_ENGINE", "auto", 1);
   EXPECT_EQ(engine(), "auto");
+  setenv("COBRA_ENGINE", "reference", 1);
+  EXPECT_EQ(engine(), "reference");
 }
 
 TEST_F(EnvTest, EngineOverrideShadowsEnvironment) {
