@@ -1,11 +1,13 @@
 #include "runner/cli.hpp"
 
 #include <exception>
+#include <filesystem>
 #include <iostream>
 #include <vector>
 
 #include "runner/options.hpp"
 #include "runner/registry.hpp"
+#include "runner/supervisor.hpp"
 #include "runner/sweep.hpp"
 #include "util/env.hpp"
 
@@ -59,8 +61,8 @@ int cmd_run(const RunnerOptions& options,
     // Dry run: show the cells this invocation would execute.
     for (const ExperimentDef* def : selected) {
       const auto cells = def->cells();
-      const auto slice = shard_slice(cells.size(), options.shard_index,
-                                     options.shard_count);
+      const auto slice = slice_for(cells, options.shard_index,
+                                   options.shard_count, options.costs);
       std::cout << def->name << " shard " << options.shard_index << "/"
                 << options.shard_count << ": " << slice.size() << " of "
                 << cells.size() << " cells\n";
@@ -80,6 +82,7 @@ int cmd_run(const RunnerOptions& options,
     config.max_cells = options.max_cells;
     config.console = true;
     config.log = &std::cout;
+    config.costs_path = options.costs;
     const SweepResult result = run_experiment(*def, config);
     std::cout << def->name << ": " << result.cells_run << " run, "
               << result.cells_skipped << " resumed, "
@@ -87,6 +90,75 @@ int cmd_run(const RunnerOptions& options,
     all_complete = all_complete && result.complete();
   }
   return all_complete ? 0 : 3;  // 3: interrupted by --max-cells
+}
+
+int cmd_sweep(const RunnerOptions& options,
+              const std::vector<std::string>& names) {
+  std::string error;
+  const auto selected = select_experiments(options, names, error);
+  if (selected.empty()) {
+    std::cerr << "cobra: " << error << '\n';
+    return 2;
+  }
+  if (options.shard_count != 1 || options.resume ||
+      options.max_cells >= 0) {
+    std::cerr << "cobra: sweep manages --shard/--resume/--max-cells "
+                 "itself; drop them (see --help)\n";
+    return 2;
+  }
+  const int workers = options.jobs > 0 ? options.jobs : 2;
+
+  if (options.list) {
+    // Dry run: show how the sweep would slice its shards, run nothing.
+    for (const ExperimentDef* def : selected) {
+      const auto cells = def->cells();
+      const auto costs = cell_costs(cells, options.costs);
+      const auto partition = partition_for(cells.size(), workers, costs);
+      std::cout << def->name << " sweep -j " << workers << " ("
+                << (costs.empty()
+                        ? std::string("round-robin slices")
+                        : "cost-weighted slices from " + options.costs)
+                << "):\n";
+      for (int i = 1; i <= workers; ++i) {
+        const auto& slice = partition[static_cast<std::size_t>(i - 1)];
+        std::cout << "  shard " << i << "/" << workers << ": "
+                  << slice.size() << " of " << cells.size() << " cells\n";
+        for (const std::size_t index : slice)
+          std::cout << "    [" << index << "] " << cells[index].id << '\n';
+      }
+    }
+    return 0;
+  }
+
+  // The workers are this very binary, re-invoked as `cobra run ...`.
+  std::error_code ec;
+  const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) {
+    std::cerr << "cobra: cannot resolve own binary path for sweep "
+                 "workers: " << ec.message() << '\n';
+    return 1;
+  }
+
+  for (const ExperimentDef* def : selected) {
+    SupervisorConfig config;
+    config.out_dir = options.out_dir;
+    config.workers = workers;
+    config.worker_binary = self.string();
+    config.costs_path = options.costs;
+    config.heartbeat_timeout_s = options.heartbeat_timeout;
+    config.max_restarts = options.max_restarts;
+    config.inject_kill_shard = options.inject_kill;
+    if (options.threads) {
+      config.worker_args = {"--threads",
+                            std::to_string(*options.threads)};
+    }
+    config.log = &std::cout;
+    const SupervisorResult result = supervise_experiment(*def, config);
+    std::cout << def->name << ": swept by " << result.workers
+              << " workers (" << result.restarts_total
+              << " respawns); merged\n";
+  }
+  return 0;
 }
 
 int cmd_merge(const RunnerOptions& options,
@@ -122,13 +194,15 @@ int cli_main(int argc, const char* const* argv) {
   std::string command = "run";
   std::vector<std::string> names = options.positional;
   if (!names.empty() &&
-      (names[0] == "list" || names[0] == "run" || names[0] == "merge")) {
+      (names[0] == "list" || names[0] == "run" || names[0] == "sweep" ||
+       names[0] == "merge")) {
     command = names[0];
     names.erase(names.begin());
   }
 
   try {
     if (command == "list") return cmd_list(options);
+    if (command == "sweep") return cmd_sweep(options, names);
     if (command == "merge") return cmd_merge(options, names);
     // `cobra run [NAME...] --list` dry-runs the cell selection (all
     // experiments when no NAME) in cmd_run; `cobra list` is the

@@ -6,7 +6,7 @@
 
 namespace cobra::runner {
 
-/// Full CLI: `cobra <list|run|merge|help> [NAME...] [flags]`.
+/// Full CLI: `cobra <list|run|sweep|merge|help> [NAME...] [flags]`.
 /// `argv` excludes the program name. Returns the process exit code.
 int cli_main(int argc, const char* const* argv);
 

@@ -1,5 +1,7 @@
 #include "runner/journal.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -14,8 +16,27 @@ namespace cobra::runner {
 namespace {
 
 constexpr char kMagic[] = "cobra-journal";
-// v2 added the engine header field; v3 the per-cell wall time.
+// v2 added the engine header field; v3 the per-cell wall time (heartbeat
+// lines ride on v3: every v3 reader already skips unknown records).
 constexpr char kVersion[] = "v3";
+// Versions this build recognises but can no longer read: their shards
+// must be re-run, which is a very different failure from a corrupt file.
+constexpr const char* kRetiredVersions[] = {"v1", "v2"};
+
+/// Strict double parse (run-header scale): full-token match, finite and
+/// positive, same loud failure contract as parse_u64_field.
+double parse_scale_field(const std::string& token, const std::string& path,
+                         std::size_t line_no) {
+  char* end = nullptr;
+  const double value =
+      token.empty() ? 0.0 : std::strtod(token.c_str(), &end);
+  COBRA_CHECK_MSG(!token.empty() && end == token.c_str() + token.size() &&
+                      std::isfinite(value) && value > 0.0,
+                  path << " line " << line_no
+                       << ": scale is not a positive number: '" << token
+                       << "'");
+  return value;
+}
 
 std::vector<std::string> split(const std::string& line, char sep) {
   std::vector<std::string> parts;
@@ -36,6 +57,18 @@ std::string format_header(const JournalHeader& h) {
 }
 
 }  // namespace
+
+std::uint64_t parse_u64_field(const std::string& token, const char* field,
+                              const std::string& path,
+                              std::size_t line_no) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value, 10);
+  COBRA_CHECK_MSG(ec == std::errc() && ptr == token.data() + token.size(),
+                  path << " line " << line_no << ": " << field
+                       << " is not a number: '" << token << "'");
+  return value;
+}
 
 struct Journal::Impl {
   std::ofstream out;
@@ -63,6 +96,9 @@ Journal Journal::create(const std::string& path,
   if (p.has_parent_path()) {
     std::error_code ec;
     std::filesystem::create_directories(p.parent_path(), ec);
+    COBRA_CHECK_MSG(!ec, "cannot create journal directory "
+                             << p.parent_path().string() << ": "
+                             << ec.message());
   }
   Journal journal;
   journal.impl_ = new Impl;
@@ -81,44 +117,84 @@ std::pair<JournalHeader, std::vector<JournalEntry>> Journal::read(
   COBRA_CHECK_MSG(in.good(), "cannot read journal " << path);
   std::string line;
 
-  COBRA_CHECK_MSG(std::getline(in, line) &&
-                      split(line, '\t') ==
-                          std::vector<std::string>({kMagic, kVersion}),
-                  path << " is not a " << kVersion << " cobra journal");
+  COBRA_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                  path << ": empty or truncated journal (missing '"
+                       << kMagic << "' header line)");
+  {
+    const auto parts = split(line, '\t');
+    COBRA_CHECK_MSG(parts.size() == 2 && parts[0] == kMagic,
+                    path << " line 1: not a cobra journal (expected '"
+                         << kMagic << "\t<version>', found '" << line
+                         << "')");
+    if (parts[1] != kVersion) {
+      // A known older version is a stale-but-valid file, not garbage:
+      // say which version it is, which this build reads, and what to do.
+      for (const char* old_version : kRetiredVersions) {
+        COBRA_CHECK_MSG(
+            parts[1] != old_version,
+            path << " is a " << old_version << " cobra journal, but this "
+                 << "build reads " << kVersion << " — the shard must be "
+                 << "re-run: delete the journal (and its CSV fragments) "
+                 << "and run it again without --resume");
+      }
+      COBRA_CHECK_MSG(false,
+                      path << " line 1: unrecognised cobra journal version "
+                           << "'" << parts[1] << "' (this build reads "
+                           << kVersion << "; was it written by a newer "
+                           << "cobra?)");
+    }
+  }
 
   JournalHeader header;
   COBRA_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
-                  path << ": missing run header");
+                  path << ": truncated journal (missing run header on "
+                       << "line 2)");
   {
     const auto parts = split(line, '\t');
     COBRA_CHECK_MSG(parts.size() == 6 && parts[0] == "run",
-                    path << ": malformed run header");
+                    path << " line 2: malformed run header (expected 6 "
+                         << "tab-separated 'run' fields, found '" << line
+                         << "')");
     header.experiment = parts[1];
     const auto shard = split(parts[2], '/');
-    COBRA_CHECK_MSG(shard.size() == 2, path << ": malformed shard spec");
-    header.shard_index = std::atoi(shard[0].c_str());
-    header.shard_count = std::atoi(shard[1].c_str());
-    header.seed = std::strtoull(parts[3].c_str(), nullptr, 10);
-    header.scale = std::strtod(parts[4].c_str(), nullptr);
+    COBRA_CHECK_MSG(shard.size() == 2,
+                    path << " line 2: malformed shard spec '" << parts[2]
+                         << "' (expected <index>/<count>)");
+    header.shard_index = static_cast<int>(
+        parse_u64_field(shard[0], "shard index", path, 2));
+    header.shard_count = static_cast<int>(
+        parse_u64_field(shard[1], "shard count", path, 2));
+    COBRA_CHECK_MSG(header.shard_index >= 1 && header.shard_count >= 1 &&
+                        header.shard_index <= header.shard_count,
+                    path << " line 2: invalid shard spec '" << parts[2]
+                         << "' (need 1 <= index <= count)");
+    header.seed = parse_u64_field(parts[3], "seed", path, 2);
+    header.scale = parse_scale_field(parts[4], path, 2);
     header.engine = parts[5];
   }
 
   std::vector<JournalEntry> entries;
+  std::size_t line_no = 2;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
     const auto parts = split(line, '\t');
     // A torn final line (crash mid-write) lacks the "ok" terminator —
     // even when it broke inside the counts list — and is treated as not
-    // journaled, so the cell re-runs on resume.
+    // journaled, so the cell re-runs on resume. Heartbeat liveness
+    // markers are skipped the same way (they are not journaled cells).
     if (parts.size() != 5 || parts[0] != "cell" || parts[4] != "ok")
       continue;
+    // The line claims to be a complete record, so every field must parse:
+    // garbage behind an "ok" terminator is corruption, not a torn write.
     JournalEntry entry;
     entry.cell_id = parts[1];
     for (const std::string& count : split(parts[2], ',')) {
-      entry.rows_per_table.push_back(
-          static_cast<std::size_t>(std::strtoull(count.c_str(), nullptr, 10)));
+      entry.rows_per_table.push_back(static_cast<std::size_t>(
+          parse_u64_field(count, "cell row count", path, line_no)));
     }
-    entry.wall_us = std::strtoull(parts[3].c_str(), nullptr, 10);
+    entry.wall_us = parse_u64_field(parts[3], "cell wall time", path,
+                                    line_no);
     entries.push_back(std::move(entry));
   }
   return {header, entries};
@@ -166,6 +242,14 @@ void Journal::record(const JournalEntry& entry) {
   impl_->out << '\t' << entry.wall_us << "\tok\n";
   impl_->out.flush();
   entries_.push_back(entry);
+}
+
+void Journal::heartbeat(const std::string& cell_id) {
+  COBRA_CHECK(impl_ != nullptr);
+  COBRA_CHECK_MSG(cell_id.find_first_of("\t\n\r") == std::string::npos,
+                  "cell id contains journal separators: " << cell_id);
+  impl_->out << "heartbeat\t" << cell_id << '\n';
+  impl_->out.flush();
 }
 
 std::size_t Journal::journaled_rows(std::size_t table_index) const {

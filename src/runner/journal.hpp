@@ -15,7 +15,20 @@
 // recognisably incomplete and treated as not journaled):
 //   cobra-journal	v3
 //   run	<experiment>	<shard>/<count>	<seed>	<scale>	<engine>
+//   heartbeat	<cell id>
 //   cell	<cell id>	<rows table 0>[,<rows table 1>,...]	<wall µs>	ok
+//
+// "heartbeat" lines are liveness markers appended (and flushed) when a
+// cell *starts*: the sweep supervisor tails journal growth to tell a slow
+// worker from a wedged one. Readers skip them — only "cell ... ok"
+// records count as journaled — so journals with heartbeats stay readable
+// by any v3 reader, including ones that predate heartbeats.
+//
+// Parsing is strict about completed records: a header or a "cell ... ok"
+// line with a non-numeric field fails loudly with the journal path, line
+// number and offending token (corruption must never be silently coerced
+// into shard 0/0 or zero counts). Only a line *without* the "ok"
+// terminator — the signature of a crash mid-write — is skipped.
 #pragma once
 
 #include <cstdint>
@@ -82,6 +95,12 @@ class Journal {
   /// Appends a completed cell and flushes to disk.
   void record(const JournalEntry& entry);
 
+  /// Appends a liveness marker (`heartbeat\t<cell id>`) and flushes.
+  /// Written when a cell starts; skipped by every reader, so it never
+  /// affects resume or merge — it only makes the journal file grow at
+  /// cell boundaries for the supervisor's wedge detection.
+  void heartbeat(const std::string& cell_id);
+
   /// Cells journaled so far (including those loaded by resume()).
   [[nodiscard]] const std::vector<JournalEntry>& entries() const {
     return entries_;
@@ -98,5 +117,14 @@ class Journal {
   Impl* impl_ = nullptr;
   std::vector<JournalEntry> entries_;
 };
+
+/// Strict full-token base-10 parse shared by the journal and cost-model
+/// readers: the whole `token` must be a number, otherwise CheckError with
+/// `path`, the 1-based `line_no`, the `field` name and the offending
+/// token — manifest corruption must fail loudly where it is read, never
+/// be silently coerced to 0 (the old std::atoi behaviour).
+std::uint64_t parse_u64_field(const std::string& token, const char* field,
+                              const std::string& path,
+                              std::size_t line_no);
 
 }  // namespace cobra::runner

@@ -104,6 +104,36 @@ std::optional<std::string> parse_args(const std::vector<std::string>& args,
       if (!value || !parse_shard(*value, options.shard_index,
                                  options.shard_count))
         return "--shard expects i/k with 1 <= i <= k (e.g. --shard 2/8)";
+    } else if (name == "-j" || name == "--jobs") {
+      const auto value = take_value();
+      std::int64_t parsed = 0;
+      if (!value || !parse_int(*value, parsed) || parsed < 1 ||
+          parsed > 4096)
+        return "--jobs expects a worker count between 1 and 4096";
+      options.jobs = static_cast<int>(parsed);
+    } else if (name == "--costs") {
+      const auto value = take_value();
+      if (!value || value->empty()) return "--costs expects a file path";
+      options.costs = *value;
+    } else if (name == "--heartbeat-timeout") {
+      const auto value = take_value();
+      double parsed = 0.0;
+      if (!value || !parse_double(*value, parsed) || parsed < 0.0)
+        return "--heartbeat-timeout expects a non-negative number of "
+               "seconds (0 disables wedge detection)";
+      options.heartbeat_timeout = parsed;
+    } else if (name == "--max-restarts") {
+      const auto value = take_value();
+      std::int64_t parsed = 0;
+      if (!value || !parse_int(*value, parsed) || parsed < 0)
+        return "--max-restarts expects a non-negative integer";
+      options.max_restarts = static_cast<int>(parsed);
+    } else if (name == "--inject-kill") {
+      const auto value = take_value();
+      std::int64_t parsed = 0;
+      if (!value || !parse_int(*value, parsed) || parsed < 1)
+        return "--inject-kill expects a shard index (1-based)";
+      options.inject_kill = static_cast<int>(parsed);
     } else if (name == "--filter") {
       const auto value = take_value();
       if (!value) return "--filter expects a substring";
@@ -136,6 +166,11 @@ std::string usage() {
 Usage:
   cobra list [--filter SUB]            enumerate registered experiments
   cobra run  [NAME...] [options]       run experiments (all when no NAME)
+  cobra sweep NAME... [-j K] [options] supervised distributed sweep: spawn
+                                       K `cobra run --shard i/K --resume`
+                                       workers, watch their journals for
+                                       liveness, respawn dead or wedged
+                                       workers, auto-merge on completion
   cobra merge NAME... [--out-dir DIR]  stitch shard fragments into the
                                        canonical CSV and print the summary
   cobra help                           this text
@@ -156,15 +191,33 @@ Options (each flag overrides its COBRA_* environment variable):
   --resume         continue a journaled run: completed cells are skipped,
                    CSV fragments are reopened in append mode
   --filter SUB     restrict list/run to experiments whose name contains SUB
-  --list           with run: print the selected cells, run nothing
+  --list           with run: print the selected cells, run nothing;
+                   with sweep: print each shard's slice, spawn nothing
   --max-cells N    stop after N cells (chunked runs); combine with --resume
+  --costs FILE     per-cell cost model (an <experiment>.costs file archived
+                   by a previous completed run or merge): shard slices are
+                   balanced by weighted LPT instead of round-robin; every
+                   worker and resume of one run must use the same file
+  -j, --jobs K     sweep worker process count           (default 2)
+  --heartbeat-timeout S  sweep: seconds without journal growth before a
+                   live worker counts as wedged and is respawned
+                   (default 300; 0 disables). Floored per shard at 3x its
+                   heaviest --costs cell and doubled after each wedge
+                   kill, so honest long cells never drain the budget
+  --max-restarts N sweep: respawn budget per shard      (default 3)
+  --inject-kill I  sweep fault injection (tests/CI): shard I's first
+                   worker SIGKILLs itself after its first journaled cell
   -h, --help       this text
 
 Sharded sweeps write <table>.shard<i>of<k>.csv fragments plus a
 <experiment>.<i>of<k>.journal manifest into --out-dir; `cobra merge`
 validates that every shard completed and reassembles the canonical
 <table>.csv in cell-enumeration order (byte-identical to an unsharded run
-at the same seed and scale).
+at the same seed and scale). `cobra sweep` drives the whole cycle in one
+command: k worker processes, journal-heartbeat liveness, automatic
+respawn-and-resume of dead shards, automatic merge. Completed runs and
+merges archive per-cell wall times to <out-dir>/<experiment>.costs —
+feed that file back via --costs to balance the next sweep's slices.
 )";
 }
 

@@ -28,6 +28,20 @@ struct RunnerOptions {
   int shard_count = 1;                    ///< k of --shard i/k
   bool resume = false;                    ///< --resume: continue a journal
 
+  /// -j/--jobs: worker count for `cobra sweep` (0 = unset, default 2).
+  int jobs = 0;
+  /// --costs: cost-model file for weighted shard slicing ("" = round
+  /// robin). Applies to `cobra run --shard` and to `cobra sweep` workers.
+  std::string costs;
+  /// --heartbeat-timeout: seconds without journal growth before the sweep
+  /// supervisor declares a live worker wedged and respawns it (0 = never).
+  double heartbeat_timeout = 300.0;
+  /// --max-restarts: per-shard respawn budget before the sweep aborts.
+  int max_restarts = 3;
+  /// --inject-kill: fault injection for tests/CI — shard i's first worker
+  /// SIGKILLs itself after its first journaled cell (0 = off).
+  int inject_kill = 0;
+
   bool list = false;   ///< --list: print cells instead of running them
   bool help = false;   ///< --help / -h
   std::string filter;  ///< substring match on experiment names

@@ -59,4 +59,38 @@ std::vector<std::size_t> shard_slice(std::size_t num_cells, int index,
   return slice;
 }
 
+std::vector<std::vector<std::size_t>> weighted_shard_partition(
+    const std::vector<std::uint64_t>& costs, int count) {
+  COBRA_CHECK_MSG(count >= 1, "invalid shard count " << count);
+  std::vector<std::size_t> order(costs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Decreasing cost; stable_sort pins the tie order to the enumeration.
+  std::stable_sort(order.begin(), order.end(),
+                   [&costs](std::size_t a, std::size_t b) {
+                     return costs[a] > costs[b];
+                   });
+
+  std::vector<std::uint64_t> load(static_cast<std::size_t>(count), 0);
+  std::vector<std::vector<std::size_t>> partition(
+      static_cast<std::size_t>(count));
+  for (const std::size_t cell : order) {
+    std::size_t lightest = 0;
+    for (std::size_t s = 1; s < load.size(); ++s) {
+      if (load[s] < load[lightest]) lightest = s;
+    }
+    load[lightest] += costs[cell];
+    partition[lightest].push_back(cell);
+  }
+  for (auto& slice : partition) std::sort(slice.begin(), slice.end());
+  return partition;
+}
+
+std::vector<std::size_t> weighted_shard_slice(
+    const std::vector<std::uint64_t>& costs, int index, int count) {
+  COBRA_CHECK_MSG(count >= 1 && index >= 1 && index <= count,
+                  "invalid shard " << index << "/" << count);
+  return weighted_shard_partition(costs, count)[
+      static_cast<std::size_t>(index - 1)];
+}
+
 }  // namespace cobra::runner

@@ -95,4 +95,23 @@ struct Registration {
 std::vector<std::size_t> shard_slice(std::size_t num_cells, int index,
                                      int count);
 
+/// Cost-balanced variant of shard_slice: given one non-negative cost per
+/// cell (journal-v3 wall times, microseconds), assigns cells to shards by
+/// deterministic longest-processing-time greedy — cells in decreasing
+/// cost order (ties: lower enumeration index first) each go to the
+/// currently lightest shard (ties: lowest shard) — and returns shard
+/// `index`'s cells sorted back into enumeration order. The classic LPT
+/// guarantee (max shard load <= mean load + max single cost) keeps
+/// heavy-tailed sweeps like general_bound from serialising on one
+/// unlucky round-robin shard. Every shard calling this with the same
+/// costs sees the same disjoint, covering partition.
+std::vector<std::size_t> weighted_shard_slice(
+    const std::vector<std::uint64_t>& costs, int index, int count);
+
+/// All `count` weighted slices at once (the partition weighted_shard_slice
+/// indexes into): element i is shard i+1's slice. The supervisor uses
+/// this to set up every shard with one LPT pass instead of k.
+std::vector<std::vector<std::size_t>> weighted_shard_partition(
+    const std::vector<std::uint64_t>& costs, int count);
+
 }  // namespace cobra::runner

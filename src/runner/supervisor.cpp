@@ -1,0 +1,406 @@
+#include "runner/supervisor.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "core/process.hpp"
+#include "runner/journal.hpp"
+#include "util/assert.hpp"
+#include "util/env.hpp"
+
+extern "C" char** environ;
+
+namespace cobra::runner {
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+/// One supervised shard and the worker process currently owning it.
+struct Shard {
+  int index = 0;              // 1-based shard i of i/k
+  std::size_t cells = 0;      // slice size (completion target)
+  std::string journal_path;
+  std::string log_path;       // worker stdout+stderr
+  pid_t pid = -1;             // -1: no live worker
+  int restarts = 0;
+  bool complete = false;
+  std::uintmax_t last_size = 0;         // journal size at last progress
+  Clock::time_point last_progress{};    // journal growth or spawn time
+  /// Wedge threshold for this shard (0 = disabled). Floored at 3x the
+  /// shard's heaviest expected cell when a cost model is available, and
+  /// doubled after every wedge kill: heartbeats only tick at cell
+  /// boundaries, so an honest long cell must never burn the restart
+  /// budget — an underestimated timeout self-corrects instead of
+  /// re-killing the same heavy cell until the sweep aborts.
+  double timeout_s = 0;
+};
+
+/// The last ~8 lines of a worker log, indented — appended to the abort
+/// message so the shard's actual failure is visible without digging.
+std::string log_tail(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return "  (no worker log at " + path + ")";
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+    if (lines.size() > 8) lines.erase(lines.begin());
+  }
+  std::ostringstream os;
+  for (const std::string& l : lines) os << "  | " << l << '\n';
+  return os.str();
+}
+
+std::string describe_exit(int status) {
+  std::ostringstream os;
+  if (WIFEXITED(status)) {
+    os << "exited with code " << WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    os << "killed by signal " << WTERMSIG(status);
+  } else {
+    os << "stopped with status " << status;
+  }
+  return os.str();
+}
+
+/// Spawns one worker for `shard`. `argv_head` is the full worker command
+/// minus the `--shard i/k` pair, which is appended here. When `inject`
+/// is set the child runs with COBRA_SWEEP_KILL_AFTER_CELLS=1 (fault
+/// injection: it SIGKILLs itself after its first journaled cell).
+pid_t spawn_worker(const std::vector<std::string>& argv_head,
+                   const Shard& shard, int shard_count, bool inject) {
+  std::vector<std::string> args = argv_head;
+  args.push_back("--shard");
+  args.push_back(std::to_string(shard.index) + "/" +
+                 std::to_string(shard_count));
+
+  // argv/envp are assembled before fork(): the child must only touch
+  // async-signal-safe calls (open/dup2/execve) between fork and exec.
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  std::vector<std::string> env_strings;
+  for (char** e = environ; *e != nullptr; ++e) env_strings.emplace_back(*e);
+  if (inject) env_strings.emplace_back("COBRA_SWEEP_KILL_AFTER_CELLS=1");
+  std::vector<char*> envp;
+  envp.reserve(env_strings.size() + 1);
+  for (std::string& e : env_strings) envp.push_back(e.data());
+  envp.push_back(nullptr);
+
+  const pid_t pid = fork();
+  COBRA_CHECK_MSG(pid >= 0, "fork failed: " << std::strerror(errno));
+  if (pid == 0) {
+    const int fd = open(shard.log_path.c_str(),
+                        O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      dup2(fd, STDOUT_FILENO);
+      dup2(fd, STDERR_FILENO);
+      if (fd > STDERR_FILENO) close(fd);
+    }
+    execve(argv[0], argv.data(), envp.data());
+    _exit(127);  // exec failed; the supervisor reads the status
+  }
+  return pid;
+}
+
+/// Refuses to start when `out_dir` holds journals of `experiment` with a
+/// shard count other than `workers`: they would sail through the whole
+/// sweep unnoticed and only blow up the final auto-merge ("mixes
+/// journals of different shard counts") after every cell already ran —
+/// e.g. the 1of1 journal a plain `cobra run` left in the directory, or a
+/// previous sweep at a different -j.
+void check_no_conflicting_journals(const std::string& out_dir,
+                                   const std::string& experiment,
+                                   int workers) {
+  if (!fs::exists(out_dir)) return;
+  const std::string prefix = experiment + ".";
+  std::vector<std::string> conflicts;
+  for (const auto& entry : fs::directory_iterator(out_dir)) {
+    const std::string file = entry.path().filename().string();
+    if (file.rfind(prefix, 0) != 0) continue;
+    if (entry.path().extension() != ".journal") continue;
+    // <experiment>.<i>of<k>.journal
+    const std::string spec = file.substr(
+        prefix.size(), file.size() - prefix.size() - 8 /* ".journal" */);
+    const auto of = spec.find("of");
+    if (of == std::string::npos) continue;
+    int count = 0;
+    const std::string count_text = spec.substr(of + 2);
+    const auto [ptr, ec] = std::from_chars(
+        count_text.data(), count_text.data() + count_text.size(), count);
+    if (ec != std::errc() ||
+        ptr != count_text.data() + count_text.size()) {
+      continue;
+    }
+    if (count != workers) conflicts.push_back(file);
+  }
+  if (conflicts.empty()) return;
+  std::sort(conflicts.begin(), conflicts.end());
+  std::ostringstream os;
+  for (const std::string& file : conflicts) os << ' ' << file;
+  COBRA_CHECK_MSG(false,
+                  out_dir << " holds " << experiment
+                          << " journals from a different shard count:"
+                          << os.str() << " — the final merge would refuse "
+                          << "to mix them with a -j " << workers
+                          << " sweep. Use a fresh --out-dir, or delete "
+                          << "the stale journals (and their fragments) "
+                          << "if that run is no longer needed");
+}
+
+/// Kills (SIGKILL) and reaps every still-live worker — exception-path
+/// cleanup so an aborting sweep never leaks orphan processes.
+struct Reaper {
+  std::vector<Shard>* shards;
+  bool disarmed = false;
+  ~Reaper() {
+    if (disarmed) return;
+    for (Shard& shard : *shards) {
+      if (shard.pid <= 0) continue;
+      kill(shard.pid, SIGKILL);
+      int status = 0;
+      waitpid(shard.pid, &status, 0);
+      shard.pid = -1;
+    }
+  }
+};
+
+}  // namespace
+
+SupervisorResult supervise_experiment(const ExperimentDef& def,
+                                      const SupervisorConfig& config) {
+  COBRA_CHECK_MSG(config.workers >= 1 && config.workers <= 4096,
+                  "invalid sweep worker count " << config.workers);
+  COBRA_CHECK_MSG(!config.worker_binary.empty(),
+                  "sweep supervisor needs the worker binary path");
+  COBRA_CHECK_MSG(config.inject_kill_shard >= 0 &&
+                      config.inject_kill_shard <= config.workers,
+                  "--inject-kill shard " << config.inject_kill_shard
+                                         << " is outside 1.."
+                                         << config.workers);
+  const int k = config.workers;
+  check_no_conflicting_journals(config.out_dir, def.name, k);
+
+  // Resolve the slicing once: an explicit cost model that does not exist
+  // falls back to round-robin (first runs have nothing archived yet); a
+  // corrupt one fails here, before any worker is spawned.
+  std::string costs = config.costs_path;
+  if (!costs.empty() && !fs::exists(costs)) {
+    if (config.log) {
+      *config.log << "[sweep] cost model " << costs
+                  << " does not exist; using round-robin slices\n";
+    }
+    costs.clear();
+  }
+  const std::vector<CellDef> cells = def.cells();
+  // One cost-file read and one LPT pass set up every shard; the empty
+  // vector means round-robin.
+  const std::vector<std::uint64_t> costs_us = cell_costs(cells, costs);
+  const std::vector<std::vector<std::size_t>> partition =
+      partition_for(cells.size(), k, costs_us);
+
+  // Pin the run configuration on the worker command line: respawned
+  // workers and the final merge must see the exact seed/scale/engine this
+  // supervisor resolved, regardless of environment drift.
+  std::vector<std::string> argv_head;
+  argv_head.push_back(config.worker_binary);
+  argv_head.push_back("run");
+  argv_head.push_back(def.name);
+  argv_head.push_back("--resume");
+  argv_head.push_back("--out-dir");
+  argv_head.push_back(config.out_dir);
+  argv_head.push_back("--seed");
+  argv_head.push_back(std::to_string(util::global_seed()));
+  {
+    std::ostringstream os;
+    os << std::setprecision(17) << util::scale();
+    argv_head.push_back("--scale");
+    argv_head.push_back(os.str());
+  }
+  argv_head.push_back("--engine");
+  argv_head.push_back(
+      core::engine_name(core::resolve_engine(core::Engine::kDefault)));
+  if (!costs.empty()) {
+    argv_head.push_back("--costs");
+    argv_head.push_back(costs);
+  }
+  argv_head.insert(argv_head.end(), config.worker_args.begin(),
+                   config.worker_args.end());
+
+  // Workers redirect into per-shard logs under out_dir; create it first.
+  {
+    std::error_code ec;
+    fs::create_directories(config.out_dir, ec);
+    COBRA_CHECK_MSG(!ec, "cannot create sweep directory " << config.out_dir
+                                                          << ": "
+                                                          << ec.message());
+  }
+
+  std::vector<Shard> shards(static_cast<std::size_t>(k));
+  for (int i = 1; i <= k; ++i) {
+    Shard& shard = shards[static_cast<std::size_t>(i - 1)];
+    shard.index = i;
+    const auto& slice = partition[static_cast<std::size_t>(i - 1)];
+    shard.cells = slice.size();
+    shard.journal_path =
+        Journal::path_for(config.out_dir, def.name, i, k);
+    std::ostringstream os;
+    os << config.out_dir << '/' << def.name << '.' << i << "of" << k
+       << ".worker.log";
+    shard.log_path = os.str();
+    shard.timeout_s = config.heartbeat_timeout_s;
+    if (shard.timeout_s > 0 && !costs_us.empty()) {
+      std::uint64_t heaviest_us = 0;
+      for (const std::size_t cell : slice)
+        heaviest_us = std::max(heaviest_us, costs_us[cell]);
+      shard.timeout_s = std::max(
+          shard.timeout_s, 3.0 * static_cast<double>(heaviest_us) / 1e6);
+    }
+  }
+
+  if (config.log) {
+    *config.log << "[sweep] " << def.name << ": " << k << " workers over "
+                << cells.size() << " cells ("
+                << (costs.empty() ? std::string("round-robin slices")
+                                  : "cost-weighted slices from " + costs)
+                << ")\n";
+  }
+
+  Reaper reaper{&shards};
+  bool inject_pending = config.inject_kill_shard > 0;
+
+  const auto spawn = [&](Shard& shard) {
+    const bool inject =
+        inject_pending && shard.index == config.inject_kill_shard;
+    if (inject) inject_pending = false;
+    shard.pid = spawn_worker(argv_head, shard, k, inject);
+    std::error_code ec;
+    const auto size = fs::file_size(shard.journal_path, ec);
+    shard.last_size = ec ? 0 : size;
+    shard.last_progress = Clock::now();
+    if (config.log) {
+      *config.log << "[sweep] shard " << shard.index << "/" << k
+                  << ": worker pid " << shard.pid << " started ("
+                  << shard.cells << " cells"
+                  << (inject ? ", fault injection armed" : "") << ")\n";
+    }
+    if (config.on_spawn) config.on_spawn(shard.index, shard.pid);
+  };
+  // Respawn bookkeeping shared by the dead- and wedged-worker paths;
+  // aborts (with the worker's log tail) once the budget is exhausted.
+  const auto respawn = [&](Shard& shard, const std::string& why) {
+    shard.pid = -1;
+    ++shard.restarts;
+    COBRA_CHECK_MSG(
+        shard.restarts <= config.max_restarts,
+        "sweep " << def.name << " shard " << shard.index << "/" << k
+                 << " failed " << shard.restarts << " times (last: " << why
+                 << "); giving up — worker log " << shard.log_path << ":\n"
+                 << log_tail(shard.log_path));
+    if (config.log) {
+      *config.log << "[sweep] shard " << shard.index << "/" << k
+                  << " worker " << why << "; respawning shard "
+                  << shard.index << "/" << k << " (attempt "
+                  << shard.restarts << "/" << config.max_restarts << ")\n";
+    }
+    spawn(shard);
+  };
+
+  for (Shard& shard : shards) spawn(shard);
+
+  for (;;) {
+    bool all_complete = true;
+    for (Shard& shard : shards) {
+      if (shard.complete) continue;
+      all_complete = false;
+
+      int status = 0;
+      const pid_t reaped = waitpid(shard.pid, &status, WNOHANG);
+      COBRA_CHECK_MSG(reaped >= 0, "waitpid failed: "
+                                       << std::strerror(errno));
+      if (reaped == shard.pid) {
+        shard.pid = -1;
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+          // Exit 0 promises a fully journaled slice; trust but verify —
+          // a worker that lied (or raced a deleted journal) respawns.
+          const auto [header, entries] =
+              Journal::read(shard.journal_path);
+          if (entries.size() == shard.cells) {
+            shard.complete = true;
+            if (config.log) {
+              *config.log << "[sweep] shard " << shard.index << "/" << k
+                          << " complete (" << shard.cells << " cells)\n";
+            }
+            continue;
+          }
+          respawn(shard, "exited cleanly with an incomplete journal");
+        } else {
+          respawn(shard, describe_exit(status));
+        }
+        continue;
+      }
+
+      // Worker is alive: journal growth is its heartbeat. A worker that
+      // neither finishes cells nor starts new ones within the timeout is
+      // wedged (deadlock, livelock, stuck I/O) and gets reassigned.
+      std::error_code ec;
+      const auto size = fs::file_size(shard.journal_path, ec);
+      if (!ec && size != shard.last_size) {
+        shard.last_size = size;
+        shard.last_progress = Clock::now();
+      } else if (shard.timeout_s > 0 &&
+                 Clock::now() - shard.last_progress >
+                     std::chrono::duration<double>(shard.timeout_s)) {
+        kill(shard.pid, SIGKILL);
+        waitpid(shard.pid, &status, 0);
+        shard.pid = -1;
+        std::ostringstream os;
+        os << "wedged (no journal growth for " << std::fixed
+           << std::setprecision(1) << shard.timeout_s
+           << " s; SIGKILLed)";
+        // Backoff: if this was an honest long cell, the doubled window
+        // lets the respawn finish it instead of draining the budget.
+        shard.timeout_s *= 2;
+        respawn(shard, os.str());
+      }
+    }
+    if (all_complete) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config.poll_interval_s));
+  }
+  reaper.disarmed = true;  // nothing left alive to reap
+
+  if (config.log) {
+    *config.log << "[sweep] all " << k << " shards complete; merging\n";
+  }
+
+  SupervisorResult result;
+  result.workers = k;
+  result.costs_path = costs;
+  for (const Shard& shard : shards) {
+    result.shards.push_back(ShardOutcome{shard.cells, shard.restarts});
+    result.restarts_total += shard.restarts;
+  }
+  result.merge = merge_experiment(def, config.out_dir, config.log);
+  return result;
+}
+
+}  // namespace cobra::runner

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "core/process.hpp"
@@ -49,7 +52,7 @@ void check_journal_prefix(const ExperimentDef& def,
                      << def.name << " (journaled '" << entries[j].cell_id
                      << "' where '" << cells[slice[j]].id
                      << "' was expected) — was it written at a different "
-                     << "scale?");
+                     << "scale or with a different --costs model?");
   }
 }
 
@@ -117,6 +120,18 @@ void truncate_fragment(const std::string& path,
                        const std::vector<std::string>& columns,
                        std::size_t keep_rows) {
   util::CsvTable table = util::read_csv(path);
+  // A worker killed before its first flush leaves a 0-byte fragment (the
+  // CsvWriter buffers the header until the first cell is flushed). With
+  // no rows journaled that is consistent: the append-mode reopen sees an
+  // empty file and rewrites the header.
+  if (table.header.empty() && table.num_rows() == 0) {
+    COBRA_CHECK_MSG(keep_rows == 0,
+                    path << " is empty but its journal records "
+                         << keep_rows << " rows — the fragment was "
+                         << "modified; delete the run directory and "
+                         << "restart");
+    return;
+  }
   COBRA_CHECK_MSG(table.header == columns,
                   path << ": fragment header mismatch");
   COBRA_CHECK_MSG(table.num_rows() >= keep_rows,
@@ -160,6 +175,95 @@ std::string fragment_path(const std::string& out_dir, const TableDef& table,
   return os.str();
 }
 
+std::string costs_path_for(const std::string& out_dir,
+                           const std::string& experiment) {
+  return out_dir + "/" + experiment + ".costs";
+}
+
+void write_costs_file(const std::string& path,
+                      const std::vector<JournalEntry>& entries) {
+  std::ofstream out(path, std::ios::trunc);
+  COBRA_CHECK_MSG(out.good(), "cannot write cost model " << path);
+  out << "cobra-costs\tv1\n";
+  for (const JournalEntry& entry : entries)
+    out << "cell\t" << entry.cell_id << '\t' << entry.wall_us << '\n';
+  out.flush();
+  COBRA_CHECK_MSG(out.good(), "failed writing cost model " << path);
+}
+
+std::map<std::string, std::uint64_t> read_costs_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  COBRA_CHECK_MSG(in.good(), "cannot read cost model " << path);
+  std::string line;
+  COBRA_CHECK_MSG(std::getline(in, line) && line == "cobra-costs\tv1",
+                  path << " line 1: not a cobra-costs v1 file");
+  std::map<std::string, std::uint64_t> costs;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto tab1 = line.find('\t');
+    const auto tab2 =
+        tab1 == std::string::npos ? tab1 : line.find('\t', tab1 + 1);
+    COBRA_CHECK_MSG(tab2 != std::string::npos &&
+                        line.compare(0, tab1, "cell") == 0,
+                    path << " line " << line_no
+                         << ": malformed cost record '" << line << "'");
+    const std::string id = line.substr(tab1 + 1, tab2 - tab1 - 1);
+    const std::uint64_t wall_us =
+        parse_u64_field(line.substr(tab2 + 1), "wall time", path, line_no);
+    COBRA_CHECK_MSG(costs.emplace(id, wall_us).second,
+                    path << " line " << line_no << ": duplicate cell '"
+                         << id << "'");
+  }
+  return costs;
+}
+
+std::vector<std::uint64_t> cell_costs(const std::vector<CellDef>& cells,
+                                      const std::string& costs_path) {
+  // No model (or none archived yet): empty — the caller slices round
+  // robin. A file that exists but is corrupt fails loudly in
+  // read_costs_file.
+  if (costs_path.empty() || !std::filesystem::exists(costs_path))
+    return {};
+  const auto costs = read_costs_file(costs_path);
+  std::vector<std::uint64_t> known;
+  known.reserve(costs.size());
+  for (const auto& [id, wall_us] : costs) known.push_back(wall_us);
+  std::sort(known.begin(), known.end());
+  // Cells the model does not know (the costs were archived at another
+  // scale) default to the median known cost: deterministic, and neutral
+  // under the heavy-tailed distributions the model exists for.
+  const std::uint64_t fallback =
+      known.empty() ? 1 : known[known.size() / 2];
+  std::vector<std::uint64_t> per_cell(cells.size(), fallback);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto it = costs.find(cells[i].id);
+    if (it != costs.end()) per_cell[i] = it->second;
+  }
+  return per_cell;
+}
+
+std::vector<std::vector<std::size_t>> partition_for(
+    std::size_t num_cells, int count,
+    const std::vector<std::uint64_t>& costs) {
+  if (!costs.empty()) return weighted_shard_partition(costs, count);
+  std::vector<std::vector<std::size_t>> partition;
+  partition.reserve(static_cast<std::size_t>(count));
+  for (int i = 1; i <= count; ++i)
+    partition.push_back(shard_slice(num_cells, i, count));
+  return partition;
+}
+
+std::vector<std::size_t> slice_for(const std::vector<CellDef>& cells,
+                                   int index, int count,
+                                   const std::string& costs_path) {
+  const std::vector<std::uint64_t> costs = cell_costs(cells, costs_path);
+  if (costs.empty()) return shard_slice(cells.size(), index, count);
+  return weighted_shard_slice(costs, index, count);
+}
+
 SweepResult run_experiment(const ExperimentDef& def,
                            const SweepConfig& config) {
   COBRA_CHECK_MSG(config.shard_count >= 1 && config.shard_index >= 1 &&
@@ -168,8 +272,14 @@ SweepResult run_experiment(const ExperimentDef& def,
                                    << config.shard_count);
 
   const std::vector<CellDef> cells = enumerate_cells(def);
-  const std::vector<std::size_t> slice =
-      shard_slice(cells.size(), config.shard_index, config.shard_count);
+  const std::vector<std::size_t> slice = slice_for(
+      cells, config.shard_index, config.shard_count, config.costs_path);
+
+  // Fault injection for the supervisor's kill/reassign tests: when set,
+  // the worker SIGKILLs itself after journaling this many cells — a
+  // deterministic stand-in for a worker dying mid-shard.
+  const std::int64_t kill_after_cells =
+      util::env_int("COBRA_SWEEP_KILL_AFTER_CELLS", 0);
 
   // Canonical engine name (COBRA_ENGINE=fast journals as "auto", like the
   // --engine flag); also rejects an invalid session engine before any
@@ -249,6 +359,9 @@ SweepResult run_experiment(const ExperimentDef& def,
       *config.log << "[" << (j + 1) << "/" << slice.size() << "] "
                   << def.name << "/" << cell.id << " ..." << std::flush;
     }
+    // Liveness marker at cell start: the supervisor distinguishes a slow
+    // worker (journal still grows at cell boundaries) from a wedged one.
+    journal->heartbeat(cell.id);
 
     const auto cell_start = std::chrono::steady_clock::now();
     CellContext context(def.tables.size());
@@ -273,6 +386,10 @@ SweepResult run_experiment(const ExperimentDef& def,
     // orphaned rows first.
     journal->record(entry);
     ++result.cells_run;
+    if (kill_after_cells > 0 &&
+        result.cells_run >= static_cast<std::size_t>(kill_after_cells)) {
+      std::raise(SIGKILL);  // fault injection: die hard, journal intact
+    }
 
     if (config.log) {
       std::size_t rows = 0;
@@ -292,6 +409,13 @@ SweepResult run_experiment(const ExperimentDef& def,
       slice.size() - result.cells_skipped - result.cells_run;
 
   for (auto& writer : writers) writer->close();
+
+  if (result.complete() && config.shard_count == 1) {
+    // Archive the cost model: the journal holds every cell's wall time,
+    // and a later `--costs` run balances its shard slices with it.
+    write_costs_file(costs_path_for(config.out_dir, def.name),
+                     journal->entries());
+  }
 
   if (result.complete() && config.shard_count == 1 && config.console) {
     const std::vector<std::string> summary =
@@ -423,20 +547,58 @@ MergeResult merge_experiment(const ExperimentDef& def,
 
   const std::vector<CellDef> cells = enumerate_cells(def);
 
-  // Every shard must have journaled its entire slice, in order.
-  std::vector<std::vector<std::size_t>> slices;
+  // Map each shard's journaled cells onto the global enumeration. Merge
+  // is deliberately slicing-agnostic: round-robin shards, cost-weighted
+  // shards and any future deterministic partition all merge identically,
+  // because every journal names its cells and the fragments follow
+  // journal order. What must hold: each shard walks the enumeration
+  // monotonically, and the shards together cover every cell exactly once.
+  std::unordered_map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    index_of.emplace(cells[i].id, i);
+  std::vector<int> owner(cells.size(), 0);  // journaling shard; 0 = none
+  // entry_cells[s-1][j]: global cell index of shard s's j-th entry.
+  std::vector<std::vector<std::size_t>> entry_cells(
+      static_cast<std::size_t>(shard_count));
   for (int s = 1; s <= shard_count; ++s) {
-    const auto slice = shard_slice(cells.size(), s, shard_count);
     const auto& entries = shard_entries[static_cast<std::size_t>(s) - 1];
-    check_journal_prefix(def, cells, slice, entries,
-                         journal_paths[static_cast<std::size_t>(s) - 1]);
-    COBRA_CHECK_MSG(entries.size() == slice.size(),
-                    def.name << " shard " << s << "/" << shard_count
-                             << " is incomplete (" << entries.size() << "/"
-                             << slice.size()
-                             << " cells journaled); resume it before "
-                             << "merging");
-    slices.push_back(slice);
+    const std::string& jpath =
+        journal_paths[static_cast<std::size_t>(s) - 1];
+    auto& mapped = entry_cells[static_cast<std::size_t>(s) - 1];
+    for (const JournalEntry& entry : entries) {
+      const auto it = index_of.find(entry.cell_id);
+      COBRA_CHECK_MSG(it != index_of.end(),
+                      jpath << " journals unknown cell '" << entry.cell_id
+                            << "' — was it written at a different scale?");
+      COBRA_CHECK_MSG(mapped.empty() || it->second > mapped.back(),
+                      jpath << " journals '" << entry.cell_id
+                            << "' out of enumeration order — was it "
+                            << "written at a different scale or with a "
+                            << "different --costs model?");
+      COBRA_CHECK_MSG(owner[it->second] == 0,
+                      def.name << " cell '" << entry.cell_id
+                               << "' is journaled by both shard "
+                               << owner[it->second] << " and shard " << s
+                               << " — the shards were run with different "
+                               << "slicings; refusing to merge");
+      owner[it->second] = s;
+      mapped.push_back(it->second);
+    }
+  }
+  {
+    std::size_t missing = 0;
+    std::string first_missing;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (owner[i] != 0) continue;
+      if (missing == 0) first_missing = cells[i].id;
+      ++missing;
+    }
+    COBRA_CHECK_MSG(missing == 0,
+                    def.name << " is incomplete: " << missing << " of "
+                             << cells.size()
+                             << " cells are journaled by no shard (first "
+                             << "missing: '" << first_missing
+                             << "'); resume the shards before merging");
   }
 
   MergeResult result;
@@ -455,7 +617,7 @@ MergeResult merge_experiment(const ExperimentDef& def,
                       table.id << " shard " << s
                                << ": fragment header mismatch");
       const auto& entries = shard_entries[static_cast<std::size_t>(s) - 1];
-      const auto& slice = slices[static_cast<std::size_t>(s) - 1];
+      const auto& mapped = entry_cells[static_cast<std::size_t>(s) - 1];
       std::size_t cursor = 0;
       for (std::size_t j = 0; j < entries.size(); ++j) {
         COBRA_CHECK_MSG(t < entries[j].rows_per_table.size(),
@@ -466,7 +628,7 @@ MergeResult merge_experiment(const ExperimentDef& def,
         COBRA_CHECK_MSG(cursor + rows <= fragment.num_rows(),
                         table.id << " shard " << s
                                  << ": fragment shorter than its journal");
-        auto& chunk = chunks[slice[j]];
+        auto& chunk = chunks[mapped[j]];
         for (std::size_t r = 0; r < rows; ++r)
           chunk.push_back(fragment.rows[cursor + r]);
         cursor += rows;
@@ -494,6 +656,22 @@ MergeResult merge_experiment(const ExperimentDef& def,
       *log << "merged " << table.id << ".csv: " << rows << " rows from "
            << shard_count << " shards\n";
     }
+  }
+
+  // Archive the cost model in enumeration order: per-cell wall times for
+  // weighted re-sharding (`--costs`) of the next run at this scale.
+  {
+    std::vector<const JournalEntry*> by_cell(cells.size(), nullptr);
+    for (int s = 1; s <= shard_count; ++s) {
+      const auto& entries = shard_entries[static_cast<std::size_t>(s) - 1];
+      const auto& mapped = entry_cells[static_cast<std::size_t>(s) - 1];
+      for (std::size_t j = 0; j < entries.size(); ++j)
+        by_cell[mapped[j]] = &entries[j];
+    }
+    std::vector<JournalEntry> ordered;
+    ordered.reserve(by_cell.size());
+    for (const JournalEntry* entry : by_cell) ordered.push_back(*entry);
+    write_costs_file(costs_path_for(out_dir, def.name), ordered);
   }
 
   if (log) {

@@ -1,12 +1,16 @@
 // Sharded, resumable execution of registered experiments, plus the merge
-// that reassembles shard fragments into the canonical archives.
+// that reassembles shard fragments into the canonical archives and the
+// per-cell cost model (`<experiment>.costs`) that weighted re-sharding
+// feeds on.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "runner/journal.hpp"
 #include "runner/registry.hpp"
 
 namespace cobra::runner {
@@ -24,6 +28,10 @@ struct SweepConfig {
   bool console = true;
   /// Progress log (one line per cell); nullptr silences it.
   std::ostream* log = nullptr;
+  /// Cost-model file for weighted shard slicing ("" = round-robin). Every
+  /// shard of one run — and every resume of a shard — must use the same
+  /// file content, or the journal prefix check refuses to continue.
+  std::string costs_path;
 };
 
 /// What one run_experiment() invocation did.
@@ -64,6 +72,44 @@ MergeResult merge_experiment(const ExperimentDef& def,
 /// canonical <out_dir>/<table id>.csv itself.
 std::string fragment_path(const std::string& out_dir, const TableDef& table,
                           int shard_index, int shard_count);
+
+/// Where a run archives its per-cell cost model:
+/// `<out_dir>/<experiment>.costs`. Written by a completed unsharded run
+/// and by merge_experiment(); consumed by slice_for() via --costs.
+std::string costs_path_for(const std::string& out_dir,
+                           const std::string& experiment);
+
+/// Writes a cost-model file: a `cobra-costs\tv1` header followed by one
+/// `cell\t<cell id>\t<wall µs>` line per journaled cell.
+void write_costs_file(const std::string& path,
+                      const std::vector<JournalEntry>& entries);
+
+/// Parses a cost-model file into cell id → wall µs. Fails (CheckError)
+/// with the path and line number on malformed content or duplicate ids.
+std::map<std::string, std::uint64_t> read_costs_file(
+    const std::string& path);
+
+/// Per-cell costs (wall µs) aligned with `cells`, read from `costs_path`:
+/// archived values where the model knows the cell, the median known cost
+/// elsewhere (the model was archived at another scale). Empty when the
+/// path is empty or the file does not exist yet — the round-robin
+/// fallback. A file that exists but is corrupt fails loudly.
+std::vector<std::uint64_t> cell_costs(const std::vector<CellDef>& cells,
+                                      const std::string& costs_path);
+
+/// All `count` slices over `num_cells` cells at once: the weighted LPT
+/// partition when `costs` (a cell_costs() result) is non-empty, the
+/// round-robin one otherwise. Element i is shard i+1's slice.
+std::vector<std::vector<std::size_t>> partition_for(
+    std::size_t num_cells, int count,
+    const std::vector<std::uint64_t>& costs);
+
+/// The slice of `cells` owned by shard `index`/`count`:
+/// weighted_shard_slice over cell_costs() when a model is available,
+/// classic round-robin shard_slice otherwise.
+std::vector<std::size_t> slice_for(const std::vector<CellDef>& cells,
+                                   int index, int count,
+                                   const std::string& costs_path);
 
 /// Human-readable wall time for journal cost summaries: "734 µs",
 /// "12.3 ms", "4.56 s", "3.2 min".

@@ -26,6 +26,40 @@ TEST(RunnerOptions, DefaultsAreUnset) {
   EXPECT_FALSE(o.list);
   EXPECT_EQ(o.max_cells, -1);
   EXPECT_TRUE(o.positional.empty());
+  EXPECT_EQ(o.jobs, 0);
+  EXPECT_TRUE(o.costs.empty());
+  EXPECT_DOUBLE_EQ(o.heartbeat_timeout, 300.0);
+  EXPECT_EQ(o.max_restarts, 3);
+  EXPECT_EQ(o.inject_kill, 0);
+}
+
+TEST(RunnerOptions, ParsesSweepFlags) {
+  RunnerOptions o;
+  ASSERT_EQ(parse({"sweep", "families", "-j", "8", "--costs",
+                   "old/families.costs", "--heartbeat-timeout", "45.5",
+                   "--max-restarts", "5", "--inject-kill", "2"},
+                  o),
+            std::nullopt);
+  EXPECT_EQ(o.jobs, 8);
+  EXPECT_EQ(o.costs, "old/families.costs");
+  EXPECT_DOUBLE_EQ(o.heartbeat_timeout, 45.5);
+  EXPECT_EQ(o.max_restarts, 5);
+  EXPECT_EQ(o.inject_kill, 2);
+
+  RunnerOptions eq;
+  ASSERT_EQ(parse({"--jobs=16"}, eq), std::nullopt);
+  EXPECT_EQ(eq.jobs, 16);
+}
+
+TEST(RunnerOptions, RejectsInvalidSweepFlags) {
+  RunnerOptions o;
+  EXPECT_NE(parse({"-j", "0"}, o), std::nullopt);
+  EXPECT_NE(parse({"-j", "9999"}, o), std::nullopt);
+  EXPECT_NE(parse({"-j", "four"}, o), std::nullopt);
+  EXPECT_NE(parse({"--costs"}, o), std::nullopt);
+  EXPECT_NE(parse({"--heartbeat-timeout", "-1"}, o), std::nullopt);
+  EXPECT_NE(parse({"--max-restarts", "-2"}, o), std::nullopt);
+  EXPECT_NE(parse({"--inject-kill", "0"}, o), std::nullopt);
 }
 
 TEST(RunnerOptions, ParsesEverySpaceSeparatedFlag) {
@@ -154,7 +188,9 @@ TEST(RunnerOptions, UsageMentionsEveryFlag) {
   const std::string text = usage();
   for (const std::string flag :
        {"--scale", "--seed", "--threads", "--out-dir", "--shard",
-        "--resume", "--filter", "--list", "--max-cells", "--help"}) {
+        "--resume", "--filter", "--list", "--max-cells", "--help",
+        "--jobs", "--costs", "--heartbeat-timeout", "--max-restarts",
+        "--inject-kill"}) {
     EXPECT_NE(text.find(flag), std::string::npos) << flag;
   }
 }

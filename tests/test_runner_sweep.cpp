@@ -329,8 +329,26 @@ TEST_F(SweepTest, JournalRecordsWallTimeAndMergeSummarizesIt) {
       << log.str();
 }
 
-TEST_F(SweepTest, OldJournalVersionsAreRefused) {
-  const ExperimentDef def = make_test_experiment();
+/// Asserts `fn` throws CheckError and its message carries every one of
+/// `needles` — corruption diagnostics must name the file, the line and
+/// the offending token, not just fail.
+template <typename Fn>
+void expect_check_message(Fn fn, const std::vector<std::string>& needles) {
+  try {
+    fn();
+    FAIL() << "expected util::CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    for (const std::string& needle : needles) {
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "missing '" << needle << "' in: " << what;
+    }
+  }
+}
+
+TEST_F(SweepTest, OldJournalVersionsAreRefusedWithAnActionableMessage) {
+  // A v2 journal is a stale-but-valid file, not garbage: the error names
+  // the version found, the version required, and the remedy.
   const std::string path = (dir_ / "v2.journal").string();
   {
     std::ofstream out(path, std::ios::trunc);
@@ -338,7 +356,170 @@ TEST_F(SweepTest, OldJournalVersionsAreRefused) {
         << "run\tsynthetic\t1/1\t12345\t1\treference\n"
         << "cell\tc0\t1,0\tok\n";
   }
-  EXPECT_THROW(Journal::read(path), util::CheckError);
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "v2", "v3", "re-run"});
+
+  // An unknown (future?) version is reported as such, not as garbage.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "cobra-journal\tv9\n";
+  }
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "v9", "unrecognised"});
+}
+
+TEST_F(SweepTest, TruncatedOrForeignHeadersFailWithThePath) {
+  const std::string path = (dir_ / "broken.journal").string();
+  { std::ofstream out(path, std::ios::trunc); }  // 0 bytes
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "empty or truncated"});
+
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "not-a-journal,at,all\n";
+  }
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "line 1", "not a cobra journal"});
+
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "cobra-journal\tv3\n";  // magic only, no run header
+  }
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "missing run header"});
+}
+
+TEST_F(SweepTest, GarbageHeaderFieldsFailWithLineAndToken) {
+  const std::string path = (dir_ / "garbage.journal").string();
+  const auto with_header = [&](const std::string& run_line) {
+    std::ofstream out(path, std::ios::trunc);
+    out << "cobra-journal\tv3\n" << run_line << '\n';
+  };
+
+  // A corrupted shard spec must not silently become shard 0/0.
+  with_header("run\tsynthetic\txof4\t12345\t1\tauto");
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "line 2", "shard spec", "xof4"});
+  with_header("run\tsynthetic\tx/4\t12345\t1\tauto");
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "line 2", "shard index", "x"});
+  with_header("run\tsynthetic\t5/4\t12345\t1\tauto");
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "line 2", "5/4"});
+  with_header("run\tsynthetic\t1/1\t12a45\t1\tauto");
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "line 2", "seed", "12a45"});
+  with_header("run\tsynthetic\t1/1\t12345\t-1\tauto");
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "line 2", "scale", "-1"});
+  with_header("run\tsynthetic\t1/1");
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "line 2", "malformed run header"});
+}
+
+TEST_F(SweepTest, CorruptCompletedCellRecordsFailLoudly) {
+  // A line with the "ok" terminator claims to be complete, so garbage in
+  // it is corruption (loud), not a torn write (silently skipped).
+  const std::string path = (dir_ / "corrupt.journal").string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "cobra-journal\tv3\n"
+        << "run\tsynthetic\t1/1\t12345\t1\tauto\n"
+        << "cell\tc0\t1x,0\t5\tok\n";
+  }
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "line 3", "row count", "1x"});
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "cobra-journal\tv3\n"
+        << "run\tsynthetic\t1/1\t12345\t1\tauto\n"
+        << "cell\tc0\t1,0\tfast\tok\n";
+  }
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "line 3", "wall time", "fast"});
+}
+
+TEST_F(SweepTest, JournalCreateReportsTheMkdirError) {
+  // The parent "directory" is a regular file, so create_directories
+  // fails — the message must carry the OS error, not a misleading
+  // "cannot open journal".
+  const std::string blocker = (dir_ / "blocker").string();
+  {
+    std::ofstream out(blocker);
+    out << "file\n";
+  }
+  expect_check_message(
+      [&] {
+        Journal::create(blocker + "/sub/x.journal", JournalHeader{});
+      },
+      {"cannot create journal directory", blocker});
+}
+
+TEST_F(SweepTest, HeartbeatLinesAreWrittenAndSkippedByReaders) {
+  const ExperimentDef def = make_test_experiment();
+  run_experiment(def, config("beats"));
+
+  const std::string jpath = (dir_ / "beats/synthetic.1of1.journal").string();
+  const std::string text = slurp(jpath);
+  // One liveness marker per cell start, flushed before the cell body —
+  // the supervisor's wedge detection watches the journal grow on them.
+  std::size_t beats = 0;
+  for (auto pos = text.find("heartbeat\t"); pos != std::string::npos;
+       pos = text.find("heartbeat\t", pos + 1)) {
+    ++beats;
+  }
+  EXPECT_EQ(beats, static_cast<std::size_t>(kCells));
+  // Readers skip them: only "cell ... ok" records are journaled cells.
+  const auto [header, entries] = Journal::read(jpath);
+  EXPECT_EQ(entries.size(), static_cast<std::size_t>(kCells));
+}
+
+TEST_F(SweepTest, CompletedRunsArchiveTheCostModelAndItRoundTrips) {
+  const ExperimentDef def = make_test_experiment();
+  run_experiment(def, config("costs"));
+
+  const std::string path =
+      costs_path_for((dir_ / "costs").string(), "synthetic");
+  ASSERT_TRUE(fs::exists(path));
+  const auto costs = read_costs_file(path);
+  EXPECT_EQ(costs.size(), static_cast<std::size_t>(kCells));
+  EXPECT_TRUE(costs.count("c0"));
+
+  // Weighted shards sliced by the archived model still merge to the
+  // canonical bytes: slicing is a scheduling choice, never a result one.
+  for (int i = 1; i <= 3; ++i) {
+    SweepConfig c = config("costs_sharded", i, 3);
+    c.costs_path = path;
+    EXPECT_TRUE(run_experiment(def, c).complete());
+  }
+  merge_experiment(def, (dir_ / "costs_sharded").string(), nullptr);
+  for (const char* table : {"synthetic_main.csv", "synthetic_aux.csv"}) {
+    EXPECT_EQ(slurp((dir_ / "costs" / table).string()),
+              slurp((dir_ / "costs_sharded" / table).string()))
+        << table;
+  }
+}
+
+TEST_F(SweepTest, MalformedCostFilesFailWithLineAndToken) {
+  const std::string path = (dir_ / "bad.costs").string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "cobra-costs\tv1\ncell\tc0\tcheap\n";
+  }
+  expect_check_message([&] { read_costs_file(path); },
+                       {path, "line 2", "cheap"});
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "cobra-costs\tv1\ncell\tc0\t5\ncell\tc0\t6\n";
+  }
+  expect_check_message([&] { read_costs_file(path); },
+                       {path, "line 3", "duplicate", "c0"});
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "not a costs file\n";
+  }
+  expect_check_message([&] { read_costs_file(path); },
+                       {path, "line 1"});
 }
 
 TEST_F(SweepTest, MergeRefusesMixedSeeds) {
