@@ -1,9 +1,20 @@
 // Graph generator throughput (experiments regenerate graphs per
-// configuration, so generation must stay cheap relative to simulation).
+// configuration, so generation must stay cheap relative to simulation),
+// plus the BM_GraphIo* axis: the same workhorse graph obtained by
+// in-process generation vs loading a pre-baked binary .cgr (owned copy
+// vs O(header) mmap open vs mmap + full adjacency scan). The committed
+// bench_results/BENCH_graph_io.json baseline is guarded by
+// scripts/check_step_bench.py --suite graph_io.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "graph/binary_io.hpp"
 #include "graph/generators.hpp"
 #include "graph/random_generators.hpp"
+#include "graph/spec.hpp"
 #include "rng/stream.hpp"
 
 namespace {
@@ -65,6 +76,60 @@ void BM_GenBarabasiAlbert(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GenBarabasiAlbert)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+
+// --- BM_GraphIo*: generate vs load vs mmap for the workhorse graph -----
+
+constexpr const char* kIoSpec = "regular_262144_r8";
+
+// Bakes the spec to a temp .cgr once; every load/mmap bench reads it.
+const std::string& baked_cgr_path() {
+  static const std::string path = [] {
+    const std::string p = (std::filesystem::temp_directory_path() /
+                           "cobra_micro_graph_io.cgr")
+                              .string();
+    graph::write_cgr_file(graph::build_graph_spec(kIoSpec), p);
+    return p;
+  }();
+  return path;
+}
+
+void BM_GraphIoGenerate(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::build_graph_spec(kIoSpec));
+  state.SetLabel(std::string(kIoSpec) + "/generate");
+}
+BENCHMARK(BM_GraphIoGenerate)->Unit(benchmark::kMillisecond);
+
+void BM_GraphIoLoadOwned(benchmark::State& state) {
+  const std::string& path = baked_cgr_path();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        graph::load_cgr_file(path, graph::CgrLoadMode::kOwned));
+  state.SetLabel(std::string(kIoSpec) + "/load_owned");
+}
+BENCHMARK(BM_GraphIoLoadOwned)->Unit(benchmark::kMillisecond);
+
+void BM_GraphIoMmapOpen(benchmark::State& state) {
+  const std::string& path = baked_cgr_path();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        graph::load_cgr_file(path, graph::CgrLoadMode::kMapped));
+  state.SetLabel(std::string(kIoSpec) + "/mmap_open");
+}
+BENCHMARK(BM_GraphIoMmapOpen)->Unit(benchmark::kMillisecond);
+
+void BM_GraphIoMmapScan(benchmark::State& state) {
+  const std::string& path = baked_cgr_path();
+  for (auto _ : state) {
+    const graph::Graph g =
+        graph::load_cgr_file(path, graph::CgrLoadMode::kMapped);
+    std::uint64_t sum = 0;
+    for (const graph::VertexId v : g.adjacency()) sum += v;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetLabel(std::string(kIoSpec) + "/mmap_scan");
+}
+BENCHMARK(BM_GraphIoMmapScan)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

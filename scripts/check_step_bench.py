@@ -1,24 +1,30 @@
 #!/usr/bin/env python3
-"""Regression-threshold checks for the frontier-kernel benchmarks.
+"""Regression-threshold checks for the committed benchmark baselines.
 
-Two suites, selected with --suite (default: step):
+Three suites, selected with --suite (default: step). Each guards one
+fast-vs-slow pair that encodes the suite's headline claim:
 
-  step    bench_results/BENCH_step.json, produced by micro_cobra. The
-          guarded pair is the steady-state COBRA round on the largest
-          b = 2 random-regular graph (BM_CobraStep, regular_262144_r8).
-  bips    bench_results/BENCH_bips.json, produced by micro_bips. The
-          guarded pair is the full-infection-trajectory BIPS round on the
-          largest b = 2 random-regular graph (BM_BipsRound,
-          regular_65536_r8).
+  step      bench_results/BENCH_step.json, produced by micro_cobra. The
+            guarded pair is dense vs reference for the steady-state COBRA
+            round on the largest b = 2 random-regular graph
+            (BM_CobraStep, regular_262144_r8).
+  bips      bench_results/BENCH_bips.json, produced by micro_bips. The
+            guarded pair is dense vs reference for the
+            full-infection-trajectory BIPS round (BM_BipsRound,
+            regular_65536_r8).
+  graph_io  bench_results/BENCH_graph_io.json, produced by
+            micro_graphgen. The guarded pair is mmap_open vs generate for
+            regular_262144_r8 (BM_GraphIo*): opening a pre-baked .cgr
+            must beat regenerating the graph in-process, the point of the
+            out-of-core format.
 
 Two modes:
 
   check_step_bench.py [--suite S] BASELINE.json
-      Validates the committed baseline: the dense engine must be at least
-      --min-speedup (default 2.0) times faster than the reference engine
-      on the suite's guarded pair — the headline guarantee of the
-      frontier kernel (runs in ctest as `bench_step_baseline_check` and
-      `bench_bips_baseline_check`).
+      Validates the committed baseline: the suite's fast variant must be
+      at least --min-speedup (default 2.0) times faster than its slow
+      variant on the guarded pair (runs in ctest as the
+      `bench_*_baseline_check` tests).
 
   check_step_bench.py [--suite S] BASELINE.json FRESH.json [--tolerance 0.30]
       Compares a fresh benchmark JSON against the baseline: any shared
@@ -33,17 +39,25 @@ Regenerate the baselines with:
       --benchmark_out_format=json
   ./build/bench/micro_bips --benchmark_out=bench_results/BENCH_bips.json \
       --benchmark_out_format=json
+  ./build/bench/micro_graphgen --benchmark_filter='BM_GraphIo' \
+      --benchmark_out=bench_results/BENCH_graph_io.json \
+      --benchmark_out_format=json
 """
 
 import argparse
 import json
 import sys
 
-# The guarded (bench prefix, graph label) per suite; the micro_* binaries
-# keep these labels stable.
+# The guarded (bench prefix, graph label, slow/fast variant) per suite;
+# the micro_* binaries keep these labels stable. Guarded pairs must share
+# one time unit — the comparison uses real_time verbatim.
 SUITES = {
-    "step": {"prefix": "BM_CobraStep/", "graph": "regular_262144_r8"},
-    "bips": {"prefix": "BM_BipsRound/", "graph": "regular_65536_r8"},
+    "step": {"prefix": "BM_CobraStep/", "graph": "regular_262144_r8",
+             "slow": "reference", "fast": "dense"},
+    "bips": {"prefix": "BM_BipsRound/", "graph": "regular_65536_r8",
+             "slow": "reference", "fast": "dense"},
+    "graph_io": {"prefix": "BM_GraphIo", "graph": "regular_262144_r8",
+                 "slow": "generate", "fast": "mmap_open"},
 }
 
 
@@ -68,18 +82,18 @@ def step_time(benches, prefix, label):
 
 
 def check_baseline(benches, suite, min_speedup):
-    prefix = SUITES[suite]["prefix"]
-    graph = SUITES[suite]["graph"]
-    reference = step_time(benches, prefix, f"{graph}/reference")
-    dense = step_time(benches, prefix, f"{graph}/dense")
-    speedup = reference / dense
+    s = SUITES[suite]
+    slow = step_time(benches, s["prefix"], f"{s['graph']}/{s['slow']}")
+    fast = step_time(benches, s["prefix"], f"{s['graph']}/{s['fast']}")
+    speedup = slow / fast
     print(
-        f"[{suite}] round on {graph}: reference {reference:.0f} ns, "
-        f"dense {dense:.0f} ns, speedup {speedup:.2f}x "
+        f"[{suite}] {s['graph']}: {s['slow']} {slow:.0f}, "
+        f"{s['fast']} {fast:.0f}, speedup {speedup:.2f}x "
         f"(required >= {min_speedup:.2f}x)"
     )
     if speedup < min_speedup:
-        sys.exit(f"FAIL: dense engine speedup {speedup:.2f}x < {min_speedup}x")
+        sys.exit(f"FAIL: {s['fast']} speedup over {s['slow']} "
+                 f"{speedup:.2f}x < {min_speedup}x")
     print("OK")
 
 

@@ -8,34 +8,75 @@
 
 namespace cobra::graph {
 
+std::uint64_t csr_fingerprint(std::span<const std::uint64_t> offsets,
+                              std::span<const VertexId> adj) {
+  // The CSR pair (offsets, adjacency) is the canonical form of the graph,
+  // so mixing both arrays position-wise pins the structure exactly.
+  const auto n =
+      offsets.empty() ? 0u : static_cast<std::uint32_t>(offsets.size() - 1);
+  std::uint64_t h = rng::mix64(0xC0BBA6F1u ^ n);
+  for (std::size_t i = 0; i < offsets.size(); ++i)
+    h = rng::mix64(h ^ (offsets[i] + 0xBF58476D1CE4E5B9ull * (i + 1)));
+  for (std::size_t i = 0; i < adj.size(); ++i)
+    h = rng::mix64(h ^ (adj[i] + 0x9E3779B97F4A7C15ull * (i + 1)));
+  return h;
+}
+
 Graph::Graph(std::vector<std::uint64_t> offsets, std::vector<VertexId> adj,
              std::string name)
-    : offsets_(std::move(offsets)),
-      adj_(std::move(adj)),
-      name_(std::move(name)) {
-  COBRA_CHECK_MSG(!offsets_.empty(), "offsets must have n+1 entries");
-  COBRA_CHECK(offsets_.front() == 0);
-  COBRA_CHECK(offsets_.back() == adj_.size());
-  COBRA_CHECK_MSG(adj_.size() % 2 == 0,
+    : name_(std::move(name)) {
+  COBRA_CHECK_MSG(!offsets.empty(), "offsets must have n+1 entries");
+  COBRA_CHECK(offsets.front() == 0);
+  COBRA_CHECK(offsets.back() == adj.size());
+  COBRA_CHECK_MSG(adj.size() % 2 == 0,
                   "undirected adjacency must have even length");
-  const VertexId n = num_vertices();
+  n_ = static_cast<VertexId>(offsets.size() - 1);
+  degree_sum_ = adj.size();
+  auto storage = std::make_shared<OwnedCsrStorage>(std::move(offsets),
+                                                   std::move(adj));
+  offsets_ = storage->offsets().data();
+  adj_ = storage->adjacency().data();
+  storage_ = std::move(storage);
+
   max_degree_ = 0;
   min_degree_ = std::numeric_limits<std::uint32_t>::max();
-  if (n == 0) min_degree_ = 0;
-  for (VertexId u = 0; u < n; ++u) {
+  if (n_ == 0) min_degree_ = 0;
+  for (VertexId u = 0; u < n_; ++u) {
     COBRA_CHECK(offsets_[u] <= offsets_[u + 1]);
     const std::uint32_t d = degree(u);
     max_degree_ = std::max(max_degree_, d);
     min_degree_ = std::min(min_degree_, d);
     const auto nbrs = neighbors(u);
     for (std::size_t j = 0; j < nbrs.size(); ++j) {
-      COBRA_CHECK_MSG(nbrs[j] < n, "neighbour id out of range");
+      COBRA_CHECK_MSG(nbrs[j] < n_, "neighbour id out of range");
       COBRA_CHECK_MSG(nbrs[j] != u, "self-loop in simple graph");
       if (j > 0)
         COBRA_CHECK_MSG(nbrs[j - 1] < nbrs[j],
                         "adjacency list must be sorted and duplicate-free");
     }
   }
+}
+
+Graph Graph::adopt(std::shared_ptr<const CsrStorage> storage,
+                   std::string name, std::uint32_t min_degree,
+                   std::uint32_t max_degree, std::uint64_t fingerprint) {
+  COBRA_CHECK_MSG(storage != nullptr, "adopt: null storage");
+  const auto offsets = storage->offsets();
+  const auto adj = storage->adjacency();
+  COBRA_CHECK_MSG(!offsets.empty(), "adopt: offsets must have n+1 entries");
+  COBRA_CHECK(offsets.front() == 0);
+  COBRA_CHECK(offsets.back() == adj.size());
+  Graph g;
+  g.n_ = static_cast<VertexId>(offsets.size() - 1);
+  g.degree_sum_ = adj.size();
+  g.offsets_ = offsets.data();
+  g.adj_ = adj.data();
+  g.storage_ = std::move(storage);
+  g.min_degree_ = min_degree;
+  g.max_degree_ = max_degree;
+  g.name_ = std::move(name);
+  g.fingerprint_.value.store(fingerprint, std::memory_order_relaxed);
+  return g;
 }
 
 bool Graph::has_edge(VertexId u, VertexId v) const {
@@ -53,13 +94,7 @@ std::uint64_t Graph::fingerprint() const {
   const std::uint64_t cached =
       fingerprint_.value.load(std::memory_order_relaxed);
   if (cached != 0) return cached;
-  // The CSR pair (offsets, adjacency) is the canonical form of the graph,
-  // so mixing both arrays position-wise pins the structure exactly.
-  std::uint64_t h = rng::mix64(0xC0BBA6F1u ^ num_vertices());
-  for (std::size_t i = 0; i < offsets_.size(); ++i)
-    h = rng::mix64(h ^ (offsets_[i] + 0xBF58476D1CE4E5B9ull * (i + 1)));
-  for (std::size_t i = 0; i < adj_.size(); ++i)
-    h = rng::mix64(h ^ (adj_[i] + 0x9E3779B97F4A7C15ull * (i + 1)));
+  const std::uint64_t h = csr_fingerprint(offsets(), adjacency());
   fingerprint_.value.store(h, std::memory_order_relaxed);
   return h;
 }

@@ -6,22 +6,38 @@
 //   * cache-friendly contiguous adjacency,
 //   * cheap degree queries and degree statistics,
 //   * vertices are dense ids 0..n-1 (std::uint32_t: 4 G vertices is far
-//     beyond anything a cover-time simulation can touch).
+//     beyond anything a cover-time simulation can touch),
+//   * storage-backend pluggability: the CSR arrays live in a
+//     graph::CsrStorage backend — owned vectors (generators, builders) or
+//     a read-only mmap of an on-disk `.cgr` file (graph/binary_io.hpp) —
+//     and the hot accessors read through raw pointers either way, so the
+//     backend choice is invisible to the simulators.
 //
-// Graphs are built with graph::GraphBuilder (src/graph/builder.hpp) or the
-// generator functions (src/graph/generators.hpp).
+// Graphs are built with graph::GraphBuilder (src/graph/builder.hpp), the
+// generator functions (src/graph/generators.hpp), or loaded from disk with
+// graph::load_cgr_file / graph::build_graph_spec. Copies share the backend
+// (the arrays are immutable), so passing Graphs by value is cheap.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "graph/storage.hpp"
+
 namespace cobra::graph {
 
-using VertexId = std::uint32_t;
+/// Structural digest of a CSR pair: SplitMix64-mixed position-wise over
+/// both arrays (the CSR pair is the graph's canonical form, so equal
+/// digests mean equal structure for caching purposes). This exact mix is
+/// what Graph::fingerprint() caches and what `.cgr` headers persist.
+[[nodiscard]] std::uint64_t csr_fingerprint(
+    std::span<const std::uint64_t> offsets, std::span<const VertexId> adj);
 
 class Graph {
  public:
@@ -33,17 +49,23 @@ class Graph {
   Graph(std::vector<std::uint64_t> offsets, std::vector<VertexId> adj,
         std::string name = "");
 
+  /// Adopts pre-validated storage without the O(n + m) structural scan:
+  /// the binary loader's path, where the `.cgr` writer already validated
+  /// the structure at ingest and the header carries the degree stats and
+  /// fingerprint. `fingerprint` primes the lazy cache (0 = recompute on
+  /// first use). Callers must have verified offsets/adjacency extents.
+  static Graph adopt(std::shared_ptr<const CsrStorage> storage,
+                     std::string name, std::uint32_t min_degree,
+                     std::uint32_t max_degree, std::uint64_t fingerprint);
+
   /// Number of vertices n.
-  [[nodiscard]] VertexId num_vertices() const {
-    return offsets_.empty() ? 0
-                            : static_cast<VertexId>(offsets_.size() - 1);
-  }
+  [[nodiscard]] VertexId num_vertices() const { return n_; }
 
   /// Number of undirected edges m.
-  [[nodiscard]] std::uint64_t num_edges() const { return adj_.size() / 2; }
+  [[nodiscard]] std::uint64_t num_edges() const { return degree_sum_ / 2; }
 
   /// Sum of degrees = 2m.
-  [[nodiscard]] std::uint64_t degree_sum() const { return adj_.size(); }
+  [[nodiscard]] std::uint64_t degree_sum() const { return degree_sum_; }
 
   [[nodiscard]] std::uint32_t degree(VertexId u) const {
     return static_cast<std::uint32_t>(offsets_[u + 1] - offsets_[u]);
@@ -51,8 +73,7 @@ class Graph {
 
   /// Sorted neighbours of u.
   [[nodiscard]] std::span<const VertexId> neighbors(VertexId u) const {
-    return {adj_.data() + offsets_[u],
-            adj_.data() + offsets_[u + 1]};
+    return {adj_ + offsets_[u], adj_ + offsets_[u + 1]};
   }
 
   /// The j-th neighbour of u (0-based); j < degree(u).
@@ -79,18 +100,41 @@ class Graph {
   /// All undirected edges as (u, v) with u < v, in CSR order.
   [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> edges() const;
 
-  /// A 64-bit structural digest of (n, adjacency), mixed via SplitMix64
-  /// over the CSR arrays. Two graphs with the same fingerprint are, for
-  /// caching purposes, the same graph regardless of how they were
-  /// generated — this keys the spectral cache so sharded cells that
-  /// rebuild an identical graph (same generator, seed and scale) reuse
-  /// one Lanczos solve. Computed once on first use, O(n + m); not part of
-  /// equality semantics.
+  /// A 64-bit structural digest of (n, adjacency) — csr_fingerprint over
+  /// the CSR arrays. Two graphs with the same fingerprint are, for caching
+  /// purposes, the same graph regardless of how they were generated — this
+  /// keys the spectral and graph caches so sharded cells that rebuild an
+  /// identical graph (same generator, seed and scale) reuse one solve.
+  /// Computed once on first use, O(n + m); graphs loaded from `.cgr` trust
+  /// the digest computed at ingest and stored in the header, so calling
+  /// this on an mmap'd graph stays O(1). Not part of equality semantics.
   [[nodiscard]] std::uint64_t fingerprint() const;
 
+  /// The n+1 CSR row offsets (backend-independent view).
+  [[nodiscard]] std::span<const std::uint64_t> offsets() const {
+    return {offsets_, offsets_ == nullptr ? 0 : static_cast<std::size_t>(n_) + 1};
+  }
+
+  /// The concatenated adjacency array (backend-independent view).
+  [[nodiscard]] std::span<const VertexId> adjacency() const {
+    return {adj_, degree_sum_};
+  }
+
+  /// Which backend holds the CSR arrays: "owned", "mmap", or "none" for a
+  /// default-constructed graph.
+  [[nodiscard]] std::string_view storage_backend() const {
+    return storage_ == nullptr ? std::string_view("none")
+                               : storage_->backend_name();
+  }
+
  private:
-  std::vector<std::uint64_t> offsets_;
-  std::vector<VertexId> adj_;
+  std::shared_ptr<const CsrStorage> storage_;
+  // Raw views into storage_ (the simulators' hot path; kept in sync with
+  // storage_ by the constructors and adopt()).
+  const std::uint64_t* offsets_ = nullptr;
+  const VertexId* adj_ = nullptr;
+  VertexId n_ = 0;
+  std::uint64_t degree_sum_ = 0;
   std::uint32_t max_degree_ = 0;
   std::uint32_t min_degree_ = 0;
   std::string name_;

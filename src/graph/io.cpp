@@ -1,8 +1,10 @@
 #include "graph/io.hpp"
 
+#include <charconv>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
+#include <optional>
+#include <string_view>
 
 #include "graph/builder.hpp"
 #include "util/assert.hpp"
@@ -29,37 +31,106 @@ void write_edge_list_file(const Graph& g, const std::string& path) {
   COBRA_CHECK_MSG(out.good(), "write failed for " << path);
 }
 
-Graph read_edge_list(std::istream& is, const std::string& name) {
-  std::string line;
-  std::uint64_t n = 0, m = 0;
+namespace {
+
+// Splits `line` into whitespace-separated tokens, parsing each as u64.
+// On a bad token, reports it verbatim with its position.
+struct LineTokens {
+  std::uint64_t values[2] = {0, 0};
+  int count = 0;  // tokens seen (stops counting at 3)
+};
+
+LineTokens parse_line(std::string_view line, const std::string& context,
+                      std::uint64_t line_number) {
+  LineTokens out;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t' ||
+                                 line[pos] == '\r'))
+      ++pos;
+    if (pos >= line.size()) break;
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t' &&
+           line[end] != '\r')
+      ++end;
+    const std::string_view token = line.substr(pos, end - pos);
+    if (out.count < 2) {
+      std::uint64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      COBRA_CHECK_MSG(ec == std::errc() && ptr == token.data() + token.size(),
+                      context << " line " << line_number << ": bad token '"
+                              << token << "' (expected a non-negative "
+                              << "integer)");
+      out.values[out.count] = value;
+    }
+    ++out.count;
+    pos = end;
+  }
+  return out;
+}
+
+}  // namespace
+
+EdgeListHeader scan_edge_list(
+    std::istream& is, const std::string& context,
+    const std::function<void(const EdgeListHeader&)>& on_header,
+    const std::function<void(VertexId, VertexId)>& edge) {
+  EdgeListHeader header;
   bool have_header = false;
-  GraphBuilder* builder = nullptr;
-  GraphBuilder storage(1);  // replaced after header parse
   std::uint64_t edges_seen = 0;
+  std::uint64_t line_number = 0;
+  std::string line;
   while (std::getline(is, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
+    const LineTokens tokens = parse_line(line, context, line_number);
+    if (tokens.count == 0) continue;  // whitespace-only line
+    COBRA_CHECK_MSG(tokens.count == 2,
+                    context << " line " << line_number << ": expected two "
+                            << "fields, got " << tokens.count << " in '"
+                            << line << "'");
     if (!have_header) {
-      COBRA_CHECK_MSG(static_cast<bool>(ls >> n >> m),
-                      "edge list: bad header line '" << line << "'");
-      COBRA_CHECK_MSG(n >= 1 && n <= 0xFFFFFFFFull, "edge list: bad n");
-      storage = GraphBuilder(static_cast<VertexId>(n));
-      storage.reserve(m);
-      builder = &storage;
+      header.n = tokens.values[0];
+      header.m = tokens.values[1];
+      COBRA_CHECK_MSG(header.n >= 1 && header.n <= 0xFFFFFFFFull,
+                      context << " line " << line_number
+                              << ": vertex count " << header.n
+                              << " out of range [1, 2^32 - 1]");
       have_header = true;
+      if (on_header) on_header(header);
       continue;
     }
-    std::uint64_t u = 0, v = 0;
-    COBRA_CHECK_MSG(static_cast<bool>(ls >> u >> v),
-                    "edge list: bad edge line '" << line << "'");
-    COBRA_CHECK_MSG(u < n && v < n, "edge list: endpoint out of range");
-    builder->add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    const std::uint64_t u = tokens.values[0];
+    const std::uint64_t v = tokens.values[1];
+    COBRA_CHECK_MSG(u < header.n && v < header.n,
+                    context << " line " << line_number << ": endpoint "
+                            << (u < header.n ? v : u)
+                            << " out of range (n = " << header.n << ")");
+    COBRA_CHECK_MSG(u != v, context << " line " << line_number
+                                    << ": self-loop " << u << " " << v
+                                    << " (simple graphs only)");
+    edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
     ++edges_seen;
   }
-  COBRA_CHECK_MSG(have_header, "edge list: missing header");
-  COBRA_CHECK_MSG(edges_seen == m, "edge list: header claims "
-                                       << m << " edges, found " << edges_seen);
-  return std::move(storage).build(name);
+  COBRA_CHECK_MSG(have_header,
+                  context << ": missing 'n m' header line");
+  COBRA_CHECK_MSG(edges_seen == header.m,
+                  context << ": header claims " << header.m
+                          << " edges, found " << edges_seen);
+  return header;
+}
+
+Graph read_edge_list(std::istream& is, const std::string& name) {
+  std::optional<GraphBuilder> builder;
+  scan_edge_list(
+      is, name,
+      [&](const EdgeListHeader& header) {
+        builder.emplace(static_cast<VertexId>(header.n));
+        builder->reserve(header.m);
+      },
+      [&](VertexId u, VertexId v) { builder->add_edge(u, v); });
+  return std::move(*builder).build(name);
 }
 
 Graph read_edge_list_file(const std::string& path) {

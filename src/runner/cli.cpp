@@ -5,6 +5,7 @@
 #include <iostream>
 #include <vector>
 
+#include "runner/graph_cmd.hpp"
 #include "runner/options.hpp"
 #include "runner/registry.hpp"
 #include "runner/supervisor.hpp"
@@ -195,7 +196,7 @@ int cli_main(int argc, const char* const* argv) {
   std::vector<std::string> names = options.positional;
   if (!names.empty() &&
       (names[0] == "list" || names[0] == "run" || names[0] == "sweep" ||
-       names[0] == "merge")) {
+       names[0] == "merge" || names[0] == "graph")) {
     command = names[0];
     names.erase(names.begin());
   }
@@ -204,6 +205,7 @@ int cli_main(int argc, const char* const* argv) {
     if (command == "list") return cmd_list(options);
     if (command == "sweep") return cmd_sweep(options, names);
     if (command == "merge") return cmd_merge(options, names);
+    if (command == "graph") return cmd_graph(options, names);
     // `cobra run [NAME...] --list` dry-runs the cell selection (all
     // experiments when no NAME) in cmd_run; `cobra list` is the
     // experiment catalogue.

@@ -1,0 +1,101 @@
+#include "runner/graph_cmd.hpp"
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "graph/binary_io.hpp"
+#include "graph/spec.hpp"
+#include "runner/options.hpp"
+
+namespace cobra::runner {
+
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  std::ostringstream os;
+  os << "0x" << std::hex << std::setw(16) << std::setfill('0') << value;
+  return os.str();
+}
+
+void print_info(const std::string& path, const graph::CgrInfo& info) {
+  std::cout << "path:        " << path << '\n'
+            << "name:        " << info.name << '\n'
+            << "version:     " << info.version << '\n'
+            << "vertices:    " << info.n << '\n'
+            << "edges:       " << info.degree_sum / 2 << '\n'
+            << "degree:      min " << info.min_degree << ", max "
+            << info.max_degree << '\n'
+            << "fingerprint: " << hex64(info.fingerprint) << '\n'
+            << "file bytes:  " << info.file_bytes << '\n';
+}
+
+int usage_error(const std::string& message) {
+  std::cerr << "cobra graph: " << message << '\n'
+            << "usage:\n"
+            << "  cobra graph ingest EDGELIST -o G.cgr [--name N]\n"
+            << "  cobra graph gen SPEC -o G.cgr [--name N]\n"
+            << "  cobra graph info G.cgr [--verify]\n";
+  return 2;
+}
+
+int graph_ingest(const RunnerOptions& options, const std::string& input) {
+  if (options.out_path.empty())
+    return usage_error("ingest needs -o/--out for the .cgr output path");
+  const graph::CgrInfo info = graph::ingest_edge_list_file(
+      input, options.out_path, options.graph_name);
+  print_info(options.out_path, info);
+  return 0;
+}
+
+int graph_gen(const RunnerOptions& options, const std::string& spec) {
+  if (options.out_path.empty())
+    return usage_error("gen needs -o/--out for the .cgr output path");
+  if (graph::is_file_spec(spec))
+    return usage_error("gen expects a synthetic family spec, not '" +
+                       spec + "' (use ingest for files)");
+  graph::Graph g = graph::build_graph_spec(spec);
+  // The embedded name is the registry label; default to the spec string
+  // so `file:` runs of a pre-baked family match the family's cells.
+  if (!options.graph_name.empty()) g.set_name(options.graph_name);
+  graph::write_cgr_file(g, options.out_path);
+  print_info(options.out_path, graph::read_cgr_header(options.out_path));
+  return 0;
+}
+
+int graph_info(const RunnerOptions& options, const std::string& path) {
+  print_info(path, graph::read_cgr_header(path));
+  if (options.verify) {
+    // Deep validation: rehash the arrays against the stored fingerprint
+    // and check the CSR invariants. Throws (caught by cli_main) on any
+    // mismatch; reaching the next line means the file is sound.
+    (void)graph::load_cgr_file(path, graph::CgrLoadMode::kMapped,
+                               /*verify=*/true);
+    std::cout << "verify:      ok (fingerprint rehash + structural "
+                 "validation passed)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int cmd_graph(const RunnerOptions& options,
+              const std::vector<std::string>& names) {
+  if (names.empty())
+    return usage_error("expected an action: ingest, gen or info");
+  const std::string& action = names[0];
+  if (names.size() != 2)
+    return usage_error(action == "ingest"
+                           ? "ingest expects exactly one edge-list path"
+                       : action == "gen"
+                           ? "gen expects exactly one graph spec"
+                       : action == "info"
+                           ? "info expects exactly one .cgr path"
+                           : "unknown action '" + action + "'");
+  if (action == "ingest") return graph_ingest(options, names[1]);
+  if (action == "gen") return graph_gen(options, names[1]);
+  if (action == "info") return graph_info(options, names[1]);
+  return usage_error("unknown action '" + action + "'");
+}
+
+}  // namespace cobra::runner

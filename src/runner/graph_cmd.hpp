@@ -1,0 +1,21 @@
+// `cobra graph` — offline tooling for the binary `.cgr` graph format:
+//   ingest EDGELIST -o G.cgr [--name N]   text edge list -> .cgr
+//   gen SPEC -o G.cgr [--name N]          pre-bake a synthetic family
+//   info G.cgr [--verify]                 print (and optionally verify)
+//                                         a .cgr header
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cobra::runner {
+
+struct RunnerOptions;
+
+/// Dispatches the `graph` subcommand. `names` is the positional tail after
+/// "graph" (action + its argument). Returns a process exit code; usage
+/// errors print to stderr and return 2.
+int cmd_graph(const RunnerOptions& options,
+              const std::vector<std::string>& names);
+
+}  // namespace cobra::runner

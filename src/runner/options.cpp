@@ -95,6 +95,21 @@ std::optional<std::string> parse_args(const std::vector<std::string>& args,
       // Canonical name: "--engine fast" journals as "auto", so a resume
       // under either spelling matches.
       options.engine = core::engine_name(*parsed);
+    } else if (name == "--graphs") {
+      const auto value = take_value();
+      if (!value || value->empty())
+        return "--graphs expects a comma-separated graph-spec list";
+      options.graphs = *value;
+    } else if (name == "-o" || name == "--out") {
+      const auto value = take_value();
+      if (!value || value->empty()) return "--out expects a file path";
+      options.out_path = *value;
+    } else if (name == "--name") {
+      const auto value = take_value();
+      if (!value || value->empty()) return "--name expects a graph name";
+      options.graph_name = *value;
+    } else if (name == "--verify") {
+      options.verify = true;
     } else if (name == "--out-dir") {
       const auto value = take_value();
       if (!value || value->empty()) return "--out-dir expects a path";
@@ -147,7 +162,8 @@ std::optional<std::string> parse_args(const std::vector<std::string>& args,
     } else {
       return "unknown flag: " + name + " (see --help)";
     }
-    if (inline_value && (name == "--list" || name == "--resume"))
+    if (inline_value &&
+        (name == "--list" || name == "--resume" || name == "--verify"))
       return name + " does not take a value";
   }
   return std::nullopt;
@@ -158,6 +174,7 @@ void apply_env_overrides(const RunnerOptions& options) {
   if (options.seed) util::set_seed_override(*options.seed);
   if (options.threads) util::set_threads_override(*options.threads);
   if (options.engine) util::set_engine_override(*options.engine);
+  if (options.graphs) util::set_graphs_override(*options.graphs);
 }
 
 std::string usage() {
@@ -173,6 +190,15 @@ Usage:
                                        workers, auto-merge on completion
   cobra merge NAME... [--out-dir DIR]  stitch shard fragments into the
                                        canonical CSV and print the summary
+  cobra graph ingest EDGELIST -o G.cgr [--name N]
+                                       convert a text edge list to the
+                                       binary .cgr format (streaming; full
+                                       structural validation + fingerprint)
+  cobra graph gen SPEC -o G.cgr        pre-bake a synthetic family (spec
+                                       grammar below) to disk
+  cobra graph info G.cgr [--verify]    print a .cgr header; --verify also
+                                       deep-validates the CSR and rehashes
+                                       the fingerprint
   cobra help                           this text
 
 Options (each flag overrides its COBRA_* environment variable):
@@ -186,6 +212,11 @@ Options (each flag overrides its COBRA_* environment variable):
                    auto      — sparse<->dense switch on frontier density
                    (engines agree bit for bit per process; COBRA's reference
                    agrees in distribution — see docs/ARCHITECTURE.md)
+  --graphs LIST    comma-separated graph specs    (env COBRA_GRAPHS)
+                   for spec-driven experiments (`workload`):
+                   complete_N cycle_N path_N star_N hypercube_D torus_S_dD
+                   regular_N_rR petersen file:PATH  (PATH: .cgr is
+                   mmap-loaded, anything else is a text edge list)
   --out-dir DIR    result/journal directory       (default bench_results)
   --shard i/k      run only cells with index % k == i-1 (1-based i)
   --resume         continue a journaled run: completed cells are skipped,

@@ -22,6 +22,10 @@ struct RunnerOptions {
   /// selected experiments construct: reference|sparse|dense|auto
   /// (validated at parse time; "fast" is an alias for auto).
   std::optional<std::string> engine;
+  /// --graphs: COBRA_GRAPHS override — comma-separated graph specs
+  /// (graph/spec.hpp grammar, incl. file:PATH) for spec-driven
+  /// experiments such as `workload`.
+  std::optional<std::string> graphs;
 
   std::string out_dir = "bench_results";  ///< result/journal directory
   int shard_index = 1;                    ///< 1-based i of --shard i/k
@@ -45,6 +49,15 @@ struct RunnerOptions {
   bool list = false;   ///< --list: print cells instead of running them
   bool help = false;   ///< --help / -h
   std::string filter;  ///< substring match on experiment names
+
+  /// -o/--out: output file for `cobra graph ingest|gen` (.cgr path).
+  std::string out_path;
+  /// --name: graph name embedded in the .cgr header at ingest ("" = use
+  /// the spec string / the edge-list file stem).
+  std::string graph_name;
+  /// --verify: `cobra graph info` — deep-validate the CSR and rehash the
+  /// fingerprint instead of trusting the header.
+  bool verify = false;
 
   /// Stop after this many cells (chunked runs, interruption tests);
   /// negative means unlimited.

@@ -55,6 +55,12 @@ struct ExperimentDef {
   /// cells are present.
   std::function<std::vector<std::string>(
       const std::vector<util::CsvTable>&)> summarize;
+  /// True when the experiment's cells come from the COBRA_GRAPHS /
+  /// --graphs spec list (graph/spec.hpp). The sweep supervisor pre-bakes
+  /// such a list once to <out-dir>/graphs/*.cgr and hands every worker
+  /// `file:` references, so all workers mmap one shared on-disk CSR
+  /// instead of regenerating the graph per process.
+  bool uses_graph_specs = false;
 };
 
 class Registry {

@@ -18,6 +18,8 @@
 #include <thread>
 
 #include "core/process.hpp"
+#include "graph/binary_io.hpp"
+#include "graph/spec.hpp"
 #include "runner/journal.hpp"
 #include "util/assert.hpp"
 #include "util/env.hpp"
@@ -50,6 +52,50 @@ struct Shard {
   /// re-killing the same heavy cell until the sweep aborts.
   double timeout_s = 0;
 };
+
+/// Pre-bakes the session's --graphs/COBRA_GRAPHS list for the workers of
+/// a spec-driven experiment: synthetic specs and text edge lists are
+/// written once to <out_dir>/graphs/<label>.cgr and rewritten as `file:`
+/// references, so every worker mmaps the same on-disk CSR (one page-cache
+/// copy, zero per-worker generation) instead of rebuilding the graph per
+/// process. Cell labels and seeds are derived from the embedded name and
+/// the fingerprint respectively, so the rewrite is invisible in the
+/// output. Already-binary `file:*.cgr` specs pass through untouched.
+/// Returns "" when no spec list is set (the experiment's built-in default
+/// list stays in-process).
+std::string prebake_graph_specs(const std::string& out_dir,
+                                std::ostream* log) {
+  const std::string list = util::graphs();
+  if (list.empty()) return "";
+  std::string rewritten;
+  for (const std::string& spec : graph::split_graph_specs(list)) {
+    std::string resolved = spec;
+    const bool already_baked =
+        graph::is_file_spec(spec) &&
+        fs::path(spec.substr(5)).extension() == ".cgr";
+    if (!already_baked) {
+      const std::string label = graph::graph_spec_label(spec);
+      std::string file_name = label;
+      for (char& c : file_name)
+        if (c == '/' || c == '\\' || c == ' ') c = '_';
+      const fs::path cgr =
+          fs::path(out_dir) / "graphs" / (file_name + ".cgr");
+      graph::Graph g = graph::build_graph_spec(spec);
+      // The embedded name is the workers' cell label — pin it to the
+      // label this supervisor enumerated so the journals line up.
+      g.set_name(label);
+      graph::write_cgr_file(g, cgr.string());
+      resolved = "file:" + cgr.string();
+      if (log) {
+        *log << "[sweep] pre-baked graph " << spec << " -> "
+             << cgr.string() << '\n';
+      }
+    }
+    if (!rewritten.empty()) rewritten += ',';
+    rewritten += resolved;
+  }
+  return rewritten;
+}
 
 /// The last ~8 lines of a worker log, indented — appended to the abort
 /// message so the shard's actual failure is visible without digging.
@@ -241,6 +287,14 @@ SupervisorResult supervise_experiment(const ExperimentDef& def,
   if (!costs.empty()) {
     argv_head.push_back("--costs");
     argv_head.push_back(costs);
+  }
+  if (def.uses_graph_specs) {
+    const std::string baked =
+        prebake_graph_specs(config.out_dir, config.log);
+    if (!baked.empty()) {
+      argv_head.push_back("--graphs");
+      argv_head.push_back(baked);
+    }
   }
   argv_head.insert(argv_head.end(), config.worker_args.begin(),
                    config.worker_args.end());

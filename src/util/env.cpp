@@ -17,6 +17,7 @@ std::optional<double> scale_override;
 std::optional<std::uint64_t> seed_override;
 std::optional<int> threads_override;
 std::optional<std::string> engine_override;
+std::optional<std::string> graphs_override;
 }  // namespace
 
 void set_scale_override(double value) {
@@ -35,11 +36,16 @@ void set_engine_override(const std::string& value) {
   engine_override = value;
 }
 
+void set_graphs_override(const std::string& value) {
+  graphs_override = value;
+}
+
 void clear_env_overrides() {
   scale_override.reset();
   seed_override.reset();
   threads_override.reset();
   engine_override.reset();
+  graphs_override.reset();
 }
 
 double env_double(const char* name, double fallback) {
@@ -93,6 +99,11 @@ std::uint64_t global_seed() {
 std::string engine() {
   if (engine_override) return *engine_override;
   return env_string("COBRA_ENGINE", "auto");
+}
+
+std::string graphs() {
+  if (graphs_override) return *graphs_override;
+  return env_string("COBRA_GRAPHS", "");
 }
 
 }  // namespace cobra::util

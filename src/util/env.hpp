@@ -10,6 +10,10 @@
 //   COBRA_ENGINE   — default stepping engine for processes built with
 //                    Engine::kDefault: reference|sparse|dense|auto;
 //                    default "auto" (the fast density-switched frontier).
+//   COBRA_GRAPHS   — comma-separated graph specs (graph/spec.hpp grammar,
+//                    incl. file:PATH for ingested .cgr graphs) consumed by
+//                    spec-driven experiments such as `workload`; default
+//                    empty (the experiment's built-in list).
 #pragma once
 
 #include <cstdint>
@@ -34,6 +38,7 @@ void set_scale_override(double value);
 void set_seed_override(std::uint64_t value);
 void set_threads_override(int value);
 void set_engine_override(const std::string& value);
+void set_graphs_override(const std::string& value);
 
 /// Drops all programmatic overrides (tests; the CLI never needs this).
 void clear_env_overrides();
@@ -50,5 +55,10 @@ std::uint64_t global_seed();
 /// Session-wide stepping-engine name (COBRA_ENGINE / --engine), as a raw
 /// string: core::parse_engine validates it where it is consumed.
 std::string engine();
+
+/// Comma-separated graph-spec list (COBRA_GRAPHS / --graphs), raw:
+/// graph::split_graph_specs and the spec parser validate it where it is
+/// consumed. Empty when unset.
+std::string graphs();
 
 }  // namespace cobra::util

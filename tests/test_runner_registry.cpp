@@ -1,4 +1,4 @@
-// Registry coverage for the 14 real experiments (this binary links the
+// Registry coverage for the 15 real experiments (this binary links the
 // cobra_experiments OBJECT library, so every bench/exp_* registration is
 // present) plus shard-slice algebra.
 #include "runner/registry.hpp"
@@ -26,11 +26,11 @@ const std::vector<std::string>& expected_names() {
       "baselines",     "bips_growth",   "branching", "cover_profile",
       "duality",       "families",      "general_bound", "hypercube",
       "lazy_bipartite", "lower_bound",  "martingale", "mixing",
-      "regular_bound", "whp"};
+      "regular_bound", "whp",           "workload"};
   return kNames;
 }
 
-TEST_F(RegistryTest, AllFourteenExperimentsRegistered) {
+TEST_F(RegistryTest, AllFifteenExperimentsRegistered) {
   const auto all = Registry::instance().all();
   std::vector<std::string> names;
   for (const ExperimentDef* def : all) names.push_back(def->name);
@@ -39,7 +39,7 @@ TEST_F(RegistryTest, AllFourteenExperimentsRegistered) {
         << "missing experiment: " << name;
     EXPECT_NE(Registry::instance().find(name), nullptr);
   }
-  EXPECT_GE(all.size(), 14u);
+  EXPECT_GE(all.size(), 15u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "graph/spec.hpp"
 #include "rng/stream.hpp"
 #include "runner/cli.hpp"
 #include "runner/journal.hpp"
@@ -86,6 +87,41 @@ ExperimentDef make_synthetic() {
              for (int j = 0; j < i % 3; ++j) {
                ctx.row().add(id).add(static_cast<std::int64_t>(j));
              }
+           }});
+    }
+    return cells;
+  };
+  return def;
+}
+
+constexpr char kSpecExperiment[] = "spec_sup";
+
+// A miniature of the real `workload` experiment: cells come from the
+// --graphs/COBRA_GRAPHS spec list, rows derive from the graph fingerprint
+// — so a sweep whose supervisor pre-baked the specs to .cgr files (and
+// whose workers therefore mmap them via file: specs) must be
+// byte-identical to the in-process reference run.
+ExperimentDef make_spec_driven() {
+  ExperimentDef def;
+  def.name = kSpecExperiment;
+  def.description = "spec-driven supervisor test experiment";
+  def.uses_graph_specs = true;
+  def.tables = {
+      {"spec_sup_main", "per-graph rows", {"graph", "n", "m", "value"}}};
+  def.cells = [] {
+    std::vector<CellDef> cells;
+    for (const std::string& spec :
+         graph::split_graph_specs(util::graphs())) {
+      const std::string label = graph::graph_spec_label(spec);
+      cells.push_back(
+          {label, label, [spec, label](CellContext& ctx) {
+             const auto g = graph::shared_graph(spec);
+             const auto value =
+                 rng::derive_seed(util::global_seed(), g->fingerprint());
+             ctx.row().add(label)
+                 .add(static_cast<std::uint64_t>(g->num_vertices()))
+                 .add(g->num_edges())
+                 .add(static_cast<double>(value % 1000) / 7.0, 2);
            }});
     }
     return cells;
@@ -351,6 +387,32 @@ TEST_F(SupervisorTest, RefusesAnOutDirWithJournalsOfAnotherShardCount) {
   expect_byte_identical("resweep");
 }
 
+TEST_F(SupervisorTest, SpecDrivenSweepPrebakesGraphsForItsWorkers) {
+  util::set_graphs_override("cycle_12,petersen,torus_3_d2");
+  SweepConfig ref;
+  ref.out_dir = (dir_ / "full").string();
+  ref.console = false;
+  run_experiment(make_spec_driven(), ref);
+
+  const SupervisorResult result =
+      supervise_experiment(make_spec_driven(), config("spec", 4));
+  EXPECT_EQ(result.restarts_total, 0);
+  EXPECT_EQ(result.merge.rows_per_table, (std::vector<std::size_t>{3}));
+  // The supervisor baked each synthetic spec to one shared .cgr and the
+  // worker command line references them as file: specs — all four
+  // workers mmap the same on-disk CSRs.
+  EXPECT_TRUE(fs::exists(dir_ / "spec" / "graphs" / "cycle_12.cgr"));
+  EXPECT_TRUE(fs::exists(dir_ / "spec" / "graphs" / "petersen.cgr"));
+  EXPECT_TRUE(fs::exists(dir_ / "spec" / "graphs" / "torus_3_d2.cgr"));
+  EXPECT_NE(log_.str().find("pre-baked graph cycle_12"),
+            std::string::npos)
+      << log_.str();
+  // Fingerprint-derived rows: baked file: sources reproduce the
+  // in-process reference bit for bit.
+  EXPECT_EQ(slurp((dir_ / "full" / "spec_sup_main.csv").string()),
+            slurp((dir_ / "spec" / "spec_sup_main.csv").string()));
+}
+
 TEST_F(SupervisorTest, RejectsInvalidConfigurations) {
   SupervisorConfig bad_workers = config("invalid", 0);
   EXPECT_THROW(supervise_experiment(make_synthetic(), bad_workers),
@@ -420,6 +482,8 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "run") {
     cobra::runner::Registry::instance().add(
         cobra::runner::make_synthetic());
+    cobra::runner::Registry::instance().add(
+        cobra::runner::make_spec_driven());
     return cobra::runner::cli_main(argc - 1, argv + 1);
   }
   ::testing::InitGoogleTest(&argc, argv);
