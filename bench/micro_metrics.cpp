@@ -1,0 +1,117 @@
+// Telemetry-overhead harness: the steady-state COBRA round on the
+// largest b = 2 random-regular graph (the BM_CobraStep workhorse),
+// re-measured under each metrics mode — off, summary, rounds — and on
+// the two fast engines.
+//
+// The committed baseline bench_results/BENCH_metrics.json is produced by
+// this binary (see scripts/check_step_bench.py for the regeneration
+// command) and guarded by `check_step_bench.py --suite metrics`: the
+// off-mode dense step must stay within --max-overhead (2%) of the
+// BM_CobraStep dense baseline in BENCH_step.json — i.e. compiled-in
+// instrumentation behind a null check must be free when telemetry is
+// off. The summary/rounds entries document what enabling collection
+// actually costs (informational, not gated).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/cobra.hpp"
+#include "core/metrics.hpp"
+#include "graph/random_generators.hpp"
+#include "rng/stream.hpp"
+#include "util/env.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+using namespace cobra;
+using namespace cobra::core;
+
+// The same 262144-vertex r = 8 graph (and seed) as micro_cobra's largest
+// scale, so the off-mode entries are directly comparable to
+// BENCH_step.json's BM_CobraStep numbers.
+const graph::Graph& bench_graph() {
+  static const graph::Graph& g = *new graph::Graph([] {
+    rng::Rng rng = rng::make_stream(31337, 5);
+    return graph::connected_random_regular(262144, 8, rng);
+  }());
+  return g;
+}
+
+constexpr const char* kModes[] = {"off", "summary", "rounds"};
+constexpr Engine kEngines[] = {Engine::kSparse, Engine::kDense};
+
+void BM_MetricsStep(benchmark::State& state) {
+  const auto* mode = kModes[state.range(0)];
+  const Engine engine = kEngines[state.range(1)];
+  const graph::Graph& g = bench_graph();
+  state.SetLabel("regular_262144_r8/" + std::string(engine_name(engine)) +
+                 "/" + mode);
+
+  // The mode must be set before the process is built: the kernel attaches
+  // to the thread's session metrics block at construction.
+  util::clear_env_overrides();
+  util::set_metrics_override(mode);
+  ProcessOptions opt;
+  opt.engine = engine;
+  CobraProcess p(g, opt);
+  rng::Rng rng = rng::make_stream(2, 0);
+  p.reset(graph::VertexId{0});
+  p.run_until_cover(rng, 100'000'000);  // saturate the active set
+  std::uint64_t pushes = 0;
+  for (auto _ : state) {
+    pushes += p.num_active();
+    p.step(rng);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pushes));
+  // Reset the session blocks so trajectories don't accumulate across
+  // benchmark repetitions, and leave the process-wide mode as found.
+  drain_cell_metrics();
+  util::clear_env_overrides();
+}
+BENCHMARK(BM_MetricsStep)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 2, 1), {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MetricsRegistryAdd(benchmark::State& state) {
+  // The registry's own hot path: one resolved-slot counter bump. This is
+  // what a cold site pays once metrics_collecting() said yes.
+  auto& reg = util::MetricsRegistry::instance();
+  const util::MetricId id = reg.counter("bench.registry_add");
+  std::uint64_t* slots = reg.local_slots();
+  for (auto _ : state) {
+    slots[id] += 1;
+    benchmark::DoNotOptimize(slots[id]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  reg.drain(true);
+}
+BENCHMARK(BM_MetricsRegistryAdd);
+
+void BM_MetricsDrainAndSerialize(benchmark::State& state) {
+  // The per-cell boundary cost: drain the registry and serialize the
+  // snapshot to its canonical JSON (what the runner's sidecar append
+  // pays, once per cell).
+  auto& reg = util::MetricsRegistry::instance();
+  const util::MetricId c = reg.counter("bench.drain_counter");
+  const util::MetricId gauge = reg.gauge("bench.drain_gauge");
+  const util::MetricId h = reg.histogram("bench.drain_hist");
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      reg.add(c, i);
+      reg.gauge_max(gauge, i);
+      reg.observe(h, i * i);
+    }
+    state.ResumeTiming();
+    const util::MetricsSnapshot snap = reg.drain(true);
+    const std::string json = util::snapshot_to_json(snap);
+    benchmark::DoNotOptimize(json);
+  }
+}
+BENCHMARK(BM_MetricsDrainAndSerialize)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

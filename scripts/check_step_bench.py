@@ -17,6 +17,14 @@ fast-vs-slow pair that encodes the suite's headline claim:
             regular_262144_r8 (BM_GraphIo*): opening a pre-baked .cgr
             must beat regenerating the graph in-process, the point of the
             out-of-core format.
+  metrics   bench_results/BENCH_metrics.json, produced by micro_metrics.
+            Inverted (overhead) semantics: the off-mode dense step
+            (BM_MetricsStep, regular_262144_r8/dense/off) must stay
+            within --max-overhead (default 0.02 = +2%) of the
+            BM_CobraStep dense entry in the step baseline passed via
+            --step-baseline — compiled-in telemetry behind a null check
+            must be free when the mode is off. Both files must have been
+            generated on the same machine (regenerate them together).
 
 Two modes:
 
@@ -42,6 +50,9 @@ Regenerate the baselines with:
   ./build/bench/micro_graphgen --benchmark_filter='BM_GraphIo' \
       --benchmark_out=bench_results/BENCH_graph_io.json \
       --benchmark_out_format=json
+  ./build/bench/micro_metrics \
+      --benchmark_out=bench_results/BENCH_metrics.json \
+      --benchmark_out_format=json
 """
 
 import argparse
@@ -58,7 +69,32 @@ SUITES = {
              "slow": "reference", "fast": "dense"},
     "graph_io": {"prefix": "BM_GraphIo", "graph": "regular_262144_r8",
                  "slow": "generate", "fast": "mmap_open"},
+    # The metrics suite is handled by check_metrics_overhead (inverted
+    # semantics: an upper bound on a ratio, not a lower bound).
+    "metrics": {"prefix": "BM_MetricsStep/", "graph": "regular_262144_r8"},
 }
+
+
+def check_metrics_overhead(benches, step_benches, max_overhead):
+    """Off-mode telemetry must be free on the dense steady-state step."""
+    off = step_time(benches, "BM_MetricsStep/",
+                    "regular_262144_r8/dense/off")
+    base = step_time(step_benches, "BM_CobraStep/",
+                     "regular_262144_r8/dense")
+    overhead = off / base - 1.0
+    print(
+        f"[metrics] regular_262144_r8 dense step: off-mode {off:.0f}, "
+        f"step baseline {base:.0f}, overhead {overhead:+.1%} "
+        f"(allowed <= +{max_overhead:.0%})"
+    )
+    for mode in ("summary", "rounds"):
+        t = step_time(benches, "BM_MetricsStep/",
+                      f"regular_262144_r8/dense/{mode}")
+        print(f"[metrics]   {mode} mode: {t:.0f} ({t / off:.2f}x off)")
+    if overhead > max_overhead:
+        sys.exit(f"FAIL: disabled-mode telemetry overhead {overhead:+.1%} "
+                 f"> +{max_overhead:.0%}")
+    print("OK")
 
 
 def load(path):
@@ -133,10 +169,22 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed per-benchmark slowdown vs baseline "
                              "(default 0.30 = +30%%)")
+    parser.add_argument("--step-baseline",
+                        help="BENCH_step.json to compare against "
+                             "(metrics suite only)")
+    parser.add_argument("--max-overhead", type=float, default=0.02,
+                        help="allowed off-mode overhead over the step "
+                             "baseline (metrics suite; default 0.02 = +2%%)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
-    if args.fresh is None:
+    if args.suite == "metrics":
+        if args.step_baseline is None:
+            sys.exit("--suite metrics requires --step-baseline "
+                     "BENCH_step.json")
+        check_metrics_overhead(baseline, load(args.step_baseline),
+                               args.max_overhead)
+    elif args.fresh is None:
         check_baseline(baseline, args.suite, args.min_speedup)
     else:
         check_regression(baseline, load(args.fresh), args.tolerance)

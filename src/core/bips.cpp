@@ -40,6 +40,7 @@ FrontierKernel::Config BipsProcess::kernel_config() const {
   cfg.build_sampler = options_.kernel == BipsKernel::kSampling;
   cfg.track_visited = false;  // A_t is not monotone
   cfg.sampler = cfg.build_sampler ? options_.process.sampler : nullptr;
+  cfg.metrics = options_.process.metrics;
   return cfg;
 }
 

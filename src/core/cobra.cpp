@@ -17,6 +17,7 @@ FrontierKernel::Config CobraProcess::kernel_config() const {
   cfg.build_sampler = engine_ != Engine::kReference;
   cfg.track_visited = true;
   cfg.sampler = engine_ != Engine::kReference ? options_.sampler : nullptr;
+  cfg.metrics = options_.metrics;
   return cfg;
 }
 
@@ -53,6 +54,7 @@ std::uint32_t CobraProcess::step(rng::Rng& rng) {
 }
 
 std::uint32_t CobraProcess::step_reference(rng::Rng& rng) {
+  const std::uint64_t transmissions_before = transmissions_;
   kernel_.begin_round(0.0);  // kReference: always a sparse round
   auto sink = kernel_.coalescing_sink();
   const double laziness = options_.laziness;
@@ -75,6 +77,8 @@ std::uint32_t CobraProcess::step_reference(rng::Rng& rng) {
   });
 
   const std::uint32_t newly = kernel_.commit(FrontierKernel::Commit::kReplace);
+  if (StepMetrics* m = kernel_.metrics())
+    m->emissions += transmissions_ - transmissions_before;
   ++round_;
   return newly;
 }
@@ -95,6 +99,7 @@ void CobraProcess::push_round(std::uint64_t round_key, Sink sink) {
 }
 
 std::uint32_t CobraProcess::step_fast(std::uint64_t round_key) {
+  const std::uint64_t transmissions_before = transmissions_;
   const bool dense =
       kernel_.begin_round(kernel_.density_score(kernel_.frontier_size()));
   if (dense) {
@@ -103,6 +108,8 @@ std::uint32_t CobraProcess::step_fast(std::uint64_t round_key) {
     push_round(round_key, kernel_.coalescing_sink());
   }
   const std::uint32_t newly = kernel_.commit(FrontierKernel::Commit::kReplace);
+  if (StepMetrics* m = kernel_.metrics())
+    m->emissions += transmissions_ - transmissions_before;
   ++round_;
   return newly;
 }

@@ -1,5 +1,6 @@
 #include "core/frontier_kernel.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <string>
 
@@ -81,7 +82,9 @@ FrontierKernel::FrontierKernel(const graph::Graph& g, const Config& config)
       engine_(config.engine),
       draw_hash_(resolve_draw_hash(config.draw_hash)),
       dense_density_(config.dense_density),
-      track_visited_(config.track_visited) {
+      track_visited_(config.track_visited),
+      metrics_(config.metrics != nullptr ? config.metrics
+                                         : session_step_metrics()) {
   COBRA_CHECK_MSG(engine_ != Engine::kDefault,
                   "FrontierKernel needs a resolved engine "
                   "(run core::resolve_engine first)");
@@ -108,6 +111,7 @@ void FrontierKernel::assign(std::span<const graph::VertexId> starts) {
   dense_repr_ = false;
   active_valid_ = true;
   dense_rounds_ = 0;
+  rounds_committed_ = 0;
   for (const graph::VertexId u : starts) {
     COBRA_CHECK(u < graph_->num_vertices());
     if (stamp_[u] == epoch_) continue;  // deduplicate
@@ -156,6 +160,8 @@ bool FrontierKernel::begin_round(double score) {
   bool dense = engine_ == Engine::kDense;
   if (engine_ == Engine::kAuto)
     dense = score >= (dense_repr_ ? 0.5 : 1.0);
+  if (metrics_ != nullptr && dense != dense_repr_ && rounds_committed_ > 0)
+    ++metrics_->mode_switches;
   round_dense_ = dense;
   round_stamped_ = false;
   round_newly_ = 0;
@@ -167,6 +173,19 @@ bool FrontierKernel::begin_round(double score) {
     next_.clear();
   }
   return dense;
+}
+
+void FrontierKernel::record_commit(std::uint32_t newly) {
+  StepMetrics& m = *metrics_;
+  ++m.rounds;
+  m.rounds_dense += round_dense_ ? 1 : 0;
+  m.frontier_sum += num_active_;
+  m.frontier_peak = std::max<std::uint64_t>(m.frontier_peak, num_active_);
+  m.first_visits += newly;
+  ++m.frontier_hist[std::bit_width(static_cast<std::uint64_t>(num_active_))];
+  if (m.record_rounds)
+    m.note_round(static_cast<std::size_t>(rounds_committed_), num_active_,
+                 newly, round_dense_);
 }
 
 std::uint32_t FrontierKernel::commit(Commit policy) {
@@ -213,6 +232,11 @@ std::uint32_t FrontierKernel::commit(Commit policy) {
     active_valid_ = false;
     visited_count_ += newly;
     ++dense_rounds_;
+    if (metrics_ != nullptr) {
+      metrics_->merged_words += next_words.size();
+      record_commit(newly);
+    }
+    ++rounds_committed_;
     return newly;
   }
 
@@ -232,6 +256,8 @@ std::uint32_t FrontierKernel::commit(Commit policy) {
   }
   active_valid_ = true;
   visited_count_ += round_newly_;
+  if (metrics_ != nullptr) record_commit(round_newly_);
+  ++rounds_committed_;
   return round_newly_;
 }
 

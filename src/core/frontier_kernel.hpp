@@ -54,6 +54,7 @@
 #include <span>
 #include <vector>
 
+#include "core/metrics.hpp"
 #include "core/process.hpp"
 #include "graph/graph.hpp"
 #include "rng/discrete.hpp"
@@ -209,6 +210,11 @@ class FrontierKernel {
     /// Optional pre-built sampler shared across replicates; must match the
     /// kernel's graph and laziness.
     std::shared_ptr<const NeighborSampler> sampler;
+    /// Telemetry block (non-owning; must outlive the kernel). When null,
+    /// the kernel attaches to the calling thread's session collector iff
+    /// the session metrics mode is not "off" (core/metrics.hpp); when that
+    /// is off too, every instrumented site reduces to one untaken branch.
+    StepMetrics* metrics = nullptr;
   };
 
   /// The graph must outlive the kernel. Throws util::CheckError when a
@@ -237,8 +243,14 @@ class FrontierKernel {
   /// The keyed word stream of `entity` for the round keyed by `round_key`.
   [[nodiscard]] VertexDraws draws(std::uint64_t round_key,
                                   std::uint32_t entity) const {
+    if (metrics_ != nullptr) ++metrics_->draw_streams;
     return VertexDraws(draw_hash_, round_key, entity);
   }
+
+  /// The attached telemetry block (null when telemetry is off). Processes
+  /// use this to add their own counters (e.g. COBRA's emissions) without
+  /// re-deriving the session attachment.
+  [[nodiscard]] StepMetrics* metrics() const { return metrics_; }
 
   // --- frontier lifecycle ------------------------------------------------
 
@@ -267,6 +279,8 @@ class FrontierKernel {
   template <typename Fn>
   void for_each_in_frontier(Fn&& fn) const {
     if (dense_repr_) {
+      if (metrics_ != nullptr)
+        metrics_->words_scanned += frontier_.words().size();
       frontier_.for_each_set(
           [&](std::size_t u) { fn(static_cast<graph::VertexId>(u)); });
     } else {
@@ -283,6 +297,7 @@ class FrontierKernel {
     const std::size_t n = graph_->num_vertices();
     if (dense_repr_) {
       const auto& words = frontier_.words();
+      if (metrics_ != nullptr) metrics_->words_scanned += words.size();
       for (std::size_t w = 0; w < words.size(); ++w) {
         std::uint64_t bits = ~words[w];
         if ((w << 6) + 64 > n) bits &= (1ull << (n & 63)) - 1;  // tail
@@ -343,7 +358,10 @@ class FrontierKernel {
    public:
     /// Adds v to the next frontier unless it already coalesced this round.
     void emit(graph::VertexId v) {
-      if (k_->stamp_[v] == k_->epoch_ + 1) return;
+      if (k_->stamp_[v] == k_->epoch_ + 1) {
+        if (k_->metrics_ != nullptr) ++k_->metrics_->dedup_hits;
+        return;
+      }
       k_->stamp_[v] = k_->epoch_ + 1;
       k_->next_.push_back(v);
       if (k_->track_visited_ && k_->visited_.set_and_test(v))
@@ -362,7 +380,10 @@ class FrontierKernel {
    public:
     /// Adds v to the next frontier iff it was never visited before.
     void emit(graph::VertexId v) {
-      if (!k_->visited_.set_and_test(v)) return;
+      if (!k_->visited_.set_and_test(v)) {
+        if (k_->metrics_ != nullptr) ++k_->metrics_->dedup_hits;
+        return;
+      }
       ++k_->round_newly_;
       k_->next_.push_back(v);
     }
@@ -434,6 +455,10 @@ class FrontierKernel {
   std::uint32_t commit(Commit policy);
 
  private:
+  /// Folds one committed round into the attached telemetry block (only
+  /// called when metrics_ is non-null).
+  void record_commit(std::uint32_t newly);
+
   /// Rebuilds active_ (ascending) from the dense frontier when stale.
   void materialize_active() const;
 
@@ -467,6 +492,12 @@ class FrontierKernel {
   mutable bool active_valid_ = true;  // active_ mirrors the frontier
   std::uint32_t num_active_ = 0;
   std::uint64_t dense_rounds_ = 0;
+  std::uint64_t rounds_committed_ = 0;  // since assign(); trajectory index
+
+  // Attached telemetry block (Config::metrics, else the thread's session
+  // block, else null). Owned elsewhere; mutated from const scans, hence
+  // the pointee is non-const.
+  StepMetrics* metrics_ = nullptr;
 
   // In-flight round state (between begin_round and commit).
   bool round_dense_ = false;

@@ -1,0 +1,187 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+namespace cobra::core {
+
+void StepMetrics::note_round(std::size_t index, std::uint64_t frontier,
+                             std::uint64_t newly, bool dense) {
+  if (round_trajectory.size() <= index)
+    round_trajectory.resize(index + 1);
+  RoundStat& stat = round_trajectory[index];
+  ++stat.processes;
+  stat.frontier += frontier;
+  stat.newly += newly;
+  stat.dense += dense ? 1 : 0;
+}
+
+void StepMetrics::merge_from(const StepMetrics& other) {
+  rounds += other.rounds;
+  rounds_dense += other.rounds_dense;
+  mode_switches += other.mode_switches;
+  frontier_sum += other.frontier_sum;
+  frontier_peak = std::max(frontier_peak, other.frontier_peak);
+  first_visits += other.first_visits;
+  emissions += other.emissions;
+  dedup_hits += other.dedup_hits;
+  draw_streams += other.draw_streams;
+  words_scanned += other.words_scanned;
+  merged_words += other.merged_words;
+  for (std::size_t b = 0; b < frontier_hist.size(); ++b)
+    frontier_hist[b] += other.frontier_hist[b];
+  if (round_trajectory.size() < other.round_trajectory.size())
+    round_trajectory.resize(other.round_trajectory.size());
+  for (std::size_t i = 0; i < other.round_trajectory.size(); ++i) {
+    RoundStat& stat = round_trajectory[i];
+    const RoundStat& o = other.round_trajectory[i];
+    stat.processes += o.processes;
+    stat.frontier += o.frontier;
+    stat.newly += o.newly;
+    stat.dense += o.dense;
+  }
+}
+
+void StepMetrics::reset() {
+  const bool keep_recording = record_rounds;
+  *this = StepMetrics{};
+  record_rounds = keep_recording;
+}
+
+namespace {
+
+// Registered session blocks: one per thread that ever stepped a kernel
+// with telemetry on, plus the folded counts of threads that exited
+// between drains.
+struct SessionBlocks {
+  std::mutex mu;
+  std::vector<StepMetrics*> blocks;
+  StepMetrics retired;
+};
+
+SessionBlocks& session_blocks() {
+  // Leaked: thread-local destructors below may outlive static teardown.
+  static SessionBlocks* const s = new SessionBlocks();
+  return *s;
+}
+
+// Thread-local handle: registers on first use, folds itself into
+// `retired` when the thread exits so no counts are lost.
+struct ThreadBlock {
+  std::unique_ptr<StepMetrics> block;
+
+  StepMetrics* get() {
+    if (!block) {
+      block = std::make_unique<StepMetrics>();
+      SessionBlocks& s = session_blocks();
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.blocks.push_back(block.get());
+    }
+    return block.get();
+  }
+
+  ~ThreadBlock() {
+    if (!block) return;
+    SessionBlocks& s = session_blocks();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.retired.merge_from(*block);
+    std::erase(s.blocks, block.get());
+  }
+};
+
+thread_local ThreadBlock tl_block;
+
+}  // namespace
+
+StepMetrics* session_step_metrics() {
+  const util::MetricsMode mode = util::metrics_mode();
+  if (mode == util::MetricsMode::kOff) return nullptr;
+  StepMetrics* block = tl_block.get();
+  block->record_rounds = mode == util::MetricsMode::kRounds;
+  return block;
+}
+
+StepMetrics drain_session_step_metrics() {
+  SessionBlocks& s = session_blocks();
+  std::lock_guard<std::mutex> lock(s.mu);
+  StepMetrics out;
+  out.merge_from(s.retired);
+  s.retired.reset();
+  for (StepMetrics* block : s.blocks) {
+    out.merge_from(*block);
+    block->reset();
+  }
+  return out;
+}
+
+namespace {
+
+// "kernel.*" registry ids, resolved once per process.
+struct KernelIds {
+  util::MetricId rounds;
+  util::MetricId rounds_dense;
+  util::MetricId mode_switches;
+  util::MetricId frontier_sum;
+  util::MetricId frontier_peak;
+  util::MetricId first_visits;
+  util::MetricId emissions;
+  util::MetricId dedup_hits;
+  util::MetricId draw_streams;
+  util::MetricId words_scanned;
+  util::MetricId merged_words;
+  util::MetricId frontier_size;
+};
+
+const KernelIds& kernel_ids() {
+  static const KernelIds ids = [] {
+    util::MetricsRegistry& reg = util::MetricsRegistry::instance();
+    KernelIds k;
+    k.rounds = reg.counter("kernel.rounds");
+    k.rounds_dense = reg.counter("kernel.rounds_dense");
+    k.mode_switches = reg.counter("kernel.mode_switches");
+    k.frontier_sum = reg.counter("kernel.frontier_sum");
+    k.frontier_peak = reg.gauge("kernel.frontier_peak");
+    k.first_visits = reg.counter("kernel.first_visits");
+    k.emissions = reg.counter("kernel.emissions");
+    k.dedup_hits = reg.counter("kernel.dedup_hits");
+    k.draw_streams = reg.counter("kernel.draw_streams");
+    k.words_scanned = reg.counter("kernel.words_scanned");
+    k.merged_words = reg.counter("kernel.merged_words");
+    k.frontier_size = reg.histogram("kernel.frontier_size");
+    return k;
+  }();
+  return ids;
+}
+
+}  // namespace
+
+void publish_step_metrics(const StepMetrics& metrics) {
+  const KernelIds& ids = kernel_ids();
+  util::MetricsRegistry& reg = util::MetricsRegistry::instance();
+  reg.add(ids.rounds, metrics.rounds);
+  reg.add(ids.rounds_dense, metrics.rounds_dense);
+  reg.add(ids.mode_switches, metrics.mode_switches);
+  reg.add(ids.frontier_sum, metrics.frontier_sum);
+  reg.gauge_max(ids.frontier_peak, metrics.frontier_peak);
+  reg.add(ids.first_visits, metrics.first_visits);
+  reg.add(ids.emissions, metrics.emissions);
+  reg.add(ids.dedup_hits, metrics.dedup_hits);
+  reg.add(ids.draw_streams, metrics.draw_streams);
+  reg.add(ids.words_scanned, metrics.words_scanned);
+  reg.add(ids.merged_words, metrics.merged_words);
+  std::uint64_t* slots = reg.local_slots();
+  for (std::size_t b = 0; b < metrics.frontier_hist.size(); ++b)
+    slots[ids.frontier_size + b] += metrics.frontier_hist[b];
+}
+
+CellMetrics drain_cell_metrics() {
+  StepMetrics step = drain_session_step_metrics();
+  publish_step_metrics(step);
+  CellMetrics out;
+  out.snapshot = util::MetricsRegistry::instance().drain(true);
+  out.rounds = std::move(step.round_trajectory);
+  return out;
+}
+
+}  // namespace cobra::core

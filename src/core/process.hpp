@@ -13,6 +13,7 @@
 namespace cobra::core {
 
 class NeighborSampler;  // core/frontier_kernel.hpp
+struct StepMetrics;     // core/metrics.hpp
 
 /// Stepping-engine selection for the frontier-kernel processes (see
 /// docs/ARCHITECTURE.md, "Frontier kernel").
@@ -137,6 +138,14 @@ struct ProcessOptions {
   /// laziness; ignored by the reference engine. When null, fast engines
   /// build their own.
   std::shared_ptr<const NeighborSampler> sampler;
+
+  /// Telemetry hook (core/metrics.hpp): when non-null, the process's
+  /// frontier kernel streams its round counters into this caller-owned
+  /// block. When null, kernels attach to the calling thread's session
+  /// collector iff the session metrics mode (COBRA_METRICS / --metrics)
+  /// is not "off". Never consumes randomness, so fixed-seed trajectories
+  /// are identical with or without it.
+  StepMetrics* metrics = nullptr;
 
   /// Throws util::CheckError on out-of-range parameters.
   void validate() const {

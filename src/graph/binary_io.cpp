@@ -9,6 +9,7 @@
 
 #include "graph/io.hpp"
 #include "util/assert.hpp"
+#include "util/metrics.hpp"
 
 namespace cobra::graph {
 
@@ -228,6 +229,13 @@ CgrInfo read_cgr_header(const std::string& path) {
 Graph load_cgr_file(const std::string& path, CgrLoadMode mode,
                     bool verify) {
   MappedFile file = MappedFile::open_read(path);
+  if (util::metrics_collecting()) {
+    util::MetricsRegistry& reg = util::MetricsRegistry::instance();
+    static const util::MetricId opens = reg.counter("graph.mmap_opens");
+    static const util::MetricId bytes = reg.counter("graph.mmap_bytes");
+    reg.add(opens, 1);
+    reg.add(bytes, file.size());
+  }
   const CgrHeader h = header_from_bytes(file.data(), file.size(), path);
   validate_header(h, path, file.size());
 

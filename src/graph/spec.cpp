@@ -12,6 +12,7 @@
 #include "graph/random_generators.hpp"
 #include "rng/stream.hpp"
 #include "util/assert.hpp"
+#include "util/metrics.hpp"
 
 namespace cobra::graph {
 
@@ -143,6 +144,24 @@ GraphCache& cache() {
   return c;
 }
 
+// Registry mirror of the cache counters (telemetry sidecars; stats above
+// stay authoritative for graph_cache_stats()).
+struct GraphCacheIds {
+  util::MetricId hits;
+  util::MetricId misses;
+  util::MetricId fingerprint_dedups;
+};
+
+const GraphCacheIds& graph_cache_ids() {
+  static const GraphCacheIds ids = [] {
+    util::MetricsRegistry& reg = util::MetricsRegistry::instance();
+    return GraphCacheIds{reg.counter("graph.cache_hits"),
+                         reg.counter("graph.cache_misses"),
+                         reg.counter("graph.cache_fingerprint_dedups")};
+  }();
+  return ids;
+}
+
 }  // namespace
 
 bool is_file_spec(const std::string& spec) {
@@ -183,6 +202,7 @@ std::shared_ptr<const Graph> shared_graph(const std::string& spec) {
     const auto it = cache().by_spec.find(spec);
     if (it != cache().by_spec.end()) {
       ++cache().stats.hits;
+      util::count_if_collecting(graph_cache_ids().hits);
       return it->second;
     }
   }
@@ -195,9 +215,11 @@ std::shared_ptr<const Graph> shared_graph(const std::string& spec) {
   if (const auto it = cache().by_spec.find(spec);
       it != cache().by_spec.end()) {
     ++cache().stats.hits;
+    util::count_if_collecting(graph_cache_ids().hits);
     return it->second;
   }
   ++cache().stats.misses;
+  util::count_if_collecting(graph_cache_ids().misses);
   std::shared_ptr<const Graph> resolved = built;
   if (const auto fit = cache().by_fingerprint.find(fp);
       fit != cache().by_fingerprint.end()) {
@@ -205,6 +227,7 @@ std::shared_ptr<const Graph> shared_graph(const std::string& spec) {
     // a pre-baked family): share the existing instance and its caches.
     resolved = fit->second;
     ++cache().stats.fingerprint_dedups;
+    util::count_if_collecting(graph_cache_ids().fingerprint_dedups);
   } else {
     cache().by_fingerprint.emplace(fp, resolved);
   }

@@ -3,11 +3,41 @@
 #include <numeric>
 
 #include "util/assert.hpp"
+#include "util/metrics.hpp"
 
 namespace cobra::rng {
 
+namespace {
+
+// Alias-table telemetry (cold sites: builds happen once per distinct
+// degree per graph, stream samples only on the legacy Rng path — the
+// word-path sample_word stays uninstrumented and is accounted for by
+// kernel.emissions).
+struct AliasIds {
+  util::MetricId builds;
+  util::MetricId build_slots;
+  util::MetricId stream_samples;
+};
+
+const AliasIds& alias_ids() {
+  static const AliasIds ids = [] {
+    util::MetricsRegistry& reg = util::MetricsRegistry::instance();
+    return AliasIds{reg.counter("rng.alias_builds"),
+                    reg.counter("rng.alias_build_slots"),
+                    reg.counter("rng.alias_stream_samples")};
+  }();
+  return ids;
+}
+
+}  // namespace
+
 AliasTable::AliasTable(const std::vector<double>& weights) {
   COBRA_CHECK(!weights.empty());
+  if (util::metrics_collecting()) {
+    util::MetricsRegistry& reg = util::MetricsRegistry::instance();
+    reg.add(alias_ids().builds, 1);
+    reg.add(alias_ids().build_slots, weights.size());
+  }
   const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
   COBRA_CHECK_MSG(total > 0.0, "alias table needs a positive weight sum");
   for (const double w : weights) COBRA_CHECK_MSG(w >= 0.0, "negative weight");
@@ -44,6 +74,7 @@ AliasTable::AliasTable(const std::vector<double>& weights) {
 }
 
 std::uint32_t AliasTable::sample(Rng& rng) const {
+  util::count_if_collecting(alias_ids().stream_samples);
   const auto column =
       static_cast<std::uint32_t>(rng.below(prob_.size()));
   return rng.uniform01() < prob_[column] ? column : alias_[column];

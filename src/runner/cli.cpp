@@ -1,8 +1,10 @@
 #include "runner/cli.hpp"
 
+#include <chrono>
 #include <exception>
 #include <filesystem>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "runner/graph_cmd.hpp"
@@ -10,6 +12,7 @@
 #include "runner/registry.hpp"
 #include "runner/supervisor.hpp"
 #include "runner/sweep.hpp"
+#include "runner/telemetry.hpp"
 #include "util/env.hpp"
 
 namespace cobra::runner {
@@ -87,7 +90,11 @@ int cmd_run(const RunnerOptions& options,
     const SweepResult result = run_experiment(*def, config);
     std::cout << def->name << ": " << result.cells_run << " run, "
               << result.cells_skipped << " resumed, "
-              << result.cells_remaining << " remaining\n";
+              << result.cells_remaining << " remaining";
+    if (result.cells_run > 0)
+      std::cout << " (" << format_wall_time(result.wall_us_run)
+                << " cell wall time)";
+    std::cout << '\n';
     all_complete = all_complete && result.complete();
   }
   return all_complete ? 0 : 3;  // 3: interrupted by --max-cells
@@ -95,6 +102,15 @@ int cmd_run(const RunnerOptions& options,
 
 int cmd_sweep(const RunnerOptions& options,
               const std::vector<std::string>& names) {
+  if (options.status) {
+    // Fleet view of an existing run directory; spawns nothing.
+    if (render_fleet_status(options.out_dir, std::cout) == 0) {
+      std::cerr << "cobra: no run journals under " << options.out_dir
+                << '\n';
+      return 2;
+    }
+    return 0;
+  }
   std::string error;
   const auto selected = select_experiments(options, names, error);
   if (selected.empty()) {
@@ -156,8 +172,48 @@ int cmd_sweep(const RunnerOptions& options,
     config.log = &std::cout;
     const SupervisorResult result = supervise_experiment(*def, config);
     std::cout << def->name << ": swept by " << result.workers
-              << " workers (" << result.restarts_total
-              << " respawns); merged\n";
+              << " workers (" << result.restarts_total << " respawns, "
+              << result.wedges_total << " wedges); merged "
+              << result.merge.cells << " cells, "
+              << format_wall_time(result.merge.total_wall_us)
+              << " cell wall time";
+    if (!result.merge.slowest.empty()) {
+      std::cout << "; slowest:";
+      for (std::size_t i = 0; i < result.merge.slowest.size(); ++i) {
+        std::cout << (i ? ", " : " ") << result.merge.slowest[i].first
+                  << " (" << format_wall_time(result.merge.slowest[i].second)
+                  << ")";
+      }
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int cmd_top(const RunnerOptions& options,
+            const std::vector<std::string>& names) {
+  // `cobra top <out-dir>`: the directory may come positionally or via
+  // --out-dir; positional wins.
+  const std::string out_dir = names.empty() ? options.out_dir : names[0];
+  for (;;) {
+    if (render_fleet_status(out_dir, std::cout) == 0) {
+      std::cerr << "cobra: no run journals under " << out_dir << '\n';
+      return 2;
+    }
+    if (options.watch <= 0) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options.watch));
+    std::cout << "---\n";
+  }
+}
+
+int cmd_report(const RunnerOptions& options,
+               const std::vector<std::string>& names) {
+  const std::string out_dir = names.empty() ? options.out_dir : names[0];
+  if (render_metrics_report(out_dir, std::cout) == 0) {
+    std::cerr << "cobra: no metrics sidecars under " << out_dir
+              << " (run with --metrics summary|rounds to archive them)\n";
+    return 2;
   }
   return 0;
 }
@@ -196,7 +252,8 @@ int cli_main(int argc, const char* const* argv) {
   std::vector<std::string> names = options.positional;
   if (!names.empty() &&
       (names[0] == "list" || names[0] == "run" || names[0] == "sweep" ||
-       names[0] == "merge" || names[0] == "graph")) {
+       names[0] == "merge" || names[0] == "graph" || names[0] == "top" ||
+       names[0] == "report")) {
     command = names[0];
     names.erase(names.begin());
   }
@@ -206,6 +263,8 @@ int cli_main(int argc, const char* const* argv) {
     if (command == "sweep") return cmd_sweep(options, names);
     if (command == "merge") return cmd_merge(options, names);
     if (command == "graph") return cmd_graph(options, names);
+    if (command == "top") return cmd_top(options, names);
+    if (command == "report") return cmd_report(options, names);
     // `cobra run [NAME...] --list` dry-runs the cell selection (all
     // experiments when no NAME) in cmd_run; `cobra list` is the
     // experiment catalogue.

@@ -100,6 +100,20 @@ std::optional<std::string> parse_args(const std::vector<std::string>& args,
       if (!value || value->empty())
         return "--graphs expects a comma-separated graph-spec list";
       options.graphs = *value;
+    } else if (name == "--metrics") {
+      const auto value = take_value();
+      if (!value ||
+          (*value != "off" && *value != "summary" && *value != "rounds"))
+        return "--metrics expects one of off|summary|rounds";
+      options.metrics = *value;
+    } else if (name == "--watch") {
+      const auto value = take_value();
+      double parsed = 0.0;
+      if (!value || !parse_double(*value, parsed) || parsed < 0.0)
+        return "--watch expects a non-negative number of seconds";
+      options.watch = parsed;
+    } else if (name == "--status") {
+      options.status = true;
     } else if (name == "-o" || name == "--out") {
       const auto value = take_value();
       if (!value || value->empty()) return "--out expects a file path";
@@ -163,7 +177,8 @@ std::optional<std::string> parse_args(const std::vector<std::string>& args,
       return "unknown flag: " + name + " (see --help)";
     }
     if (inline_value &&
-        (name == "--list" || name == "--resume" || name == "--verify"))
+        (name == "--list" || name == "--resume" || name == "--verify" ||
+         name == "--status"))
       return name + " does not take a value";
   }
   return std::nullopt;
@@ -175,6 +190,7 @@ void apply_env_overrides(const RunnerOptions& options) {
   if (options.threads) util::set_threads_override(*options.threads);
   if (options.engine) util::set_engine_override(*options.engine);
   if (options.graphs) util::set_graphs_override(*options.graphs);
+  if (options.metrics) util::set_metrics_override(*options.metrics);
 }
 
 std::string usage() {
@@ -190,6 +206,17 @@ Usage:
                                        workers, auto-merge on completion
   cobra merge NAME... [--out-dir DIR]  stitch shard fragments into the
                                        canonical CSV and print the summary
+  cobra top [DIR] [--watch S]          fleet view of a run directory:
+                                       per-shard cell progress from the
+                                       journals, worker liveness and
+                                       respawn/wedge counters from the
+                                       sweep status file, ETA from the
+                                       archived .costs model; --watch S
+                                       re-renders every S seconds
+  cobra report [DIR]                   render archived metrics sidecars
+                                       (<exp>.metrics.jsonl) as per-cell
+                                       comparison tables, no re-running
+  cobra sweep --status [--out-dir DIR] one-shot fleet view (same as top)
   cobra graph ingest EDGELIST -o G.cgr [--name N]
                                        convert a text edge list to the
                                        binary .cgr format (streaming; full
@@ -217,6 +244,13 @@ Options (each flag overrides its COBRA_* environment variable):
                    complete_N cycle_N path_N star_N hypercube_D torus_S_dD
                    regular_N_rR petersen file:PATH  (PATH: .cgr is
                    mmap-loaded, anything else is a text edge list)
+  --metrics M      telemetry mode                 (env COBRA_METRICS, default off)
+                   off     — no collection (zero-cost null checks)
+                   summary — per-cell counter totals archived to the
+                             <exp>.metrics.jsonl sidecar next to the journal
+                   rounds  — totals plus per-round frontier trajectories
+                   Fixed-seed results are bit-identical in every mode;
+                   `cobra report` renders the archived sidecars.
   --out-dir DIR    result/journal directory       (default bench_results)
   --shard i/k      run only cells with index % k == i-1 (1-based i)
   --resume         continue a journaled run: completed cells are skipped,
@@ -239,6 +273,13 @@ Options (each flag overrides its COBRA_* environment variable):
   --inject-kill I  sweep fault injection (tests/CI): shard I's first
                    worker SIGKILLs itself after its first journaled cell
   -h, --help       this text
+
+With --metrics summary|rounds every completed cell appends one JSON line
+to the shard's <exp>[.<i>of<k>].metrics.jsonl sidecar; merge and completed
+unsharded runs compact/re-order the sidecars deterministically. A running
+sweep additionally maintains <exp>.sweep.status (atomic rewrite, ~1/s)
+which `cobra top` and `cobra sweep --status` combine with the journals
+and the archived .costs model into a live fleet view with ETA.
 
 Sharded sweeps write <table>.shard<i>of<k>.csv fragments plus a
 <experiment>.<i>of<k>.journal manifest into --out-dir; `cobra merge`

@@ -26,6 +26,11 @@ struct RunnerOptions {
   /// (graph/spec.hpp grammar, incl. file:PATH) for spec-driven
   /// experiments such as `workload`.
   std::optional<std::string> graphs;
+  /// --metrics: COBRA_METRICS override — telemetry mode off|summary|rounds
+  /// (validated at parse time). "summary" archives per-cell counter
+  /// totals to the <experiment>.metrics.jsonl sidecar; "rounds" adds the
+  /// per-round frontier trajectory. Neither perturbs fixed-seed results.
+  std::optional<std::string> metrics;
 
   std::string out_dir = "bench_results";  ///< result/journal directory
   int shard_index = 1;                    ///< 1-based i of --shard i/k
@@ -58,6 +63,12 @@ struct RunnerOptions {
   /// --verify: `cobra graph info` — deep-validate the CSR and rehash the
   /// fingerprint instead of trusting the header.
   bool verify = false;
+
+  /// --watch: `cobra top` refresh interval in seconds (0 = render once).
+  double watch = 0.0;
+  /// --status: `cobra sweep` — render the fleet status of an existing
+  /// out-dir (journals + supervisor status file) instead of sweeping.
+  bool status = false;
 
   /// Stop after this many cells (chunked runs, interruption tests);
   /// negative means unlimited.

@@ -21,8 +21,10 @@
 #include "graph/binary_io.hpp"
 #include "graph/spec.hpp"
 #include "runner/journal.hpp"
+#include "runner/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/env.hpp"
+#include "util/metrics.hpp"
 
 extern "C" char** environ;
 
@@ -41,7 +43,9 @@ struct Shard {
   std::string log_path;       // worker stdout+stderr
   pid_t pid = -1;             // -1: no live worker
   int restarts = 0;
+  int wedges = 0;             // wedge kills among the restarts
   bool complete = false;
+  std::size_t cells_done = 0;           // last known journaled-cell count
   std::uintmax_t last_size = 0;         // journal size at last progress
   Clock::time_point last_progress{};    // journal growth or spawn time
   /// Wedge threshold for this shard (0 = disabled). Floored at 3x the
@@ -284,6 +288,8 @@ SupervisorResult supervise_experiment(const ExperimentDef& def,
   argv_head.push_back("--engine");
   argv_head.push_back(
       core::engine_name(core::resolve_engine(core::Engine::kDefault)));
+  argv_head.push_back("--metrics");
+  argv_head.push_back(util::metrics_mode_name(util::metrics_mode()));
   if (!costs.empty()) {
     argv_head.push_back("--costs");
     argv_head.push_back(costs);
@@ -341,6 +347,39 @@ SupervisorResult supervise_experiment(const ExperimentDef& def,
   Reaper reaper{&shards};
   bool inject_pending = config.inject_kill_shard > 0;
 
+  // Fleet snapshot for `cobra top` / `cobra sweep --status`: rewritten
+  // atomically at most once a second (plus once at start and at the end),
+  // so an observer process always reads a consistent view.
+  const std::string status_path =
+      sweep_status_path(config.out_dir, def.name);
+  const auto write_status = [&]() {
+    SweepStatus status;
+    status.experiment = def.name;
+    status.shard_count = k;
+    for (Shard& shard : shards) {
+      if (!shard.complete && fs::exists(shard.journal_path)) {
+        // A worker may be mid-append; a transiently unreadable journal
+        // keeps the previous count rather than failing the sweep.
+        try {
+          shard.cells_done = Journal::read(shard.journal_path).second.size();
+        } catch (const util::CheckError&) {
+        }
+      }
+      ShardStatus s;
+      s.index = shard.index;
+      s.pid = shard.pid;
+      s.restarts = shard.restarts;
+      s.wedges = shard.wedges;
+      s.state = shard.complete ? "complete"
+                               : (shard.pid > 0 ? "running" : "dead");
+      s.cells_done = shard.complete ? shard.cells : shard.cells_done;
+      s.cells_total = shard.cells;
+      status.shards.push_back(std::move(s));
+    }
+    write_sweep_status(status_path, status);
+  };
+  Clock::time_point last_status = Clock::now();
+
   const auto spawn = [&](Shard& shard) {
     const bool inject =
         inject_pending && shard.index == config.inject_kill_shard;
@@ -370,15 +409,23 @@ SupervisorResult supervise_experiment(const ExperimentDef& def,
                  << "); giving up — worker log " << shard.log_path << ":\n"
                  << log_tail(shard.log_path));
     if (config.log) {
+      // The dying worker's last journaled/heartbeat cell plus its log
+      // tail: enough to see *where* it died without digging through the
+      // run directory.
+      const std::string last_cell = last_journal_cell(shard.journal_path);
       *config.log << "[sweep] shard " << shard.index << "/" << k
-                  << " worker " << why << "; respawning shard "
-                  << shard.index << "/" << k << " (attempt "
-                  << shard.restarts << "/" << config.max_restarts << ")\n";
+                  << " worker " << why << " (last journal cell: "
+                  << (last_cell.empty() ? "<none>" : last_cell)
+                  << "); worker log tail:\n" << log_tail(shard.log_path)
+                  << "[sweep] respawning shard " << shard.index << "/" << k
+                  << " (attempt " << shard.restarts << "/"
+                  << config.max_restarts << ")\n";
     }
     spawn(shard);
   };
 
   for (Shard& shard : shards) spawn(shard);
+  write_status();
 
   for (;;) {
     bool all_complete = true;
@@ -430,6 +477,7 @@ SupervisorResult supervise_experiment(const ExperimentDef& def,
         os << "wedged (no journal growth for " << std::fixed
            << std::setprecision(1) << shard.timeout_s
            << " s; SIGKILLed)";
+        ++shard.wedges;
         // Backoff: if this was an honest long cell, the doubled window
         // lets the respawn finish it instead of draining the budget.
         shard.timeout_s *= 2;
@@ -437,10 +485,15 @@ SupervisorResult supervise_experiment(const ExperimentDef& def,
       }
     }
     if (all_complete) break;
+    if (Clock::now() - last_status >= std::chrono::seconds(1)) {
+      write_status();
+      last_status = Clock::now();
+    }
     std::this_thread::sleep_for(
         std::chrono::duration<double>(config.poll_interval_s));
   }
   reaper.disarmed = true;  // nothing left alive to reap
+  write_status();          // final snapshot: every shard complete
 
   if (config.log) {
     *config.log << "[sweep] all " << k << " shards complete; merging\n";
@@ -450,8 +503,10 @@ SupervisorResult supervise_experiment(const ExperimentDef& def,
   result.workers = k;
   result.costs_path = costs;
   for (const Shard& shard : shards) {
-    result.shards.push_back(ShardOutcome{shard.cells, shard.restarts});
+    result.shards.push_back(
+        ShardOutcome{shard.cells, shard.restarts, shard.wedges});
     result.restarts_total += shard.restarts;
+    result.wedges_total += shard.wedges;
   }
   result.merge = merge_experiment(def, config.out_dir, config.log);
   return result;

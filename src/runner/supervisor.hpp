@@ -74,12 +74,14 @@ struct SupervisorConfig {
 struct ShardOutcome {
   std::size_t cells = 0;  ///< cells in the shard's slice
   int restarts = 0;       ///< times the shard's worker was respawned
+  int wedges = 0;         ///< wedge kills among those (no journal growth)
 };
 
 /// What one supervised sweep did.
 struct SupervisorResult {
   int workers = 0;             ///< shard count k
   int restarts_total = 0;      ///< respawns across all shards
+  int wedges_total = 0;        ///< wedge kills across all shards
   std::string costs_path;      ///< cost model used ("" = round-robin)
   std::vector<ShardOutcome> shards;  ///< indexed shard-1
   MergeResult merge;           ///< the automatic final merge

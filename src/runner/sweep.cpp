@@ -12,12 +12,15 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/metrics.hpp"
 #include "core/process.hpp"
 #include "runner/journal.hpp"
+#include "runner/telemetry.hpp"
 #include "sim/experiment.hpp"
 #include "util/assert.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
+#include "util/metrics.hpp"
 
 namespace cobra::runner {
 
@@ -331,6 +334,23 @@ SweepResult run_experiment(const ExperimentDef& def,
         std::make_unique<Journal>(Journal::create(journal_path, header));
   }
 
+  // Telemetry sidecar: one JSONL record per cell, appended write-ahead of
+  // the journal line (a crash in between re-runs the cell and appends a
+  // duplicate; readers keep the last record per cell). A fresh run clears
+  // any stale sidecar; metrics-off runs write nothing.
+  const util::MetricsMode metrics_mode = util::metrics_mode();
+  const std::string sidecar_path = metrics_sidecar_path(
+      config.out_dir, def.name, config.shard_index, config.shard_count);
+  if (fresh) {
+    std::error_code ec;
+    std::filesystem::remove(sidecar_path, ec);
+  }
+  if (metrics_mode != util::MetricsMode::kOff) {
+    // Discard whatever accumulated before this slice (registry state is
+    // process-wide), so the first cell's record is not polluted.
+    core::drain_cell_metrics();
+  }
+
   std::vector<std::unique_ptr<util::CsvWriter>> writers;
   for (const TableDef& table : def.tables) {
     writers.push_back(std::make_unique<util::CsvWriter>(
@@ -381,11 +401,22 @@ SweepResult run_experiment(const ExperimentDef& def,
       writers[t]->flush();
       entry.rows_per_table.push_back(context.rows_in_table(t));
     }
+    if (metrics_mode != util::MetricsMode::kOff) {
+      core::CellMetrics cell_metrics = core::drain_cell_metrics();
+      CellMetricsRecord record;
+      record.cell_id = cell.id;
+      record.mode = util::metrics_mode_name(metrics_mode);
+      record.wall_us = entry.wall_us;
+      record.snapshot = std::move(cell_metrics.snapshot);
+      record.rounds = std::move(cell_metrics.rounds);
+      append_metrics_record(sidecar_path, record);
+    }
     // Rows are durable before the journal line: a crash in between makes
     // the cell re-run on resume, and the reconciliation above drops the
     // orphaned rows first.
     journal->record(entry);
     ++result.cells_run;
+    result.wall_us_run += entry.wall_us;
     if (kill_after_cells > 0 &&
         result.cells_run >= static_cast<std::size_t>(kill_after_cells)) {
       std::raise(SIGKILL);  // fault injection: die hard, journal intact
@@ -415,6 +446,18 @@ SweepResult run_experiment(const ExperimentDef& def,
     // and a later `--costs` run balances its shard slices with it.
     write_costs_file(costs_path_for(config.out_dir, def.name),
                      journal->entries());
+    // Compact the sidecar into journal order: crash-duplicate records
+    // collapse (last wins) and the archive becomes deterministic — the
+    // same lines a sharded run's merged sidecar would hold.
+    if (std::filesystem::exists(sidecar_path)) {
+      std::vector<std::string> order;
+      order.reserve(journal->entries().size());
+      for (const JournalEntry& entry : journal->entries())
+        order.push_back(entry.cell_id);
+      write_metrics_sidecar(
+          sidecar_path,
+          order_records(read_metrics_sidecar(sidecar_path), order));
+    }
   }
 
   if (result.complete() && config.shard_count == 1 && config.console) {
@@ -674,26 +717,61 @@ MergeResult merge_experiment(const ExperimentDef& def,
     write_costs_file(costs_path_for(out_dir, def.name), ordered);
   }
 
-  if (log) {
-    // Journal v3 cost summary: where the run's wall time went (the input
-    // to cost-model shard balancing, see ROADMAP).
-    std::uint64_t total_us = 0;
+  // Merge the metrics sidecars the same way the fragments merged: every
+  // shard's records concatenated, deduplicated (last record per cell) and
+  // re-ordered by the global cell enumeration into the canonical
+  // <experiment>.metrics.jsonl. Shards that ran with metrics off simply
+  // contribute nothing.
+  {
+    std::vector<CellMetricsRecord> records;
+    for (int s = 1; s <= shard_count; ++s) {
+      std::vector<CellMetricsRecord> shard_records = read_metrics_sidecar(
+          metrics_sidecar_path(out_dir, def.name, s, shard_count));
+      for (CellMetricsRecord& record : shard_records)
+        records.push_back(std::move(record));
+    }
+    if (!records.empty()) {
+      std::vector<std::string> order;
+      order.reserve(cells.size());
+      for (const CellDef& cell : cells) order.push_back(cell.id);
+      records = order_records(std::move(records), order);
+      write_metrics_sidecar(
+          metrics_sidecar_path(out_dir, def.name, 1, 1), records);
+      if (log) {
+        *log << "merged " << def.name << ".metrics.jsonl: "
+             << records.size() << " cell records from " << shard_count
+             << " shards\n";
+      }
+    }
+  }
+
+  // Journal v3 cost summary: where the run's wall time went (the input
+  // to cost-model shard balancing, see ROADMAP). Totals and the top-3
+  // slowest cells are returned so `cobra sweep` can surface them in its
+  // completion output.
+  {
     std::vector<std::pair<std::uint64_t, const JournalEntry*>> by_cost;
     for (const auto& entries : shard_entries) {
       for (const JournalEntry& entry : entries) {
-        total_us += entry.wall_us;
+        result.total_wall_us += entry.wall_us;
         by_cost.emplace_back(entry.wall_us, &entry);
       }
     }
+    result.cells = by_cost.size();
     std::sort(by_cost.begin(), by_cost.end(),
               [](const auto& a, const auto& b) { return a.first > b.first; });
-    *log << "cell wall time: " << format_wall_time(total_us) << " across "
-         << by_cost.size() << " cells";
-    if (!by_cost.empty() && total_us > 0) {
+    for (std::size_t i = 0; i < by_cost.size() && i < 3; ++i)
+      result.slowest.emplace_back(by_cost[i].second->cell_id,
+                                  by_cost[i].first);
+  }
+  if (log) {
+    *log << "cell wall time: " << format_wall_time(result.total_wall_us)
+         << " across " << result.cells << " cells";
+    if (!result.slowest.empty() && result.total_wall_us > 0) {
       *log << "; slowest:";
-      for (std::size_t i = 0; i < by_cost.size() && i < 3; ++i) {
-        *log << (i ? ", " : " ") << by_cost[i].second->cell_id << " ("
-             << format_wall_time(by_cost[i].first) << ")";
+      for (std::size_t i = 0; i < result.slowest.size(); ++i) {
+        *log << (i ? ", " : " ") << result.slowest[i].first << " ("
+             << format_wall_time(result.slowest[i].second) << ")";
       }
     }
     *log << '\n';

@@ -40,6 +40,8 @@ struct SweepResult {
   std::size_t cells_run = 0;        ///< executed by this invocation
   std::size_t cells_skipped = 0;    ///< journaled by a previous invocation
   std::size_t cells_remaining = 0;  ///< left behind by --max-cells
+  /// Summed cell body wall time of the cells this invocation ran, µs.
+  std::uint64_t wall_us_run = 0;
   /// True when the shard's slice is fully journaled.
   [[nodiscard]] bool complete() const { return cells_remaining == 0; }
 };
@@ -57,6 +59,12 @@ SweepResult run_experiment(const ExperimentDef& def,
 struct MergeResult {
   int shard_count = 0;  ///< k of the merged run
   std::vector<std::size_t> rows_per_table;  ///< data rows per canonical CSV
+  std::size_t cells = 0;            ///< journaled cells across all shards
+  std::uint64_t total_wall_us = 0;  ///< summed cell body wall time, µs
+  /// The (up to) three slowest cells, heaviest first: (cell id, wall µs).
+  /// Callers surface these — humanized via format_wall_time — in sweep
+  /// completion output.
+  std::vector<std::pair<std::string, std::uint64_t>> slowest;
 };
 
 /// Discovers the shard journals of `def` under `out_dir`, validates that

@@ -11,6 +11,7 @@
 #include "spectral/lanczos.hpp"
 #include "spectral/power.hpp"
 #include "util/assert.hpp"
+#include "util/metrics.hpp"
 
 namespace cobra::spectral {
 
@@ -59,6 +60,22 @@ SpectralCache& spectral_cache() {
   return cache;
 }
 
+// Registry mirror of the cache counters (telemetry sidecars; the struct
+// stats above stay authoritative for the introspection API).
+util::MetricId spectral_metric(const char* which) {
+  return util::MetricsRegistry::instance().counter(which);
+}
+
+util::MetricId spectral_hit_id() {
+  static const util::MetricId id = spectral_metric("spectral.cache_hits");
+  return id;
+}
+
+util::MetricId spectral_miss_id() {
+  static const util::MetricId id = spectral_metric("spectral.cache_misses");
+  return id;
+}
+
 }  // namespace
 
 SpectralInfo compute_lambda_cached(const graph::Graph& g, std::uint64_t seed,
@@ -72,6 +89,7 @@ SpectralInfo compute_lambda_cached(const graph::Graph& g, std::uint64_t seed,
     const auto it = cache.entries.find(key);
     if (it != cache.entries.end()) {
       ++cache.hits;
+      util::count_if_collecting(spectral_hit_id());
       return it->second;
     }
   }
@@ -83,6 +101,7 @@ SpectralInfo compute_lambda_cached(const graph::Graph& g, std::uint64_t seed,
     ++cache.misses;
     cache.entries.emplace(key, info);
   }
+  util::count_if_collecting(spectral_miss_id());
   return info;
 }
 

@@ -18,6 +18,7 @@ std::optional<std::uint64_t> seed_override;
 std::optional<int> threads_override;
 std::optional<std::string> engine_override;
 std::optional<std::string> graphs_override;
+std::optional<std::string> metrics_override;
 }  // namespace
 
 void set_scale_override(double value) {
@@ -40,12 +41,18 @@ void set_graphs_override(const std::string& value) {
   graphs_override = value;
 }
 
+void set_metrics_override(const std::string& value) {
+  COBRA_CHECK_MSG(!value.empty(), "metrics override must not be empty");
+  metrics_override = value;
+}
+
 void clear_env_overrides() {
   scale_override.reset();
   seed_override.reset();
   threads_override.reset();
   engine_override.reset();
   graphs_override.reset();
+  metrics_override.reset();
 }
 
 double env_double(const char* name, double fallback) {
@@ -104,6 +111,11 @@ std::string engine() {
 std::string graphs() {
   if (graphs_override) return *graphs_override;
   return env_string("COBRA_GRAPHS", "");
+}
+
+std::string metrics() {
+  if (metrics_override) return *metrics_override;
+  return env_string("COBRA_METRICS", "off");
 }
 
 }  // namespace cobra::util

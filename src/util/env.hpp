@@ -14,6 +14,8 @@
 //                    incl. file:PATH for ingested .cgr graphs) consumed by
 //                    spec-driven experiments such as `workload`; default
 //                    empty (the experiment's built-in list).
+//   COBRA_METRICS  — session telemetry mode: off|summary|rounds; default
+//                    "off" (util/metrics.hpp parses and documents it).
 #pragma once
 
 #include <cstdint>
@@ -39,6 +41,7 @@ void set_seed_override(std::uint64_t value);
 void set_threads_override(int value);
 void set_engine_override(const std::string& value);
 void set_graphs_override(const std::string& value);
+void set_metrics_override(const std::string& value);
 
 /// Drops all programmatic overrides (tests; the CLI never needs this).
 void clear_env_overrides();
@@ -60,5 +63,10 @@ std::string engine();
 /// graph::split_graph_specs and the spec parser validate it where it is
 /// consumed. Empty when unset.
 std::string graphs();
+
+/// Session telemetry mode name (COBRA_METRICS / --metrics), as a raw
+/// string: util::parse_metrics_mode validates it where it is consumed.
+/// "off" when unset.
+std::string metrics();
 
 }  // namespace cobra::util
