@@ -103,6 +103,30 @@ BENCHMARK(BM_BipsRound)
     ->ArgsProduct({benchmark::CreateDenseRange(0, kNumGraphs - 1, 1),
                    benchmark::CreateDenseRange(0, 3, 1)});
 
+void BM_BipsRoundThreads(benchmark::State& state) {
+  // Lane-scaling view of the dense BIPS round on the largest graph,
+  // mirroring micro_cobra's BM_CobraStepThreads: bit-identical results
+  // at every lane count, threads_1 guards the single-thread overhead,
+  // and the scaling entries are gated on the generating machine's CPU
+  // count (scripts/check_step_bench.py --suite bips_threads).
+  const int threads = static_cast<int>(state.range(0));
+  const graph::Graph& g = bench_graph(kNumGraphs - 1);
+  state.SetLabel(std::string(graph_name(kNumGraphs - 1)) +
+                 "/dense/threads_" + std::to_string(threads));
+  BipsOptions opt;
+  opt.process.engine = Engine::kDense;
+  opt.process.kernel_threads = threads;
+  BipsProcess p(g, 0, opt);
+  rng::Rng rng = rng::make_stream(3, 0);
+  for (auto _ : state) {
+    p.step(rng);
+    if (p.fully_infected()) p.reset(0);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_vertices()));
+}
+BENCHMARK(BM_BipsRoundThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_BipsFullInfection(benchmark::State& state) {
   const int graph_id = static_cast<int>(state.range(0));
   const int engine_id = static_cast<int>(state.range(1));

@@ -108,6 +108,41 @@ BENCHMARK(BM_CobraStep)
                    benchmark::CreateDenseRange(0, 3, 1)})
     ->Unit(benchmark::kMicrosecond);
 
+void BM_CobraStepThreads(benchmark::State& state) {
+  // Lane-scaling view of the saturated dense round on the largest graph:
+  // results are bit-identical at every lane count
+  // (tests/test_kernel_parallel.cpp), so the ratios are pure cost. The
+  // threads_1 entry doubles as the single-thread-overhead guard — the
+  // lane machinery at kernel_threads = 1 must stay within 2% of the
+  // plain BM_CobraStep dense path (scripts/check_step_bench.py --suite
+  // step_threads). Scaling entries are only meaningful when the
+  // generating machine has at least that many CPUs; the check reads
+  // context.num_cpus and skips the speedup assertion otherwise.
+  const int threads = static_cast<int>(state.range(0));
+  const graph::Graph& g = bench_graph(5);
+  state.SetLabel(std::string(graph_name(5)) + "/dense/threads_" +
+                 std::to_string(threads));
+  ProcessOptions opt;
+  opt.engine = Engine::kDense;
+  opt.kernel_threads = threads;
+  CobraProcess p(g, opt);
+  rng::Rng rng = rng::make_stream(2, 0);
+  p.reset(graph::VertexId{0});
+  p.run_until_cover(rng, 100'000'000);  // saturate the active set
+  std::uint64_t pushes = 0;
+  for (auto _ : state) {
+    pushes += p.num_active();
+    p.step(rng);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pushes));
+}
+BENCHMARK(BM_CobraStepThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_CobraStepAtDensity(benchmark::State& state) {
   // One round from a frontier of fixed density (range(2) is per mille of
   // n), on the largest random-regular graph: the sparse<->dense crossover.

@@ -25,6 +25,17 @@ fast-vs-slow pair that encodes the suite's headline claim:
             --step-baseline — compiled-in telemetry behind a null check
             must be free when the mode is off. Both files must have been
             generated on the same machine (regenerate them together).
+  step_threads / bips_threads
+            The in-round lane-scaling axes (BM_CobraStepThreads /
+            BM_BipsRoundThreads, dense engine on the largest graph). Two
+            claims: (a) the lane machinery at kernel_threads = 1 adds at
+            most --max-overhead (default 0.02 = +2%) over the plain
+            serial dense entry in the same file, always enforced; (b)
+            threads_4 is at least --min-speedup times faster than
+            threads_1 — enforced only when the file's context.num_cpus
+            shows the generating machine had >= 4 CPUs, and loudly
+            SKIPPED otherwise (a 1-CPU box cannot measure scaling; the
+            overhead ceiling is the portable half of the gate).
 
 Two modes:
 
@@ -72,7 +83,65 @@ SUITES = {
     # The metrics suite is handled by check_metrics_overhead (inverted
     # semantics: an upper bound on a ratio, not a lower bound).
     "metrics": {"prefix": "BM_MetricsStep/", "graph": "regular_262144_r8"},
+    # The *_threads suites are handled by check_thread_scaling: an
+    # overhead ceiling against the serial entry plus a CPU-gated
+    # threads_4-vs-threads_1 speedup floor.
+    "step_threads": {"prefix": "BM_CobraStepThreads/",
+                     "graph": "regular_262144_r8",
+                     "serial_prefix": "BM_CobraStep/",
+                     "serial_label": "regular_262144_r8/dense"},
+    "bips_threads": {"prefix": "BM_BipsRoundThreads/",
+                     "graph": "regular_65536_r8",
+                     "serial_prefix": "BM_BipsRound/",
+                     "serial_label": "regular_65536_r8/dense"},
 }
+
+THREAD_SUITES = ("step_threads", "bips_threads")
+SCALING_THREADS = 4  # the gated lane count of the *_threads suites
+
+
+def check_thread_scaling(benches, context, suite, min_speedup,
+                         max_overhead):
+    """Lane machinery must be free at 1 lane and scale when CPUs exist."""
+    s = SUITES[suite]
+    serial = step_time(benches, s["serial_prefix"], s["serial_label"])
+    t1 = step_time(benches, s["prefix"], f"{s['graph']}/dense/threads_1")
+    overhead = t1 / serial - 1.0
+    print(
+        f"[{suite}] {s['graph']} dense: serial {serial:.0f}, "
+        f"threads_1 {t1:.0f}, overhead {overhead:+.1%} "
+        f"(allowed <= +{max_overhead:.0%})"
+    )
+    for threads in (2, SCALING_THREADS, 8):
+        label = f"{s['graph']}/dense/threads_{threads}"
+        for b in benches:
+            if b["name"].startswith(s["prefix"]) and b.get("label") == label:
+                print(f"[{suite}]   threads_{threads}: "
+                      f"{b['real_time']:.0f} "
+                      f"({t1 / b['real_time']:.2f}x threads_1)")
+    if overhead > max_overhead:
+        sys.exit(f"FAIL: single-thread lane overhead {overhead:+.1%} "
+                 f"> +{max_overhead:.0%}")
+    num_cpus = context.get("num_cpus", 0)
+    if num_cpus < SCALING_THREADS:
+        print(f"[{suite}] SKIPPED scaling floor: generating machine had "
+              f"{num_cpus} CPU(s) < {SCALING_THREADS} — a box that cannot "
+              f"run {SCALING_THREADS} lanes in parallel cannot measure "
+              f"their speedup (the overhead ceiling above still holds)")
+        print("OK")
+        return
+    tN = step_time(benches, s["prefix"],
+                   f"{s['graph']}/dense/threads_{SCALING_THREADS}")
+    speedup = t1 / tN
+    print(
+        f"[{suite}] threads_{SCALING_THREADS} speedup over threads_1: "
+        f"{speedup:.2f}x (required >= {min_speedup:.2f}x, "
+        f"num_cpus {num_cpus})"
+    )
+    if speedup < min_speedup:
+        sys.exit(f"FAIL: {SCALING_THREADS}-lane speedup {speedup:.2f}x "
+                 f"< {min_speedup}x")
+    print("OK")
 
 
 def check_metrics_overhead(benches, step_benches, max_overhead):
@@ -97,7 +166,8 @@ def check_metrics_overhead(benches, step_benches, max_overhead):
     print("OK")
 
 
-def load(path):
+def load_doc(path):
+    """Returns (iteration benchmarks, context dict) of a benchmark JSON."""
     with open(path) as f:
         doc = json.load(f)
     benches = [
@@ -107,7 +177,11 @@ def load(path):
     ]
     if not benches:
         sys.exit(f"{path}: no benchmark entries found")
-    return benches
+    return benches, doc.get("context", {})
+
+
+def load(path):
+    return load_doc(path)[0]
 
 
 def step_time(benches, prefix, label):
@@ -177,13 +251,16 @@ def main():
                              "baseline (metrics suite; default 0.02 = +2%%)")
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
+    baseline, context = load_doc(args.baseline)
     if args.suite == "metrics":
         if args.step_baseline is None:
             sys.exit("--suite metrics requires --step-baseline "
                      "BENCH_step.json")
         check_metrics_overhead(baseline, load(args.step_baseline),
                                args.max_overhead)
+    elif args.suite in THREAD_SUITES:
+        check_thread_scaling(baseline, context, args.suite,
+                             args.min_speedup, args.max_overhead)
     elif args.fresh is None:
         check_baseline(baseline, args.suite, args.min_speedup)
     else:

@@ -27,6 +27,10 @@ struct BaselineOptions {
   /// Auto-switch threshold: dense frontier once |frontier| >= this
   /// fraction of n (2x hysteresis on the way down), as in ProcessOptions.
   double dense_density = 1.0 / 32.0;
+  /// In-round kernel lane count; 0 defers to --kernel-threads /
+  /// COBRA_KERNEL_THREADS, as in ProcessOptions::kernel_threads. Results
+  /// are bit-identical at every setting.
+  int kernel_threads = 0;
   /// Optional pre-built destination sampler (laziness 0), shared across
   /// replicates; must match the graph. When null, each call builds one.
   std::shared_ptr<const core::NeighborSampler> sampler;

@@ -12,6 +12,7 @@ FloodingResult flooding_cover(const graph::Graph& g, graph::VertexId start,
   FrontierKernel::Config cfg;
   cfg.engine = core::resolve_engine(options.engine);
   cfg.dense_density = options.dense_density;
+  cfg.kernel_threads = core::resolve_kernel_threads(options.kernel_threads);
   cfg.build_sampler = false;  // deterministic: no destinations to sample
   cfg.track_visited = true;
   FrontierKernel kernel(g, cfg);
@@ -25,11 +26,11 @@ FloodingResult flooding_cover(const graph::Graph& g, graph::VertexId start,
     const bool dense =
         kernel.begin_round(kernel.density_score(kernel.frontier_size()));
     if (dense) {
-      auto sink = kernel.dense_sink();
-      kernel.for_each_in_frontier([&](graph::VertexId u) {
-        for (const graph::VertexId v : g.neighbors(u))
-          if (!kernel.is_visited(v)) sink.emit(v);
-      });
+      kernel.scatter_frontier_scan(
+          [&](core::FrontierKernel::DenseLane& lane, graph::VertexId u) {
+            for (const graph::VertexId v : g.neighbors(u))
+              if (!kernel.is_visited(v)) lane.emit(v);
+          });
     } else {
       auto sink = kernel.growth_sink();
       kernel.for_each_in_frontier([&](graph::VertexId u) {

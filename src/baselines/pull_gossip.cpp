@@ -12,6 +12,7 @@ core::FrontierKernel make_gossip_kernel(const graph::Graph& g,
   cfg.engine = core::resolve_engine(options.engine);
   cfg.draw_hash = options.draw_hash;
   cfg.dense_density = options.dense_density;
+  cfg.kernel_threads = core::resolve_kernel_threads(options.kernel_threads);
   cfg.sampler = options.sampler;
   return core::FrontierKernel(g, cfg);
 }
@@ -36,18 +37,22 @@ PullResult pull_gossip_cover(const graph::Graph& g, graph::VertexId start,
         kernel.begin_round(kernel.density_score(kernel.frontier_size()));
     // Synchronous semantics: pulls test the round's starting frontier; new
     // adopters join only at commit.
-    const auto pull = [&](auto sink) {
+    if (dense) {
+      result.transmissions += kernel.scatter_complement_scan(
+          [&](core::FrontierKernel::DenseLane& lane, graph::VertexId u) {
+            const graph::VertexId contact =
+                sampler.sample(u, lane.draws(round_key, u).next_word());
+            ++lane.user;
+            if (kernel.in_frontier(contact)) lane.emit(u);
+          });
+    } else {
+      auto sink = kernel.growth_sink();
       kernel.for_each_outside_frontier([&](graph::VertexId u) {
         const graph::VertexId contact =
             sampler.sample(u, kernel.draws(round_key, u).next_word());
         ++result.transmissions;
         if (kernel.in_frontier(contact)) sink.emit(u);
       });
-    };
-    if (dense) {
-      pull(kernel.dense_sink());
-    } else {
-      pull(kernel.growth_sink());
     }
     kernel.commit(FrontierKernel::Commit::kAccumulate);
     ++result.rounds;
@@ -76,7 +81,22 @@ PullResult push_pull_gossip_cover(const graph::Graph& g,
     // changes the work; the round inherits the current one.
     const bool dense = kernel.begin_round(
         kernel.dense_mode() ? 1.0 : 0.0);
-    const auto exchange = [&](auto sink) {
+    if (dense) {
+      result.transmissions += kernel.scatter_vertex_scan(
+          [&](core::FrontierKernel::DenseLane& lane, graph::VertexId u) {
+            const graph::VertexId contact =
+                sampler.sample(u, lane.draws(round_key, u).next_word());
+            ++lane.user;
+            if (kernel.in_frontier(u)) {
+              // Push: u informs its contact.
+              if (!kernel.in_frontier(contact)) lane.emit(contact);
+            } else if (kernel.in_frontier(contact)) {
+              // Pull: u learns from its contact.
+              lane.emit(u);
+            }
+          });
+    } else {
+      auto sink = kernel.growth_sink();
       for (graph::VertexId u = 0; u < n; ++u) {
         const graph::VertexId contact =
             sampler.sample(u, kernel.draws(round_key, u).next_word());
@@ -89,11 +109,6 @@ PullResult push_pull_gossip_cover(const graph::Graph& g,
           sink.emit(u);
         }
       }
-    };
-    if (dense) {
-      exchange(kernel.dense_sink());
-    } else {
-      exchange(kernel.growth_sink());
     }
     kernel.commit(FrontierKernel::Commit::kAccumulate);
     ++result.rounds;

@@ -14,6 +14,7 @@ GossipResult push_gossip_cover(const graph::Graph& g, graph::VertexId start,
   cfg.engine = core::resolve_engine(options.engine);
   cfg.draw_hash = options.draw_hash;
   cfg.dense_density = options.dense_density;
+  cfg.kernel_threads = core::resolve_kernel_threads(options.kernel_threads);
   cfg.sampler = options.sampler;
   FrontierKernel kernel(g, cfg);
   const graph::VertexId one[] = {start};
@@ -28,12 +29,12 @@ GossipResult push_gossip_cover(const graph::Graph& g, graph::VertexId start,
     const std::uint64_t round_key = rng.next_u64();
     const bool dense = kernel.begin_round(kernel.density_score(senders));
     if (dense) {
-      auto sink = kernel.dense_sink();
-      kernel.for_each_in_frontier([&](graph::VertexId u) {
-        const graph::VertexId v =
-            sampler.sample(u, kernel.draws(round_key, u).next_word());
-        if (!kernel.is_visited(v)) sink.emit(v);
-      });
+      kernel.scatter_frontier_scan(
+          [&](core::FrontierKernel::DenseLane& lane, graph::VertexId u) {
+            const graph::VertexId v =
+                sampler.sample(u, lane.draws(round_key, u).next_word());
+            if (!kernel.is_visited(v)) lane.emit(v);
+          });
     } else {
       auto sink = kernel.growth_sink();
       kernel.for_each_in_frontier([&](graph::VertexId u) {

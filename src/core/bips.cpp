@@ -41,6 +41,7 @@ FrontierKernel::Config BipsProcess::kernel_config() const {
   cfg.track_visited = false;  // A_t is not monotone
   cfg.sampler = cfg.build_sampler ? options_.process.sampler : nullptr;
   cfg.metrics = options_.process.metrics;
+  cfg.kernel_threads = resolve_kernel_threads(options_.process.kernel_threads);
   return cfg;
 }
 
@@ -106,9 +107,8 @@ std::uint32_t BipsProcess::step(rng::Rng& rng) {
   return infected_count();
 }
 
-bool BipsProcess::catches_infection(std::uint64_t round_key,
-                                    graph::VertexId u) const {
-  VertexDraws draws = kernel_.draws(round_key, u);
+bool BipsProcess::catches_infection(graph::VertexId u,
+                                    VertexDraws& draws) const {
   const Branching& b = options_.process.branching;
   std::uint32_t fanout = b.base;
   if (b.extra_prob > 0.0 && draws.bernoulli(b.extra_prob)) ++fanout;
@@ -137,14 +137,15 @@ void BipsProcess::step_sampling(std::uint64_t round_key) {
   if (dense) {
     step_sampling_dense(round_key);
   } else {
-    auto sink = kernel_.plain_sink();
-    for (graph::VertexId u = 0; u < n; ++u) {
-      if (source_set_.test(u)) {
-        sink.emit(u);
-        continue;
-      }
-      if (catches_infection(round_key, u)) sink.emit(u);
-    }
+    kernel_.plain_vertex_scan(
+        [&](FrontierKernel::SparseLane& lane, graph::VertexId u) {
+          if (source_set_.test(u)) {
+            lane.emit(u);
+            return;
+          }
+          VertexDraws draws = lane.draws(round_key, u);
+          if (catches_infection(u, draws)) lane.emit(u);
+        });
   }
   kernel_.commit(FrontierKernel::Commit::kReplace);
 }
@@ -158,30 +159,35 @@ void BipsProcess::step_sampling_dense(std::uint64_t round_key) {
   const std::uint32_t a = kernel_.frontier_size();
 
   const auto sample_marked = [&] {
-    scratch_.for_each_set([&](std::size_t su) {
-      const auto u = static_cast<graph::VertexId>(su);
-      if (source_set_.test(u)) return;
-      if (catches_infection(round_key, u)) sink.emit(u);
-    });
+    // Local-write scan: each marked vertex emits only its own bit, so the
+    // lanes write disjoint next-frontier words with no scratch merge.
+    kernel_.local_marked_scan(
+        scratch_, [&](FrontierKernel::DenseLane& lane, graph::VertexId u) {
+          if (source_set_.test(u)) return;
+          VertexDraws draws = lane.draws(round_key, u);
+          if (catches_infection(u, draws)) lane.emit(u);
+        });
   };
 
   if (2ull * a <= n) {
     // Small infected side: only candidates = N(A_t) (∪ A_t with laziness)
     // can catch the infection; everyone else is determined-uninfected and
     // draws nothing.
-    kernel_.for_each_in_frontier([&](graph::VertexId v) {
-      if (lazy) scratch_.set(v);
-      for (const graph::VertexId w : graph_->neighbors(v)) scratch_.set(w);
-    });
+    kernel_.scatter_frontier_scan(
+        scratch_, [&](FrontierKernel::DenseLane& lane, graph::VertexId v) {
+          if (lazy) lane.emit(v);
+          for (const graph::VertexId w : graph_->neighbors(v)) lane.emit(w);
+        });
     sample_marked();
   } else {
     // Small uninfected side: only the undetermined boundary = N(V \ A_t)
     // (∪ V \ A_t with laziness) can miss; everyone else is determined-
     // infected, installed word-parallel as the complement of the marks.
-    kernel_.for_each_outside_frontier([&](graph::VertexId u) {
-      if (lazy) scratch_.set(u);
-      for (const graph::VertexId w : graph_->neighbors(u)) scratch_.set(w);
-    });
+    kernel_.scatter_complement_scan(
+        scratch_, [&](FrontierKernel::DenseLane& lane, graph::VertexId u) {
+          if (lazy) lane.emit(u);
+          for (const graph::VertexId w : graph_->neighbors(u)) lane.emit(w);
+        });
     std::uint64_t* next = kernel_.next_words();
     const auto& marked = scratch_.words();
     for (std::size_t w = 0; w < marked.size(); ++w) next[w] = ~marked[w];

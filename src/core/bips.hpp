@@ -178,8 +178,10 @@ class BipsProcess {
 
   /// Keyed selection trial of vertex u against the current A_t: true iff
   /// any of u's fanout selections hits an infected vertex (early exit —
-  /// legal because the draws are counter-based, not sequential).
-  bool catches_infection(std::uint64_t round_key, graph::VertexId u) const;
+  /// legal because the draws are counter-based, not sequential). The
+  /// caller owns the draw stream so parallel lanes can account for it in
+  /// their lane-local telemetry block.
+  bool catches_infection(graph::VertexId u, VertexDraws& draws) const;
 
   const graph::Graph* graph_;
   BipsOptions options_;

@@ -18,6 +18,7 @@ FrontierKernel::Config CobraProcess::kernel_config() const {
   cfg.track_visited = true;
   cfg.sampler = engine_ != Engine::kReference ? options_.sampler : nullptr;
   cfg.metrics = options_.metrics;
+  cfg.kernel_threads = resolve_kernel_threads(options_.kernel_threads);
   return cfg;
 }
 
@@ -98,12 +99,28 @@ void CobraProcess::push_round(std::uint64_t round_key, Sink sink) {
   });
 }
 
+void CobraProcess::push_round_dense(std::uint64_t round_key) {
+  const Branching& branching = options_.branching;
+  const NeighborSampler& sampler = kernel_.sampler();
+  transmissions_ += kernel_.scatter_frontier_scan(
+      [&](FrontierKernel::DenseLane& lane, graph::VertexId u) {
+        VertexDraws draws = lane.draws(round_key, u);
+        std::uint32_t fanout = branching.base;
+        if (branching.extra_prob > 0.0 &&
+            draws.bernoulli(branching.extra_prob))
+          ++fanout;
+        lane.user += fanout;
+        for (std::uint32_t j = 0; j < fanout; ++j)
+          lane.emit(sampler.sample(u, draws.next_word()));
+      });
+}
+
 std::uint32_t CobraProcess::step_fast(std::uint64_t round_key) {
   const std::uint64_t transmissions_before = transmissions_;
   const bool dense =
       kernel_.begin_round(kernel_.density_score(kernel_.frontier_size()));
   if (dense) {
-    push_round(round_key, kernel_.dense_sink());
+    push_round_dense(round_key);
   } else {
     push_round(round_key, kernel_.coalescing_sink());
   }

@@ -114,6 +114,12 @@ class CobraProcess {
   /// The resolved stepping engine (never Engine::kDefault).
   [[nodiscard]] Engine engine() const { return engine_; }
 
+  /// The resolved in-round lane count the kernel runs with (>= 1);
+  /// results are bit-identical at every setting.
+  [[nodiscard]] int kernel_threads() const {
+    return kernel_.kernel_threads();
+  }
+
   /// Rounds since reset executed with the dense (bitset) frontier —
   /// introspection for tests and the auto-switch benchmarks.
   [[nodiscard]] std::uint64_t dense_rounds() const {
@@ -134,9 +140,13 @@ class CobraProcess {
   std::uint32_t step_reference(rng::Rng& rng);
   std::uint32_t step_fast(std::uint64_t round_key);
 
-  /// One keyed round over the frontier into `sink` (sparse or dense).
+  /// One keyed sparse round over the frontier into `sink`.
   template <typename Sink>
   void push_round(std::uint64_t round_key, Sink sink);
+
+  /// One keyed dense round through the kernel's lane-parallel frontier
+  /// scan (serial at kernel_threads = 1, bit-identical at any setting).
+  void push_round_dense(std::uint64_t round_key);
 
   const graph::Graph* graph_;
   ProcessOptions options_;

@@ -77,12 +77,35 @@ DrawHash resolve_draw_hash(DrawHash hash) {
   return hash == DrawHash::kDefault ? DrawHash::kMix64 : hash;
 }
 
+int resolve_kernel_threads(int kernel_threads) {
+  if (kernel_threads == 0) return util::kernel_threads();
+  return std::clamp(kernel_threads, 1, 256);
+}
+
+std::vector<WordRange> partition_word_ranges(std::size_t words, int lanes) {
+  std::vector<WordRange> ranges;
+  if (words == 0 || lanes <= 0) return ranges;
+  const std::size_t count =
+      std::min(words, static_cast<std::size_t>(lanes));
+  ranges.reserve(count);
+  const std::size_t base = words / count;
+  const std::size_t extra = words % count;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t size = base + (i < extra ? 1 : 0);
+    ranges.push_back(WordRange{begin, begin + size});
+    begin += size;
+  }
+  return ranges;
+}
+
 FrontierKernel::FrontierKernel(const graph::Graph& g, const Config& config)
     : graph_(&g),
       engine_(config.engine),
       draw_hash_(resolve_draw_hash(config.draw_hash)),
       dense_density_(config.dense_density),
       track_visited_(config.track_visited),
+      threads_(std::clamp(config.kernel_threads, 1, 256)),
       metrics_(config.metrics != nullptr ? config.metrics
                                          : session_step_metrics()) {
   COBRA_CHECK_MSG(engine_ != Engine::kDefault,
@@ -149,6 +172,85 @@ void FrontierKernel::ensure_bitsets() {
   }
 }
 
+void FrontierKernel::ensure_lane_pool() {
+  if (!pool_)
+    pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(threads_ - 1));
+}
+
+void FrontierKernel::ensure_lane_scratch(int count) {
+  if (lane_scratch_.size() < static_cast<std::size_t>(count))
+    lane_scratch_.resize(static_cast<std::size_t>(count));
+  for (util::DynamicBitset& scratch : lane_scratch_)
+    if (scratch.size() != graph_->num_vertices())
+      scratch.resize(graph_->num_vertices());
+}
+
+namespace {
+/// Word-count floor below which the commit merge stays on the calling
+/// thread: fan-out latency dominates under ~64 KiB of bitset. Never
+/// affects results — the per-range popcount sums are exact whatever the
+/// split.
+constexpr std::size_t kParallelCommitMinWords = 1024;
+}  // namespace
+
+void FrontierKernel::merge_visited_parallel(std::size_t words,
+                                            std::uint64_t* newly,
+                                            std::uint64_t* active) {
+  const std::uint64_t* next = next_frontier_.words().data();
+  std::uint64_t* visited = visited_.data();
+  if (threads_ <= 1 || words < kParallelCommitMinWords) {
+    util::simd::merge_visited_words(next, visited, words, newly, active);
+    return;
+  }
+  const std::vector<WordRange> ranges =
+      partition_word_ranges(words, threads_);
+  ensure_lane_pool();
+  std::vector<std::uint64_t> lane_newly(ranges.size(), 0);
+  std::vector<std::uint64_t> lane_active(ranges.size(), 0);
+  std::vector<std::future<void>> pending;
+  pending.reserve(ranges.size() - 1);
+  for (std::size_t i = 1; i < ranges.size(); ++i)
+    pending.push_back(pool_->submit([&, i] {
+      const WordRange r = ranges[i];
+      util::simd::merge_visited_words(next + r.begin, visited + r.begin,
+                                      r.end - r.begin, &lane_newly[i],
+                                      &lane_active[i]);
+    }));
+  util::simd::merge_visited_words(next, visited, ranges[0].end, &lane_newly[0],
+                                  &lane_active[0]);
+  for (std::future<void>& f : pending) f.get();
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    *newly += lane_newly[i];
+    *active += lane_active[i];
+  }
+}
+
+std::uint64_t FrontierKernel::or_count_parallel(std::uint64_t* dst_words,
+                                                std::size_t words) {
+  const std::uint64_t* next = next_frontier_.words().data();
+  if (threads_ <= 1 || words < kParallelCommitMinWords)
+    return util::simd::or_count_new_words(next, dst_words, words);
+  const std::vector<WordRange> ranges =
+      partition_word_ranges(words, threads_);
+  ensure_lane_pool();
+  std::vector<std::uint64_t> lane_added(ranges.size(), 0);
+  std::vector<std::future<void>> pending;
+  pending.reserve(ranges.size() - 1);
+  for (std::size_t i = 1; i < ranges.size(); ++i)
+    pending.push_back(pool_->submit([&, i] {
+      const WordRange r = ranges[i];
+      lane_added[i] = util::simd::or_count_new_words(
+          next + r.begin, dst_words + r.begin, r.end - r.begin);
+    }));
+  lane_added[0] =
+      util::simd::or_count_new_words(next, dst_words, ranges[0].end);
+  for (std::future<void>& f : pending) f.get();
+  std::uint64_t added = 0;
+  for (const std::uint64_t a : lane_added) added += a;
+  return added;
+}
+
 double FrontierKernel::density_score(std::uint32_t count) const {
   const double threshold =
       dense_density_ * static_cast<double>(graph_->num_vertices());
@@ -192,22 +294,20 @@ std::uint32_t FrontierKernel::commit(Commit policy) {
   if (round_dense_) {
     // Branch-free word-parallel pass: merge the next frontier into the
     // visited set, count first visits and the new frontier size via
-    // popcount.
+    // popcount — SIMD within word ranges, fanned out over the lane pool
+    // for big bitsets.
     std::uint32_t newly = 0;
     std::uint32_t active_count = 0;
     const auto& next_words = next_frontier_.words();
     if (track_visited_) {
-      std::uint64_t* visited_words = visited_.data();
-      for (std::size_t w = 0; w < next_words.size(); ++w) {
-        const std::uint64_t nw = next_words[w];
-        newly += static_cast<std::uint32_t>(
-            std::popcount(nw & ~visited_words[w]));
-        active_count += static_cast<std::uint32_t>(std::popcount(nw));
-        visited_words[w] |= nw;
-      }
+      std::uint64_t newly64 = 0;
+      std::uint64_t active64 = 0;
+      merge_visited_parallel(next_words.size(), &newly64, &active64);
+      newly = static_cast<std::uint32_t>(newly64);
+      active_count = static_cast<std::uint32_t>(active64);
     } else {
-      for (const std::uint64_t nw : next_words)
-        active_count += static_cast<std::uint32_t>(std::popcount(nw));
+      active_count = static_cast<std::uint32_t>(
+          util::simd::popcount_words(next_words.data(), next_words.size()));
     }
     if (policy == Commit::kReplace) {
       std::swap(frontier_, next_frontier_);
@@ -219,14 +319,8 @@ std::uint32_t FrontierKernel::commit(Commit policy) {
         frontier_.reset_all();
         for (const graph::VertexId u : active_) frontier_.set(u);
       }
-      std::uint64_t* frontier_words = frontier_.data();
-      std::uint32_t added = 0;
-      for (std::size_t w = 0; w < next_words.size(); ++w) {
-        added += static_cast<std::uint32_t>(
-            std::popcount(next_words[w] & ~frontier_words[w]));
-        frontier_words[w] |= next_words[w];
-      }
-      num_active_ += added;
+      num_active_ += static_cast<std::uint32_t>(
+          or_count_parallel(frontier_.data(), next_words.size()));
     }
     dense_repr_ = true;
     active_valid_ = false;

@@ -47,9 +47,22 @@
 //     processes: flooding layers, gossip);
 //   * PlainSink      — no deduplication; for processes that emit each
 //     vertex at most once per round by construction (BIPS).
+//
+// In-round parallelism (docs/ARCHITECTURE.md, "Frontier kernel"): dense
+// rounds can fan their scans and the commit merge out over
+// Config::kernel_threads worker lanes. The frontier bitset (or the active
+// vector / vertex range) is partitioned into contiguous word ranges, each
+// lane derives the same keyed per-vertex draws the serial kernel would and
+// emits into lane-owned scratch words, and the scratch is OR-merged — all
+// of which commutes, so results are bit-for-bit identical at every lane
+// count. Lane telemetry goes to lane-local StepMetrics blocks folded after
+// the join; the hot path never touches a shared counter.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <span>
 #include <vector>
@@ -61,8 +74,25 @@
 #include "rng/philox.hpp"
 #include "rng/splitmix64.hpp"
 #include "util/bitset.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cobra::core {
+
+/// A contiguous range of indices [begin, end) — 64-bit words of a frontier
+/// bitset, or plain vertex/slot indices, depending on the scan.
+struct WordRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Deterministically partitions [0, words) into at most `lanes` contiguous,
+/// non-empty ranges of near-equal size: the first `words % count` ranges
+/// get one extra word, where count = min(lanes, words). Pure function of
+/// (words, lanes) — the property tests assert the ranges tile [0, words)
+/// exactly once for adversarial combinations. Returns no ranges when
+/// `words` is 0.
+std::vector<WordRange> partition_word_ranges(std::size_t words, int lanes);
 
 /// O(1) push-destination sampler with degree-bucketed alias tables.
 ///
@@ -207,6 +237,13 @@ class FrontierKernel {
     /// this off: its infected set is not monotone and full infection is
     /// detected from the frontier size alone.
     bool track_visited = true;
+    /// Resolved in-round worker-lane count (>= 1; processes run
+    /// core::resolve_kernel_threads on ProcessOptions::kernel_threads
+    /// first). 1 keeps every scan on the calling thread; above 1 the dense
+    /// scans and the commit merge fan out over a kernel-owned thread pool
+    /// of kernel_threads - 1 workers (the calling thread drives lane 0).
+    /// Bit-for-bit identical results at every setting.
+    int kernel_threads = 1;
     /// Optional pre-built sampler shared across replicates; must match the
     /// kernel's graph and laziness.
     std::shared_ptr<const NeighborSampler> sampler;
@@ -442,6 +479,244 @@ class FrontierKernel {
   /// positions >= n clear, like util::DynamicBitset::data().
   [[nodiscard]] std::uint64_t* next_words() { return next_frontier_.data(); }
 
+  // --- lane-parallel round scans -----------------------------------------
+  //
+  // Determinism contract: a scan's body must derive all randomness from
+  // lane.draws(round_key, entity) — a pure function of (round_key, entity)
+  // — and fold per-lane tallies through lane.user. Emitted bits OR
+  // together and uint64 sums commute, so the scan's outcome is identical
+  // at every kernel_threads value; only the wall-clock changes. The body
+  // runs concurrently on several threads: it may read the kernel's
+  // committed state (in_frontier, is_visited, the graph) but must not
+  // write anything shared.
+
+  /// The resolved in-round lane count (>= 1; Config::kernel_threads).
+  [[nodiscard]] int kernel_threads() const { return threads_; }
+
+  /// Per-lane emission context for the dense parallel scans: emits bits
+  /// into the lane's target words (the shared destination for lane 0 and
+  /// local-write scans, a lane-owned scratch bitset otherwise), derives
+  /// keyed draw streams, and buffers telemetry in a lane-local StepMetrics
+  /// block folded into the kernel's after the join — the hot path never
+  /// touches a shared counter.
+  class DenseLane {
+   public:
+    /// Marks v in the lane's target bitset (idempotent, like DenseSink).
+    void emit(graph::VertexId v) { words_[v >> 6] |= 1ull << (v & 63); }
+
+    /// The keyed word stream of `entity` — identical to
+    /// FrontierKernel::draws, with lane-local stream accounting.
+    [[nodiscard]] VertexDraws draws(std::uint64_t round_key,
+                                    std::uint32_t entity) {
+      ++block_.draw_streams;
+      return VertexDraws(hash_, round_key, entity);
+    }
+
+    /// The lane's telemetry block (folded after the join, in lane order,
+    /// so session totals match the serial kernel's exactly).
+    [[nodiscard]] StepMetrics& metrics() { return block_; }
+
+    /// Process-owned tally (e.g. COBRA transmissions); the scan returns
+    /// the lane-ordered sum over all lanes.
+    std::uint64_t user = 0;
+
+   private:
+    friend class FrontierKernel;
+    DenseLane(std::uint64_t* words, DrawHash hash)
+        : words_(words), hash_(hash) {}
+    std::uint64_t* words_;
+    DrawHash hash_;
+    StepMetrics block_;
+  };
+
+  /// Per-lane emission context for plain_vertex_scan: emissions append to
+  /// a lane-owned vector, concatenated in lane order after the join —
+  /// reproducing the serial PlainSink emission order exactly.
+  class SparseLane {
+   public:
+    /// Appends v to the lane's emission vector.
+    void emit(graph::VertexId v) { out_->push_back(v); }
+
+    /// The keyed word stream of `entity` (see DenseLane::draws).
+    [[nodiscard]] VertexDraws draws(std::uint64_t round_key,
+                                    std::uint32_t entity) {
+      ++block_.draw_streams;
+      return VertexDraws(hash_, round_key, entity);
+    }
+
+    /// The lane's telemetry block (folded after the join).
+    [[nodiscard]] StepMetrics& metrics() { return block_; }
+
+    /// Process-owned tally; the scan returns the lane-ordered sum.
+    std::uint64_t user = 0;
+
+   private:
+    friend class FrontierKernel;
+    SparseLane(std::vector<graph::VertexId>* out, DrawHash hash)
+        : out_(out), hash_(hash) {}
+    std::vector<graph::VertexId>* out_;
+    DrawHash hash_;
+    StepMetrics block_;
+  };
+
+  /// Lane-parallel scatter scan of the current frontier during a dense
+  /// round: body(lane, u) runs for every frontier vertex (word order in
+  /// the dense representation, insertion order in the sparse one — the
+  /// same orders the serial for_each_in_frontier uses) and may emit ANY
+  /// vertex; per-lane scratch plus an OR merge makes scattered emissions
+  /// race-free. Emits land in the round's next frontier. Returns the
+  /// lane-ordered sum of lane.user.
+  template <typename Body>
+  std::uint64_t scatter_frontier_scan(Body&& body) {
+    return scatter_frontier_scan(next_frontier_, std::forward<Body>(body));
+  }
+
+  /// As above, but emitting into a caller-owned bitset (the BIPS boundary
+  /// marking pass targets its scratch, not the next frontier). `dest` must
+  /// be sized to the graph and hold the caller's intended base state.
+  template <typename Body>
+  std::uint64_t scatter_frontier_scan(util::DynamicBitset& dest,
+                                      Body&& body) {
+    if (dense_repr_) {
+      const auto& words = frontier_.words();
+      const std::vector<WordRange> ranges =
+          partition_word_ranges(words.size(), threads_);
+      return run_dense_lanes(
+          static_cast<int>(ranges.size()), dest, /*local_writes=*/false,
+          [&](int li, DenseLane& lane) {
+            const WordRange r = ranges[static_cast<std::size_t>(li)];
+            lane.metrics().words_scanned += r.end - r.begin;
+            for (std::size_t w = r.begin; w < r.end; ++w) {
+              std::uint64_t bits = words[w];
+              while (bits != 0) {
+                const auto tz =
+                    static_cast<std::size_t>(std::countr_zero(bits));
+                bits &= bits - 1;
+                body(lane, static_cast<graph::VertexId>((w << 6) + tz));
+              }
+            }
+          });
+    }
+    const std::vector<WordRange> ranges =
+        partition_word_ranges(active_.size(), threads_);
+    return run_dense_lanes(
+        static_cast<int>(ranges.size()), dest, /*local_writes=*/false,
+        [&](int li, DenseLane& lane) {
+          const WordRange r = ranges[static_cast<std::size_t>(li)];
+          for (std::size_t i = r.begin; i < r.end; ++i) body(lane, active_[i]);
+        });
+  }
+
+  /// Lane-parallel scatter scan of the complement of the frontier during a
+  /// dense round (the pull-gossip contact pass), ascending vertex order
+  /// within each lane. Emits land in the round's next frontier; the
+  /// explicit-dest overload serves the BIPS boundary marking. Returns the
+  /// lane-ordered sum of lane.user.
+  template <typename Body>
+  std::uint64_t scatter_complement_scan(Body&& body) {
+    return scatter_complement_scan(next_frontier_, std::forward<Body>(body));
+  }
+
+  template <typename Body>
+  std::uint64_t scatter_complement_scan(util::DynamicBitset& dest,
+                                        Body&& body) {
+    const std::size_t n = graph_->num_vertices();
+    const std::size_t nwords = (n + 63) >> 6;
+    const std::vector<WordRange> ranges =
+        partition_word_ranges(nwords, threads_);
+    if (dense_repr_) {
+      const auto& words = frontier_.words();
+      return run_dense_lanes(
+          static_cast<int>(ranges.size()), dest, /*local_writes=*/false,
+          [&](int li, DenseLane& lane) {
+            const WordRange r = ranges[static_cast<std::size_t>(li)];
+            lane.metrics().words_scanned += r.end - r.begin;
+            for (std::size_t w = r.begin; w < r.end; ++w) {
+              std::uint64_t bits = ~words[w];
+              if ((w << 6) + 64 > n) bits &= (1ull << (n & 63)) - 1;  // tail
+              while (bits != 0) {
+                const auto tz =
+                    static_cast<std::size_t>(std::countr_zero(bits));
+                bits &= bits - 1;
+                body(lane, static_cast<graph::VertexId>((w << 6) + tz));
+              }
+            }
+          });
+    }
+    return run_dense_lanes(
+        static_cast<int>(ranges.size()), dest, /*local_writes=*/false,
+        [&](int li, DenseLane& lane) {
+          const WordRange r = ranges[static_cast<std::size_t>(li)];
+          const std::size_t end = std::min(r.end << 6, n);
+          for (std::size_t u = r.begin << 6; u < end; ++u)
+            if (stamp_[u] != epoch_)
+              body(lane, static_cast<graph::VertexId>(u));
+        });
+  }
+
+  /// Lane-parallel scan of every vertex during a dense round (push-pull
+  /// gossip: everyone contacts every round), ascending order within each
+  /// lane; emissions may scatter. Returns the lane-ordered sum of
+  /// lane.user.
+  template <typename Body>
+  std::uint64_t scatter_vertex_scan(Body&& body) {
+    const std::size_t n = graph_->num_vertices();
+    const std::vector<WordRange> ranges = partition_word_ranges(n, threads_);
+    return run_dense_lanes(
+        static_cast<int>(ranges.size()), next_frontier_,
+        /*local_writes=*/false, [&](int li, DenseLane& lane) {
+          const WordRange r = ranges[static_cast<std::size_t>(li)];
+          for (std::size_t u = r.begin; u < r.end; ++u)
+            body(lane, static_cast<graph::VertexId>(u));
+        });
+  }
+
+  /// Lane-parallel scan of `marked`'s set bits during a dense round, with
+  /// LOCAL writes: the body may emit only the vertex it was called with
+  /// (or nothing), so every lane writes next-frontier words it alone owns
+  /// and no scratch or merge is needed — emissions land directly in the
+  /// next frontier, including on top of words pre-filled through
+  /// next_words() (the BIPS complement install). `marked` must be sized to
+  /// the graph. Returns the lane-ordered sum of lane.user.
+  template <typename Body>
+  std::uint64_t local_marked_scan(const util::DynamicBitset& marked,
+                                  Body&& body) {
+    const auto& words = marked.words();
+    const std::vector<WordRange> ranges =
+        partition_word_ranges(words.size(), threads_);
+    return run_dense_lanes(
+        static_cast<int>(ranges.size()), next_frontier_,
+        /*local_writes=*/true, [&](int li, DenseLane& lane) {
+          const WordRange r = ranges[static_cast<std::size_t>(li)];
+          for (std::size_t w = r.begin; w < r.end; ++w) {
+            std::uint64_t bits = words[w];
+            while (bits != 0) {
+              const auto tz = static_cast<std::size_t>(std::countr_zero(bits));
+              bits &= bits - 1;
+              body(lane, static_cast<graph::VertexId>((w << 6) + tz));
+            }
+          }
+        });
+  }
+
+  /// Lane-parallel full-vertex scan for SPARSE rounds of processes that
+  /// emit each vertex at most once, in ascending order (the BIPS sampling
+  /// round): lanes cover ascending index ranges and their emission vectors
+  /// are concatenated in lane order into the next frontier, reproducing
+  /// the serial PlainSink order exactly. Returns the lane-ordered sum of
+  /// lane.user.
+  template <typename Body>
+  std::uint64_t plain_vertex_scan(Body&& body) {
+    const std::size_t n = graph_->num_vertices();
+    const std::vector<WordRange> ranges = partition_word_ranges(n, threads_);
+    return run_sparse_lanes(
+        static_cast<int>(ranges.size()), [&](int li, SparseLane& lane) {
+          const WordRange r = ranges[static_cast<std::size_t>(li)];
+          for (std::size_t u = r.begin; u < r.end; ++u)
+            body(lane, static_cast<graph::VertexId>(u));
+        });
+  }
+
   /// What commit() does with the next frontier.
   enum class Commit : std::uint8_t {
     kReplace,     ///< frontier = next (transient frontiers: COBRA, BIPS)
@@ -455,6 +730,124 @@ class FrontierKernel {
   std::uint32_t commit(Commit policy);
 
  private:
+  /// Drives one dense scan across `lanes` lanes: lane 0 runs inline on the
+  /// calling thread, lanes 1..lanes-1 on the kernel's pool. With
+  /// local_writes every lane targets `dest` directly (the body's emissions
+  /// stay inside the lane's own words); otherwise lanes >= 1 target
+  /// per-lane scratch bitsets, zeroed at task start and OR-merged into
+  /// `dest` in lane order after the join. Returns the lane-ordered sum of
+  /// lane.user and folds lane telemetry into the kernel block.
+  template <typename Task>
+  std::uint64_t run_dense_lanes(int lanes, util::DynamicBitset& dest,
+                                bool local_writes, Task&& task) {
+    if (lanes <= 0) return 0;
+    if (lanes == 1) {
+      DenseLane lane(dest.data(), draw_hash_);
+      task(0, lane);
+      fold_lane(lane.block_);
+      return lane.user;
+    }
+    ensure_lane_pool();
+    if (!local_writes) ensure_lane_scratch(lanes - 1);
+    std::vector<DenseLane> lane_objs;
+    lane_objs.reserve(static_cast<std::size_t>(lanes));
+    lane_objs.push_back(DenseLane(dest.data(), draw_hash_));
+    for (int i = 1; i < lanes; ++i)
+      lane_objs.push_back(DenseLane(
+          local_writes
+              ? dest.data()
+              : lane_scratch_[static_cast<std::size_t>(i - 1)].data(),
+          draw_hash_));
+    std::vector<std::future<void>> pending;
+    pending.reserve(static_cast<std::size_t>(lanes - 1));
+    for (int i = 1; i < lanes; ++i)
+      pending.push_back(
+          pool_->submit([this, i, local_writes, &lane_objs, &task] {
+            if (!local_writes)
+              lane_scratch_[static_cast<std::size_t>(i - 1)].reset_all();
+            task(i, lane_objs[static_cast<std::size_t>(i)]);
+          }));
+    task(0, lane_objs[0]);
+    for (auto& f : pending) f.get();
+    std::uint64_t user = 0;
+    const std::size_t merge_words = dest.words().size();
+    for (int i = 0; i < lanes; ++i) {
+      DenseLane& lane = lane_objs[static_cast<std::size_t>(i)];
+      if (!local_writes && i > 0)
+        util::simd::or_words(
+            dest.data(),
+            lane_scratch_[static_cast<std::size_t>(i - 1)].data(),
+            merge_words);
+      user += lane.user;
+      fold_lane(lane.block_);
+    }
+    return user;
+  }
+
+  /// Drives one sparse plain scan across `lanes` lanes: lane 0 appends to
+  /// next_ inline, lanes >= 1 to per-lane vectors concatenated in lane
+  /// order after the join. Returns the lane-ordered sum of lane.user.
+  template <typename Task>
+  std::uint64_t run_sparse_lanes(int lanes, Task&& task) {
+    if (lanes <= 0) return 0;
+    if (lanes == 1) {
+      SparseLane lane(&next_, draw_hash_);
+      task(0, lane);
+      fold_lane(lane.block_);
+      return lane.user;
+    }
+    ensure_lane_pool();
+    if (lane_out_.size() < static_cast<std::size_t>(lanes - 1))
+      lane_out_.resize(static_cast<std::size_t>(lanes - 1));
+    std::vector<SparseLane> lane_objs;
+    lane_objs.reserve(static_cast<std::size_t>(lanes));
+    lane_objs.push_back(SparseLane(&next_, draw_hash_));
+    for (int i = 1; i < lanes; ++i)
+      lane_objs.push_back(SparseLane(
+          &lane_out_[static_cast<std::size_t>(i - 1)], draw_hash_));
+    std::vector<std::future<void>> pending;
+    pending.reserve(static_cast<std::size_t>(lanes - 1));
+    for (int i = 1; i < lanes; ++i)
+      pending.push_back(pool_->submit([i, &lane_objs, &task] {
+        lane_objs[static_cast<std::size_t>(i)].out_->clear();
+        task(i, lane_objs[static_cast<std::size_t>(i)]);
+      }));
+    task(0, lane_objs[0]);
+    for (auto& f : pending) f.get();
+    std::uint64_t user = 0;
+    for (int i = 0; i < lanes; ++i) {
+      SparseLane& lane = lane_objs[static_cast<std::size_t>(i)];
+      if (i > 0) next_.insert(next_.end(), lane.out_->begin(), lane.out_->end());
+      user += lane.user;
+      fold_lane(lane.block_);
+    }
+    return user;
+  }
+
+  /// Folds a lane's telemetry block into the kernel's (no-op when
+  /// telemetry is off).
+  void fold_lane(const StepMetrics& block) {
+    if (metrics_ != nullptr) metrics_->merge_from(block);
+  }
+
+  /// Spins up the lane pool (threads_ - 1 workers) on first parallel scan.
+  void ensure_lane_pool();
+
+  /// Sizes `count` per-lane scratch bitsets to the graph (lazily; a
+  /// serial-only run never pays).
+  void ensure_lane_scratch(int count);
+
+  /// The dense-commit visited merge over the next frontier's words, SIMD
+  /// within ranges and fanned out over the lane pool when the word count
+  /// warrants it (never affects the counters — lane sums are exact).
+  void merge_visited_parallel(std::size_t words, std::uint64_t* newly,
+                              std::uint64_t* active);
+
+  /// The dense-accumulate merge: ORs the next frontier into `dst_words`
+  /// counting newly set bits, parallel like merge_visited_parallel.
+  std::uint64_t or_count_parallel(std::uint64_t* dst_words,
+                                  std::size_t words);
+
   /// Folds one committed round into the attached telemetry block (only
   /// called when metrics_ is non-null).
   void record_commit(std::uint32_t newly);
@@ -493,6 +886,15 @@ class FrontierKernel {
   std::uint32_t num_active_ = 0;
   std::uint64_t dense_rounds_ = 0;
   std::uint64_t rounds_committed_ = 0;  // since assign(); trajectory index
+
+  // Lane-parallel machinery (only materialised when threads_ > 1 and a
+  // parallel scan actually runs): the kernel-owned pool of threads_ - 1
+  // workers, per-lane next-frontier scratch for scatter scans, and
+  // per-lane emission vectors for the sparse plain scan.
+  int threads_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<util::DynamicBitset> lane_scratch_;
+  std::vector<std::vector<graph::VertexId>> lane_out_;
 
   // Attached telemetry block (Config::metrics, else the thread's session
   // block, else null). Owned elsewhere; mutated from const scans, hence

@@ -76,6 +76,11 @@ const char* draw_hash_name(DrawHash hash);
 /// through.
 DrawHash resolve_draw_hash(DrawHash hash);
 
+/// Resolves a ProcessOptions::kernel_threads value: 0 defers to the
+/// session-wide setting (--kernel-threads / COBRA_KERNEL_THREADS, default
+/// 1); positive values pass through clamped to [1, 256].
+int resolve_kernel_threads(int kernel_threads);
+
 /// Branching factor model.
 ///
 /// Every active vertex (COBRA) / every vertex (BIPS) makes `base` neighbour
@@ -127,6 +132,14 @@ struct ProcessOptions {
   /// by COBRA's legacy reference engine (sequential stream draws).
   DrawHash draw_hash = DrawHash::kDefault;
 
+  /// In-round worker-lane count for the kernel's parallel dense scans and
+  /// the commit merge. 0 (the default) defers to the session-wide
+  /// --kernel-threads / COBRA_KERNEL_THREADS setting; 1 is the serial
+  /// kernel. Results are bit-identical at every setting (the per-vertex
+  /// draws are keyed by (round, vertex), so lane boundaries can't shift
+  /// randomness), which tests/test_kernel_parallel.cpp asserts.
+  int kernel_threads = 0;
+
   /// kAuto switches to the dense (bitset) frontier once |C_t| reaches
   /// `dense_density * n`, and back to the sparse (vector) frontier below
   /// half that threshold (hysteresis prevents representation thrash).
@@ -153,6 +166,7 @@ struct ProcessOptions {
     COBRA_CHECK(branching.extra_prob >= 0.0 && branching.extra_prob <= 1.0);
     COBRA_CHECK(laziness >= 0.0 && laziness < 1.0);
     COBRA_CHECK(dense_density >= 0.0 && dense_density <= 1.0);
+    COBRA_CHECK(kernel_threads >= 0 && kernel_threads <= 256);
   }
 };
 

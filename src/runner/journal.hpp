@@ -13,8 +13,8 @@
 // Format (tab-separated, one record per line; the trailing "ok" marker
 // makes records self-delimiting, so a line torn by a crash mid-write is
 // recognisably incomplete and treated as not journaled):
-//   cobra-journal	v3
-//   run	<experiment>	<shard>/<count>	<seed>	<scale>	<engine>
+//   cobra-journal	v4
+//   run	<experiment>	<shard>/<count>	<seed>	<scale>	<engine>	<kernel threads>
 //   heartbeat	<cell id>
 //   cell	<cell id>	<rows table 0>[,<rows table 1>,...]	<wall µs>	ok
 //
@@ -22,7 +22,7 @@
 // cell *starts*: the sweep supervisor tails journal growth to tell a slow
 // worker from a wedged one. Readers skip them — only "cell ... ok"
 // records count as journaled — so journals with heartbeats stay readable
-// by any v3 reader, including ones that predate heartbeats.
+// by any v4 reader, including ones that predate heartbeats.
 //
 // Parsing is strict about completed records: a header or a "cell ... ok"
 // line with a non-numeric field fails loudly with the journal path, line
@@ -50,6 +50,13 @@ struct JournalHeader {
   /// reference engine keeps the legacy draw protocol), so a resume or
   /// merge across engine settings is refused like a seed mismatch.
   std::string engine = "auto";
+  /// util::kernel_threads() of the run — in-round frontier-kernel lanes.
+  /// Results are bit-identical at every setting, but the value is still
+  /// journaled and pinned so a resumed shard reproduces the original
+  /// run's wall-time profile (cost-model balancing reads journaled wall
+  /// times) and so the recorded provenance of an archive is complete; a
+  /// mismatch is refused like a seed mismatch.
+  int kernel_threads = 1;
 
   /// Field-wise comparison (resume validation).
   bool operator==(const JournalHeader&) const = default;

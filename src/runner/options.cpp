@@ -87,6 +87,12 @@ std::optional<std::string> parse_args(const std::vector<std::string>& args,
       if (!value || !parse_int(*value, parsed) || parsed < 1)
         return "--threads expects a positive integer";
       options.threads = static_cast<int>(parsed);
+    } else if (name == "--kernel-threads") {
+      const auto value = take_value();
+      std::int64_t parsed = 0;
+      if (!value || !parse_int(*value, parsed) || parsed < 1 || parsed > 256)
+        return "--kernel-threads expects a lane count between 1 and 256";
+      options.kernel_threads = static_cast<int>(parsed);
     } else if (name == "--engine") {
       const auto value = take_value();
       const auto parsed = value ? core::parse_engine(*value) : std::nullopt;
@@ -188,6 +194,8 @@ void apply_env_overrides(const RunnerOptions& options) {
   if (options.scale) util::set_scale_override(*options.scale);
   if (options.seed) util::set_seed_override(*options.seed);
   if (options.threads) util::set_threads_override(*options.threads);
+  if (options.kernel_threads)
+    util::set_kernel_threads_override(*options.kernel_threads);
   if (options.engine) util::set_engine_override(*options.engine);
   if (options.graphs) util::set_graphs_override(*options.graphs);
   if (options.metrics) util::set_metrics_override(*options.metrics);
@@ -232,6 +240,10 @@ Options (each flag overrides its COBRA_* environment variable):
   --scale S        workload multiplier            (env COBRA_SCALE,  default 1)
   --seed N         base experiment seed           (env COBRA_SEED,   default 20170724)
   --threads T      Monte-Carlo worker cap         (env COBRA_THREADS, default hardware)
+  --kernel-threads L  in-round kernel lanes       (env COBRA_KERNEL_THREADS, default 1)
+                   fan the frontier kernel's dense scans and commit merge
+                   out over L lanes; results are bit-identical at every L
+                   (orthogonal to --threads: worst case spawns T x L threads)
   --engine E       frontier-kernel engine         (env COBRA_ENGINE, default auto)
                    reference — plain sparse loop (COBRA: legacy sequential draws)
                    sparse    — counter-based draws, vector frontier

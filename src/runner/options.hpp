@@ -18,6 +18,11 @@ struct RunnerOptions {
   std::optional<double> scale;         ///< --scale: COBRA_SCALE override
   std::optional<std::uint64_t> seed;   ///< --seed: COBRA_SEED override
   std::optional<int> threads;          ///< --threads: COBRA_THREADS override
+  /// --kernel-threads: COBRA_KERNEL_THREADS override — in-round worker
+  /// lanes for the frontier kernel's dense scans and commit merge (1 =
+  /// serial; results are bit-identical at every setting). Orthogonal to
+  /// --threads, which caps the Monte-Carlo replicate fan-out.
+  std::optional<int> kernel_threads;
   /// --engine: COBRA stepping engine (core::Engine) for every process the
   /// selected experiments construct: reference|sparse|dense|auto
   /// (validated at parse time; "fast" is an alias for auto).

@@ -290,6 +290,11 @@ SupervisorResult supervise_experiment(const ExperimentDef& def,
       core::engine_name(core::resolve_engine(core::Engine::kDefault)));
   argv_head.push_back("--metrics");
   argv_head.push_back(util::metrics_mode_name(util::metrics_mode()));
+  // Kernel lanes never change results, but a respawned worker must still
+  // journal (and run with) the same value the supervisor resolved, or its
+  // resume would be refused on the header mismatch.
+  argv_head.push_back("--kernel-threads");
+  argv_head.push_back(std::to_string(util::kernel_threads()));
   if (!costs.empty()) {
     argv_head.push_back("--costs");
     argv_head.push_back(costs);

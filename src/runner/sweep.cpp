@@ -291,7 +291,8 @@ SweepResult run_experiment(const ExperimentDef& def,
       core::engine_name(core::resolve_engine(core::Engine::kDefault));
   const JournalHeader header{def.name, config.shard_index,
                              config.shard_count, util::global_seed(),
-                             util::scale(), engine};
+                             util::scale(), engine,
+                             util::kernel_threads()};
   const std::string journal_path = Journal::path_for(
       config.out_dir, def.name, config.shard_index, config.shard_count);
 

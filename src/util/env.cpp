@@ -19,6 +19,7 @@ std::optional<int> threads_override;
 std::optional<std::string> engine_override;
 std::optional<std::string> graphs_override;
 std::optional<std::string> metrics_override;
+std::optional<int> kernel_threads_override;
 }  // namespace
 
 void set_scale_override(double value) {
@@ -46,6 +47,10 @@ void set_metrics_override(const std::string& value) {
   metrics_override = value;
 }
 
+void set_kernel_threads_override(int value) {
+  kernel_threads_override = std::clamp(value, 1, 256);
+}
+
 void clear_env_overrides() {
   scale_override.reset();
   seed_override.reset();
@@ -53,6 +58,7 @@ void clear_env_overrides() {
   engine_override.reset();
   graphs_override.reset();
   metrics_override.reset();
+  kernel_threads_override.reset();
 }
 
 double env_double(const char* name, double fallback) {
@@ -116,6 +122,12 @@ std::string graphs() {
 std::string metrics() {
   if (metrics_override) return *metrics_override;
   return env_string("COBRA_METRICS", "off");
+}
+
+int kernel_threads() {
+  if (kernel_threads_override) return *kernel_threads_override;
+  const std::int64_t lanes = env_int("COBRA_KERNEL_THREADS", 1);
+  return static_cast<int>(std::clamp<std::int64_t>(lanes, 1, 256));
 }
 
 }  // namespace cobra::util

@@ -16,6 +16,9 @@
 //                    empty (the experiment's built-in list).
 //   COBRA_METRICS  — session telemetry mode: off|summary|rounds; default
 //                    "off" (util/metrics.hpp parses and documents it).
+//   COBRA_KERNEL_THREADS — in-round worker lanes for the frontier kernel's
+//                    parallel dense scans (core/frontier_kernel); default 1
+//                    (serial). Results are bit-identical at every setting.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +45,7 @@ void set_threads_override(int value);
 void set_engine_override(const std::string& value);
 void set_graphs_override(const std::string& value);
 void set_metrics_override(const std::string& value);
+void set_kernel_threads_override(int value);
 
 /// Drops all programmatic overrides (tests; the CLI never needs this).
 void clear_env_overrides();
@@ -68,5 +72,11 @@ std::string graphs();
 /// string: util::parse_metrics_mode validates it where it is consumed.
 /// "off" when unset.
 std::string metrics();
+
+/// In-round frontier-kernel lane count (COBRA_KERNEL_THREADS /
+/// --kernel-threads), clamped to [1, 256]; 1 (the default) is the serial
+/// kernel. Orthogonal to max_threads(), which caps the Monte-Carlo
+/// replicate fan-out — their product is the worst-case thread count.
+int kernel_threads();
 
 }  // namespace cobra::util

@@ -1,0 +1,221 @@
+#include "util/simd.hpp"
+
+#include <bit>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define COBRA_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define COBRA_SIMD_X86 0
+#endif
+
+namespace cobra::util::simd {
+
+namespace {
+
+bool scalar_forced = false;
+
+// --- scalar reference path (auto-vectorised by the compiler) -------------
+
+std::uint64_t popcount_words_scalar(const std::uint64_t* words,
+                                    std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += static_cast<std::uint64_t>(std::popcount(words[i]));
+  return total;
+}
+
+void or_words_scalar(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void merge_visited_scalar(const std::uint64_t* next, std::uint64_t* visited,
+                          std::size_t n, std::uint64_t* newly,
+                          std::uint64_t* active) {
+  std::uint64_t nw = 0, ac = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t w = next[i];
+    nw += static_cast<std::uint64_t>(std::popcount(w & ~visited[i]));
+    ac += static_cast<std::uint64_t>(std::popcount(w));
+    visited[i] |= w;
+  }
+  *newly += nw;
+  *active += ac;
+}
+
+std::uint64_t or_count_new_scalar(const std::uint64_t* next,
+                                  std::uint64_t* dst, std::size_t n) {
+  std::uint64_t added = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    added += static_cast<std::uint64_t>(std::popcount(next[i] & ~dst[i]));
+    dst[i] |= next[i];
+  }
+  return added;
+}
+
+#if COBRA_SIMD_X86
+
+// --- AVX2 path -----------------------------------------------------------
+
+/// Per-64-bit-lane popcount of a 256-bit vector: nibble-LUT (vpshufb) into
+/// byte counts, folded to quadword counts with vpsadbw against zero.
+__attribute__((target("avx2"))) inline __m256i popcount_epi64(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi =
+      _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t hsum_epi64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+__attribute__((target("avx2"))) std::uint64_t popcount_words_avx2(
+    const std::uint64_t* words, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    acc = _mm256_add_epi64(acc, popcount_epi64(v));
+  }
+  std::uint64_t total = hsum_epi64(acc);
+  for (; i < n; ++i)
+    total += static_cast<std::uint64_t>(std::popcount(words[i]));
+  return total;
+}
+
+__attribute__((target("avx2"))) void or_words_avx2(std::uint64_t* dst,
+                                                   const std::uint64_t* src,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(a, b));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+__attribute__((target("avx2"))) void merge_visited_avx2(
+    const std::uint64_t* next, std::uint64_t* visited, std::size_t n,
+    std::uint64_t* newly, std::uint64_t* active) {
+  __m256i newly_acc = _mm256_setzero_si256();
+  __m256i active_acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i nx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(next + i));
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(visited + i));
+    newly_acc = _mm256_add_epi64(
+        newly_acc, popcount_epi64(_mm256_andnot_si256(vi, nx)));
+    active_acc = _mm256_add_epi64(active_acc, popcount_epi64(nx));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(visited + i),
+                        _mm256_or_si256(vi, nx));
+  }
+  std::uint64_t nw = hsum_epi64(newly_acc);
+  std::uint64_t ac = hsum_epi64(active_acc);
+  for (; i < n; ++i) {
+    const std::uint64_t w = next[i];
+    nw += static_cast<std::uint64_t>(std::popcount(w & ~visited[i]));
+    ac += static_cast<std::uint64_t>(std::popcount(w));
+    visited[i] |= w;
+  }
+  *newly += nw;
+  *active += ac;
+}
+
+__attribute__((target("avx2"))) std::uint64_t or_count_new_avx2(
+    const std::uint64_t* next, std::uint64_t* dst, std::size_t n) {
+  __m256i added_acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i nx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(next + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    added_acc = _mm256_add_epi64(added_acc,
+                                 popcount_epi64(_mm256_andnot_si256(d, nx)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(d, nx));
+  }
+  std::uint64_t added = hsum_epi64(added_acc);
+  for (; i < n; ++i) {
+    added += static_cast<std::uint64_t>(std::popcount(next[i] & ~dst[i]));
+    dst[i] |= next[i];
+  }
+  return added;
+}
+
+bool detect_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#else
+
+bool detect_avx2() { return false; }
+
+#endif  // COBRA_SIMD_X86
+
+bool use_avx2() {
+  static const bool supported = detect_avx2();
+  return supported && !scalar_forced;
+}
+
+}  // namespace
+
+bool avx2_available() {
+  // Capability introspection only: unaffected by force_scalar, which
+  // redirects dispatch (use_avx2) without changing what the CPU can do.
+  static const bool supported = detect_avx2();
+  return supported;
+}
+
+void force_scalar(bool off) { scalar_forced = off; }
+
+std::uint64_t popcount_words(const std::uint64_t* words, std::size_t n) {
+#if COBRA_SIMD_X86
+  if (use_avx2()) return popcount_words_avx2(words, n);
+#endif
+  return popcount_words_scalar(words, n);
+}
+
+void or_words(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+#if COBRA_SIMD_X86
+  if (use_avx2()) return or_words_avx2(dst, src, n);
+#endif
+  or_words_scalar(dst, src, n);
+}
+
+void merge_visited_words(const std::uint64_t* next, std::uint64_t* visited,
+                         std::size_t n, std::uint64_t* newly,
+                         std::uint64_t* active) {
+#if COBRA_SIMD_X86
+  if (use_avx2())
+    return merge_visited_avx2(next, visited, n, newly, active);
+#endif
+  merge_visited_scalar(next, visited, n, newly, active);
+}
+
+std::uint64_t or_count_new_words(const std::uint64_t* next,
+                                 std::uint64_t* dst, std::size_t n) {
+#if COBRA_SIMD_X86
+  if (use_avx2()) return or_count_new_avx2(next, dst, n);
+#endif
+  return or_count_new_scalar(next, dst, n);
+}
+
+}  // namespace cobra::util::simd

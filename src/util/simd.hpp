@@ -1,0 +1,54 @@
+// Word-parallel primitives for the frontier kernel's dense hot loops:
+// popcounts, OR/AND-NOT merges and the fused visited-merge, each with a
+// portable scalar implementation and an AVX2 fast path.
+//
+// Dispatch is resolved once per process: on x86-64 the AVX2 kernels are
+// compiled via per-function target attributes (no global -mavx2, so the
+// binary still runs on pre-AVX2 machines) and selected at first use with
+// __builtin_cpu_supports; everywhere else the scalar loops — which GCC
+// auto-vectorises for the build target — are the only path. Both paths
+// compute bit-identical results on identical inputs (asserted by
+// tests/test_util_simd.cpp property tests), so SIMD selection can never
+// perturb fixed-seed archives.
+//
+// AVX2 has no 64-bit popcount instruction; the vector kernels use the
+// classic nibble-LUT popcount (one vpshufb per nibble half, vpsadbw to
+// fold bytes into 64-bit lanes), which beats scalar popcntq once the
+// merge also saves its load/store passes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cobra::util::simd {
+
+/// True when the AVX2 kernels are compiled in and the CPU supports them
+/// (introspection for tests/benches; callers never need to branch).
+bool avx2_available();
+
+/// Forces the scalar fallbacks for this process when `off` is true
+/// (tests compare the two paths; never needed in production).
+void force_scalar(bool off);
+
+/// Sum of popcounts over words[0..n).
+std::uint64_t popcount_words(const std::uint64_t* words, std::size_t n);
+
+/// dst[i] |= src[i] for i in [0, n) — the lane-scratch merge.
+void or_words(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+
+/// The fused dense-commit pass over [0, n):
+///   newly  += popcount(next[i] & ~visited[i])
+///   active += popcount(next[i])
+///   visited[i] |= next[i]
+/// Returns nothing; the two counters accumulate into *newly / *active.
+void merge_visited_words(const std::uint64_t* next, std::uint64_t* visited,
+                         std::size_t n, std::uint64_t* newly,
+                         std::uint64_t* active);
+
+/// The dense-accumulate pass over [0, n):
+///   added  += popcount(next[i] & ~dst[i]); dst[i] |= next[i]
+/// Returns the added count.
+std::uint64_t or_count_new_words(const std::uint64_t* next,
+                                 std::uint64_t* dst, std::size_t n);
+
+}  // namespace cobra::util::simd

@@ -18,6 +18,7 @@ TEST(RunnerOptions, DefaultsAreUnset) {
   EXPECT_FALSE(o.scale.has_value());
   EXPECT_FALSE(o.seed.has_value());
   EXPECT_FALSE(o.threads.has_value());
+  EXPECT_FALSE(o.kernel_threads.has_value());
   EXPECT_FALSE(o.engine.has_value());
   EXPECT_EQ(o.out_dir, "bench_results");
   EXPECT_EQ(o.shard_index, 1);
@@ -97,6 +98,31 @@ TEST(RunnerOptions, EngineFlagValidatedAtParseTime) {
   RunnerOptions eq;
   ASSERT_EQ(parse({"--engine=dense"}, eq), std::nullopt);
   EXPECT_EQ(eq.engine.value(), "dense");
+}
+
+TEST(RunnerOptions, KernelThreadsFlagValidatedAtParseTime) {
+  RunnerOptions o;
+  ASSERT_EQ(parse({"--kernel-threads", "8"}, o), std::nullopt);
+  EXPECT_EQ(o.kernel_threads.value(), 8);
+  RunnerOptions eq;
+  ASSERT_EQ(parse({"--kernel-threads=256"}, eq), std::nullopt);
+  EXPECT_EQ(eq.kernel_threads.value(), 256);
+  for (const std::string bad : {"0", "-1", "257", "four", "1.5", ""}) {
+    RunnerOptions r;
+    EXPECT_NE(parse({"--kernel-threads", bad}, r), std::nullopt) << bad;
+  }
+  RunnerOptions missing;
+  EXPECT_NE(parse({"--kernel-threads"}, missing), std::nullopt);
+}
+
+TEST(RunnerOptions, KernelThreadsFlagReachesTheSessionDefault) {
+  util::clear_env_overrides();
+  RunnerOptions o;
+  ASSERT_EQ(parse({"--kernel-threads", "3"}, o), std::nullopt);
+  apply_env_overrides(o);
+  EXPECT_EQ(util::kernel_threads(), 3);
+  util::clear_env_overrides();
+  EXPECT_EQ(util::kernel_threads(), 1);
 }
 
 TEST(RunnerOptions, ParsesEqualsSyntax) {
@@ -187,10 +213,10 @@ TEST(RunnerOptions, UnsetFlagsLeaveEnvDefaults) {
 TEST(RunnerOptions, UsageMentionsEveryFlag) {
   const std::string text = usage();
   for (const std::string flag :
-       {"--scale", "--seed", "--threads", "--out-dir", "--shard",
-        "--resume", "--filter", "--list", "--max-cells", "--help",
-        "--jobs", "--costs", "--heartbeat-timeout", "--max-restarts",
-        "--inject-kill"}) {
+       {"--scale", "--seed", "--threads", "--kernel-threads", "--out-dir",
+        "--shard", "--resume", "--filter", "--list", "--max-cells",
+        "--help", "--jobs", "--costs", "--heartbeat-timeout",
+        "--max-restarts", "--inject-kill"}) {
     EXPECT_NE(text.find(flag), std::string::npos) << flag;
   }
 }

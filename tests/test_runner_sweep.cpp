@@ -275,6 +275,29 @@ TEST_F(SweepTest, ResumeRefusesAForeignJournal) {
   EXPECT_THROW(run_experiment(def, resume), util::CheckError);
 }
 
+TEST_F(SweepTest, ResumeRefusesAKernelThreadsMismatch) {
+  // Kernel lanes never change results, but the journal still pins them:
+  // a resumed shard must reproduce the original run's configuration (the
+  // sweep supervisor relies on this to pass --kernel-threads to respawned
+  // workers).
+  const ExperimentDef def = make_test_experiment();
+  util::set_kernel_threads_override(2);
+  SweepConfig first = config("ktmismatch");
+  first.max_cells = 1;
+  run_experiment(def, first);
+
+  util::set_kernel_threads_override(4);
+  SweepConfig resume = config("ktmismatch");
+  resume.resume = true;
+  EXPECT_THROW(run_experiment(def, resume), util::CheckError);
+
+  // Back to the journaled lane count, the resume completes.
+  util::set_kernel_threads_override(2);
+  const SweepResult r = run_experiment(def, resume);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.cells_skipped, 1u);
+}
+
 TEST_F(SweepTest, FreshRunIgnoresAndReplacesAnOldJournal) {
   const ExperimentDef def = make_test_experiment();
   SweepConfig partial = config("restart");
@@ -311,7 +334,8 @@ TEST_F(SweepTest, JournalRecordsWallTimeAndMergeSummarizesIt) {
   run_experiment(def, config("walltime", 1, 2));
   run_experiment(def, config("walltime", 2, 2));
 
-  // Every journaled cell carries a wall-time field (format v3); trivial
+  // Every journaled cell carries a wall-time field (since format v3);
+  // trivial
   // cells may legitimately round to 0 µs, so only sanity is asserted.
   const auto [header, entries] =
       Journal::read((dir_ / "walltime/synthetic.1of2.journal").string());
@@ -357,7 +381,17 @@ TEST_F(SweepTest, OldJournalVersionsAreRefusedWithAnActionableMessage) {
         << "cell\tc0\t1,0\tok\n";
   }
   expect_check_message([&] { Journal::read(path); },
-                       {path, "v2", "v3", "re-run"});
+                       {path, "v2", "v4", "re-run"});
+
+  // v3 (pre kernel-threads header field) is retired the same way.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "cobra-journal\tv3\n"
+        << "run\tsynthetic\t1/1\t12345\t1\treference\n"
+        << "cell\tc0\t1,0\t5\tok\n";
+  }
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "v3", "v4", "re-run"});
 
   // An unknown (future?) version is reported as such, not as garbage.
   {
@@ -383,7 +417,7 @@ TEST_F(SweepTest, TruncatedOrForeignHeadersFailWithThePath) {
 
   {
     std::ofstream out(path, std::ios::trunc);
-    out << "cobra-journal\tv3\n";  // magic only, no run header
+    out << "cobra-journal\tv4\n";  // magic only, no run header
   }
   expect_check_message([&] { Journal::read(path); },
                        {path, "missing run header"});
@@ -393,25 +427,31 @@ TEST_F(SweepTest, GarbageHeaderFieldsFailWithLineAndToken) {
   const std::string path = (dir_ / "garbage.journal").string();
   const auto with_header = [&](const std::string& run_line) {
     std::ofstream out(path, std::ios::trunc);
-    out << "cobra-journal\tv3\n" << run_line << '\n';
+    out << "cobra-journal\tv4\n" << run_line << '\n';
   };
 
   // A corrupted shard spec must not silently become shard 0/0.
-  with_header("run\tsynthetic\txof4\t12345\t1\tauto");
+  with_header("run\tsynthetic\txof4\t12345\t1\tauto\t1");
   expect_check_message([&] { Journal::read(path); },
                        {path, "line 2", "shard spec", "xof4"});
-  with_header("run\tsynthetic\tx/4\t12345\t1\tauto");
+  with_header("run\tsynthetic\tx/4\t12345\t1\tauto\t1");
   expect_check_message([&] { Journal::read(path); },
                        {path, "line 2", "shard index", "x"});
-  with_header("run\tsynthetic\t5/4\t12345\t1\tauto");
+  with_header("run\tsynthetic\t5/4\t12345\t1\tauto\t1");
   expect_check_message([&] { Journal::read(path); },
                        {path, "line 2", "5/4"});
-  with_header("run\tsynthetic\t1/1\t12a45\t1\tauto");
+  with_header("run\tsynthetic\t1/1\t12a45\t1\tauto\t1");
   expect_check_message([&] { Journal::read(path); },
                        {path, "line 2", "seed", "12a45"});
-  with_header("run\tsynthetic\t1/1\t12345\t-1\tauto");
+  with_header("run\tsynthetic\t1/1\t12345\t-1\tauto\t1");
   expect_check_message([&] { Journal::read(path); },
                        {path, "line 2", "scale", "-1"});
+  with_header("run\tsynthetic\t1/1\t12345\t1\tauto\tx8");
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "line 2", "kernel threads", "x8"});
+  with_header("run\tsynthetic\t1/1\t12345\t1\tauto\t0");
+  expect_check_message([&] { Journal::read(path); },
+                       {path, "line 2", "kernel threads", "1..256"});
   with_header("run\tsynthetic\t1/1");
   expect_check_message([&] { Journal::read(path); },
                        {path, "line 2", "malformed run header"});
@@ -423,16 +463,16 @@ TEST_F(SweepTest, CorruptCompletedCellRecordsFailLoudly) {
   const std::string path = (dir_ / "corrupt.journal").string();
   {
     std::ofstream out(path, std::ios::trunc);
-    out << "cobra-journal\tv3\n"
-        << "run\tsynthetic\t1/1\t12345\t1\tauto\n"
+    out << "cobra-journal\tv4\n"
+        << "run\tsynthetic\t1/1\t12345\t1\tauto\t1\n"
         << "cell\tc0\t1x,0\t5\tok\n";
   }
   expect_check_message([&] { Journal::read(path); },
                        {path, "line 3", "row count", "1x"});
   {
     std::ofstream out(path, std::ios::trunc);
-    out << "cobra-journal\tv3\n"
-        << "run\tsynthetic\t1/1\t12345\t1\tauto\n"
+    out << "cobra-journal\tv4\n"
+        << "run\tsynthetic\t1/1\t12345\t1\tauto\t1\n"
         << "cell\tc0\t1,0\tfast\tok\n";
   }
   expect_check_message([&] { Journal::read(path); },
