@@ -1,0 +1,625 @@
+#!/usr/bin/env python3
+"""cobra-lint: determinism & concurrency checks the compiler cannot express.
+
+The archive contract (byte-identical CSVs at every seed/scale/engine,
+shard count, lane count and metrics mode) survives only if the code in
+the deterministic zone -- src/core, src/baselines, src/rng -- never lets
+platform-dependent behaviour leak into results.  This linter enforces the
+rules that guard it:
+
+  unordered-iteration   No iteration over std::unordered_map/unordered_set
+                        in the deterministic zone: bucket order is
+                        implementation-defined, so any fold over it is a
+                        portability (and ASLR, with pointer keys) hazard.
+  nondet-source         No rand()/srand(), std::random_device, time(),
+                        clock(), gettimeofday() or std::hash over pointer
+                        types in the deterministic zone: every draw must
+                        come from the seeded rng:: streams.
+  metrics-slot-in-loop  No metrics-slot resolution by name (.counter( /
+                        .gauge( / .histogram() inside loop bodies in
+                        src/core and src/baselines: name lookup takes the
+                        registry mutex, and per-round hot loops must stay
+                        lock-free (resolve ids once, like kernel_ids()).
+  journal-schema-drift  The run-header field list (JournalHeader struct,
+                        format_header()) and kJournalVersion must change
+                        together.  A checked-in digest of the schema
+                        (scripts/journal_schema.digest) trips when one
+                        moves without the other.
+
+Suppressions: a finding is allowed by a marker on its line or the line
+above --
+
+    // cobra-lint: allow(<rule-id>) -- <why this one is safe>
+
+A marker without a justification is itself a violation (allow-needs-reason).
+
+Engines: the default token engine needs nothing beyond Python.  When the
+libclang bindings are importable (and ideally build/compile_commands.json
+exists for flags), unordered-iteration upgrades to a type-accurate AST
+check; everything else stays token-level.  The token engine is the one CI
+gates on, so its verdicts are the contract.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import sys
+
+# --- rule ids ---------------------------------------------------------------
+
+RULE_UNORDERED = "unordered-iteration"
+RULE_NONDET = "nondet-source"
+RULE_METRICS = "metrics-slot-in-loop"
+RULE_JOURNAL = "journal-schema-drift"
+RULE_BARE_ALLOW = "allow-needs-reason"
+
+ALL_RULES = (RULE_UNORDERED, RULE_NONDET, RULE_METRICS, RULE_JOURNAL)
+
+# Directories (relative to the repo root) covered by each source rule.
+DETERMINISTIC_ZONE = ("src/core", "src/baselines", "src/rng")
+HOT_LOOP_ZONE = ("src/core", "src/baselines")
+
+SOURCE_SUFFIXES = (".cpp", ".hpp", ".h", ".cc", ".cxx")
+
+DIGEST_PATH = "scripts/journal_schema.digest"
+JOURNAL_HPP = "src/runner/journal.hpp"
+JOURNAL_CPP = "src/runner/journal.cpp"
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- source preparation -----------------------------------------------------
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments, string and char literals, preserving line structure
+    so byte offsets still map to the original line numbers."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                close = text.find("(", i + 2)
+                if close != -1:
+                    raw_delim = ")" + text[i + 2:close] + '"'
+                    state = "raw"
+                    out.append(" " * (close + 1 - i))
+                    i = close + 1
+                    continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        else:  # raw string
+            if text.startswith(raw_delim, i):
+                state = "code"
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+ALLOW_RE = re.compile(
+    r"//\s*cobra-lint:\s*allow\(([a-z-]+)\)\s*(?:--|—)?\s*(\S?.*)$"
+)
+
+
+def collect_allows(original: str, path: str):
+    """Returns ({line_no: {rule, ...}}, [Finding for bare markers]).
+
+    A marker suppresses matching findings on its own line and the next
+    line (so it can sit above the offending statement)."""
+    allows: dict[int, set[str]] = {}
+    findings: list[Finding] = []
+    for line_no, line in enumerate(original.splitlines(), start=1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        rule, why = m.group(1), m.group(2).strip()
+        if not why:
+            findings.append(Finding(
+                path, line_no, RULE_BARE_ALLOW,
+                f"allow({rule}) needs a justification: "
+                "// cobra-lint: allow(%s) -- <why this one is safe>" % rule))
+            continue
+        allows.setdefault(line_no, set()).add(rule)
+        allows.setdefault(line_no + 1, set()).add(rule)
+    return allows, findings
+
+
+def in_zone(rel_path: str, zone) -> bool:
+    rel = rel_path.replace(os.sep, "/")
+    return any(rel == d or rel.startswith(d + "/") for d in zone)
+
+
+# --- rule: unordered-iteration (token engine) -------------------------------
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^()]*(?:\([^()]*\)[^()]*)*)\)")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def find_unordered_decl_names(stripped: str):
+    """Names of variables/members declared with an unordered container
+    type (token-level: the identifier after the closing template '>')."""
+    names = set()
+    for m in UNORDERED_DECL_RE.finditer(stripped):
+        # Walk to the matching '>' of the template argument list.
+        depth = 1
+        i = m.end()
+        while i < len(stripped) and depth > 0:
+            if stripped[i] == "<":
+                depth += 1
+            elif stripped[i] == ">":
+                depth -= 1
+            i += 1
+        tail = stripped[i:i + 160]
+        dm = re.match(r"[&\s]*([A-Za-z_]\w*)\s*(?:[;={(,)]|$)", tail)
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def check_unordered_iteration(stripped: str, path: str):
+    findings = []
+    names = find_unordered_decl_names(stripped)
+    for m in RANGE_FOR_RE.finditer(stripped):
+        header = m.group(1)
+        if ":" not in header or ";" in header:
+            continue  # classic for, not range-for
+        range_expr = header.rsplit(":", 1)[1]
+        hit = "unordered_" in range_expr
+        if not hit:
+            idents = set(IDENT_RE.findall(range_expr))
+            hit = bool(idents & names)
+        if hit:
+            findings.append(Finding(
+                path, line_of(stripped, m.start()), RULE_UNORDERED,
+                "range-for over an unordered container: bucket order is "
+                "implementation-defined and breaks the archive contract "
+                "(iterate a sorted copy, or use std::map)"))
+    for m in re.finditer(r"([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(", stripped):
+        if m.group(1) in names:
+            findings.append(Finding(
+                path, line_of(stripped, m.start()), RULE_UNORDERED,
+                f"iteration over unordered container '{m.group(1)}' via "
+                ".begin(): bucket order is implementation-defined "
+                "(iterate a sorted copy, or use std::map)"))
+    return findings
+
+
+# --- rule: nondet-source ----------------------------------------------------
+
+NONDET_PATTERNS = (
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\btime\s*\("), "time()"),
+    (re.compile(r"\bclock\s*\("), "clock()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bhash\s*<[^<>;]*\*[^<>;]*>"), "std::hash over a pointer"),
+)
+
+
+def check_nondet_source(stripped: str, path: str):
+    findings = []
+    for pattern, label in NONDET_PATTERNS:
+        for m in pattern.finditer(stripped):
+            findings.append(Finding(
+                path, line_of(stripped, m.start()), RULE_NONDET,
+                f"{label} in the deterministic zone: results must depend "
+                "only on the seeded rng:: streams (COBRA_SEED), never on "
+                "wall time, the OS entropy pool or pointer values"))
+    return findings
+
+
+# --- rule: metrics-slot-in-loop ---------------------------------------------
+
+METRICS_CALL_RE = re.compile(r"\.\s*(counter|gauge|histogram)\s*\(")
+LOOP_KEYWORD_RE = re.compile(r"\b(for|while)\s*\(")
+
+
+def loop_depth_at(stripped: str):
+    """Maps byte offset -> number of enclosing loop-body braces.  Token
+    level: a brace opened right after `for (...)`/`while (...)` counts as
+    a loop body; do/while and brace-less bodies are approximated."""
+    loop_spans = []
+    stack = []  # (brace_char_is_loop)
+    pending_loop = False
+    depth_paren = 0
+    i = 0
+    n = len(stripped)
+    starts = {m.start(): m for m in LOOP_KEYWORD_RE.finditer(stripped)}
+    while i < n:
+        if i in starts and depth_paren == 0:
+            # Skip the loop header parens, then arm pending_loop.
+            j = starts[i].end()  # just past the '('
+            depth = 1
+            while j < n and depth > 0:
+                if stripped[j] == "(":
+                    depth += 1
+                elif stripped[j] == ")":
+                    depth -= 1
+                j += 1
+            pending_loop = True
+            i = j
+            continue
+        c = stripped[i]
+        if c == "(":
+            depth_paren += 1
+        elif c == ")":
+            depth_paren = max(0, depth_paren - 1)
+        elif c == "{":
+            stack.append((pending_loop, i))
+            pending_loop = False
+        elif c == "}":
+            if stack:
+                was_loop, start = stack.pop()
+                if was_loop:
+                    loop_spans.append((start, i))
+        elif not c.isspace():
+            if pending_loop:
+                # Brace-less loop body: treat to end of statement.
+                end = stripped.find(";", i)
+                loop_spans.append((i, n if end == -1 else end))
+                pending_loop = False
+        i += 1
+    return loop_spans
+
+
+def check_metrics_in_loop(stripped: str, path: str):
+    findings = []
+    spans = loop_depth_at(stripped)
+    for m in METRICS_CALL_RE.finditer(stripped):
+        if any(start < m.start() < end for start, end in spans):
+            findings.append(Finding(
+                path, line_of(stripped, m.start()), RULE_METRICS,
+                f".{m.group(1)}() resolves a metric slot by name inside a "
+                "loop: name lookup takes the registry mutex — resolve the "
+                "MetricId once outside the hot path (see kernel_ids())"))
+    return findings
+
+
+# --- rule: journal-schema-drift ---------------------------------------------
+
+def extract_block(text: str, anchor_re: str, path: str) -> str:
+    """The brace-balanced block starting at the first match of anchor_re."""
+    m = re.search(anchor_re, text)
+    if not m:
+        raise RuntimeError(f"{path}: cannot find /{anchor_re}/ "
+                           "(journal schema tripwire anchors moved?)")
+    i = text.find("{", m.end() - 1)
+    if i == -1:
+        raise RuntimeError(f"{path}: no block after /{anchor_re}/")
+    depth = 0
+    start = i
+    while i < len(text):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[start:i + 1]
+        i += 1
+    raise RuntimeError(f"{path}: unbalanced block after /{anchor_re}/")
+
+
+def journal_schema(root: str):
+    """Returns (version, digest) computed from the journal sources."""
+    hpp_path = os.path.join(root, JOURNAL_HPP)
+    cpp_path = os.path.join(root, JOURNAL_CPP)
+    with open(hpp_path, encoding="utf-8") as f:
+        hpp = f.read()
+    with open(cpp_path, encoding="utf-8") as f:
+        cpp = f.read()
+    vm = re.search(r'kVersion\[\]\s*=\s*"([^"]+)"', cpp)
+    if not vm:
+        raise RuntimeError(f"{cpp_path}: cannot find kVersion")
+    version = vm.group(1)
+    header_struct = extract_block(
+        strip_comments_and_strings(hpp), r"struct\s+JournalHeader\b", hpp_path)
+    format_fn = extract_block(
+        strip_comments_and_strings(cpp),
+        r"std::string\s+format_header\s*\(", cpp_path)
+    normalized = re.sub(r"\s+", " ", header_struct + "\n" + format_fn).strip()
+    digest = hashlib.sha256(normalized.encode("utf-8")).hexdigest()
+    return version, digest
+
+
+def check_journal_schema(root: str):
+    digest_path = os.path.join(root, DIGEST_PATH)
+    rel_cpp = JOURNAL_CPP
+    try:
+        version, digest = journal_schema(root)
+    except (OSError, RuntimeError) as e:
+        return [Finding(rel_cpp, 1, RULE_JOURNAL, str(e))]
+    if not os.path.exists(digest_path):
+        return [Finding(
+            DIGEST_PATH, 1, RULE_JOURNAL,
+            "schema digest file is missing — run "
+            "scripts/cobra_lint.py --update-schema-digest and commit it")]
+    recorded = {}
+    with open(digest_path, encoding="utf-8") as f:
+        for line in f:
+            parts = line.split()
+            if len(parts) == 2:
+                recorded[parts[0]] = parts[1]
+    rec_version = recorded.get("version")
+    rec_digest = recorded.get("digest")
+    if rec_version == version and rec_digest == digest:
+        return []
+    if rec_digest != digest and rec_version == version:
+        return [Finding(
+            rel_cpp, 1, RULE_JOURNAL,
+            "the run-header schema (JournalHeader fields / format_header) "
+            f"changed but kVersion is still '{version}': old journals "
+            "would be misparsed as the same version. Bump kVersion, teach "
+            "resume/merge about the retirement, then run "
+            "--update-schema-digest")]
+    if rec_digest == digest and rec_version != version:
+        return [Finding(
+            rel_cpp, 1, RULE_JOURNAL,
+            f"kVersion changed ('{rec_version}' -> '{version}') with no "
+            "run-header schema change recorded. If the bump is real, "
+            "refresh the digest: scripts/cobra_lint.py "
+            "--update-schema-digest")]
+    return [Finding(
+        rel_cpp, 1, RULE_JOURNAL,
+        f"run-header schema and kVersion both changed ('{rec_version}' -> "
+        f"'{version}'). Review that resume/merge handle the retired "
+        "version, then refresh the digest: scripts/cobra_lint.py "
+        "--update-schema-digest")]
+
+
+def update_schema_digest(root: str) -> int:
+    version, digest = journal_schema(root)
+    digest_path = os.path.join(root, DIGEST_PATH)
+    os.makedirs(os.path.dirname(digest_path), exist_ok=True)
+    with open(digest_path, "w", encoding="utf-8") as f:
+        f.write("# Journal run-header schema digest — maintained by\n"
+                "# scripts/cobra_lint.py --update-schema-digest.\n"
+                "# Trips the journal-schema-drift lint when JournalHeader\n"
+                "# or format_header() changes without a kVersion bump.\n"
+                f"version {version}\n"
+                f"digest {digest}\n")
+    print(f"wrote {digest_path} (version {version})")
+    return 0
+
+
+# --- optional libclang engine for unordered-iteration ------------------------
+
+def libclang_unordered(root: str, files, compile_commands):
+    """Type-accurate range-for check via libclang; returns {path: findings}
+    for files it could parse, or None when libclang is unavailable."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        index = cindex.Index.create()
+    except Exception:
+        return None
+    flag_map = {}
+    if compile_commands and os.path.exists(compile_commands):
+        with open(compile_commands, encoding="utf-8") as f:
+            for entry in json.load(f):
+                args = entry.get("arguments") or entry.get("command", "").split()
+                flag_map[os.path.abspath(entry["file"])] = [
+                    a for a in args[1:]
+                    if a.startswith(("-I", "-D", "-std", "-isystem"))]
+    results = {}
+    for rel in files:
+        if not rel.endswith(".cpp"):
+            continue
+        full = os.path.join(root, rel)
+        flags = flag_map.get(os.path.abspath(full),
+                             ["-std=c++20", "-I" + os.path.join(root, "src")])
+        try:
+            tu = index.parse(full, args=flags)
+        except Exception:
+            continue
+        if any(d.severity >= 4 for d in tu.diagnostics):
+            continue  # fall back to tokens for this file
+        found = []
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind != cindex.CursorKind.CXX_FOR_RANGE_STMT:
+                continue
+            if cursor.location.file is None or \
+                    os.path.abspath(str(cursor.location.file)) != \
+                    os.path.abspath(full):
+                continue
+            children = list(cursor.get_children())
+            if not children:
+                continue
+            range_type = children[0].type.spelling
+            if "unordered_" in range_type:
+                found.append(Finding(
+                    rel, cursor.location.line, RULE_UNORDERED,
+                    f"range-for over {range_type}: bucket order is "
+                    "implementation-defined and breaks the archive "
+                    "contract"))
+        results[rel] = found
+    return results
+
+
+# --- driver -----------------------------------------------------------------
+
+def list_zone_files(root: str):
+    files = []
+    for zone_dir in sorted(set(DETERMINISTIC_ZONE + HOT_LOOP_ZONE)):
+        base = os.path.join(root, zone_dir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_SUFFIXES):
+                    files.append(os.path.relpath(
+                        os.path.join(dirpath, name), root))
+    return sorted(files)
+
+
+def lint(root: str, engine: str, compile_commands: str):
+    files = list_zone_files(root)
+    findings: list[Finding] = []
+
+    clang_results = None
+    if engine in ("auto", "libclang"):
+        clang_results = libclang_unordered(root, files, compile_commands)
+        if clang_results is None and engine == "libclang":
+            print("cobra-lint: libclang requested but not importable",
+                  file=sys.stderr)
+            return None
+
+    for rel in files:
+        full = os.path.join(root, rel)
+        with open(full, encoding="utf-8", errors="replace") as f:
+            original = f.read()
+        stripped = strip_comments_and_strings(original)
+        allows, bare = collect_allows(original, rel)
+        findings.extend(bare)
+        raw: list[Finding] = []
+        if in_zone(rel, DETERMINISTIC_ZONE):
+            if clang_results is not None and rel in clang_results:
+                raw.extend(clang_results[rel])
+            else:
+                raw.extend(check_unordered_iteration(stripped, rel))
+            raw.extend(check_nondet_source(stripped, rel))
+        if in_zone(rel, HOT_LOOP_ZONE):
+            raw.extend(check_metrics_in_loop(stripped, rel))
+        for f_ in raw:
+            if f_.rule in allows.get(f_.line, ()):
+                continue
+            findings.append(f_)
+
+    findings.extend(check_journal_schema(root))
+    findings.sort(key=lambda f_: (f_.path, f_.line, f_.rule))
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cobra_lint.py",
+        description="determinism & concurrency lints for the COBRA tree")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json for the libclang engine "
+                             "(default: <root>/build/compile_commands.json)")
+    parser.add_argument("--engine", choices=("auto", "tokens", "libclang"),
+                        default="tokens",
+                        help="analysis engine (default: tokens — the gated "
+                             "verdicts; auto upgrades unordered-iteration "
+                             "to libclang when importable)")
+    parser.add_argument("--update-schema-digest", action="store_true",
+                        help="regenerate scripts/journal_schema.digest from "
+                             "the current journal sources and exit")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    compile_commands = args.compile_commands or os.path.join(
+        root, "build", "compile_commands.json")
+
+    try:
+        if args.update_schema_digest:
+            return update_schema_digest(root)
+        findings = lint(root, args.engine, compile_commands)
+    except (OSError, RuntimeError) as e:
+        print(f"cobra-lint: error: {e}", file=sys.stderr)
+        return 2
+    if findings is None:
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"cobra-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("cobra-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Self-test for cobra_lint.py against tests/lint_fixtures/tree.
+
+Runs the linter over the fixture tree (one seeded violation per rule plus
+one allowlisted suppression) and asserts the exact rule-id and file:line
+of every expected finding — and that nothing else fires. Registered in
+ctest as cobra_lint_selftest; a lint engine that silently stops seeing a
+rule fails here, not in a real PR.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(ROOT, "scripts", "cobra_lint.py")
+FIXTURES = os.path.join(ROOT, "tests", "lint_fixtures", "tree")
+
+# Every finding the fixture tree must produce: (file, line, rule-id).
+EXPECTED = {
+    ("src/core/unordered_iter.cpp", 13, "unordered-iteration"),
+    ("src/core/unordered_iter.cpp", 16, "unordered-iteration"),
+    ("src/core/nondet.cpp", 13, "nondet-source"),
+    ("src/core/nondet.cpp", 17, "nondet-source"),
+    ("src/baselines/metrics_loop.cpp", 16, "metrics-slot-in-loop"),
+    ("src/core/allowed.cpp", 21, "allow-needs-reason"),
+    ("src/runner/journal.cpp", 1, "journal-schema-drift"),
+}
+
+# Lines that must NOT fire (benign look-alikes the rules must skip).
+FORBIDDEN_SUBSTRINGS = (
+    "src/core/allowed.cpp:14",   # the justified allow(unordered-iteration)
+    "src/core/nondet.cpp:9",     # infection_time() is not time()
+    "src/core/nondet.cpp:12",    # the infection_time call site
+    "metrics_loop.cpp:14",       # hoisted .counter( outside the loop
+)
+
+FINDING_RE = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z-]+)\]")
+
+
+def main() -> int:
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", FIXTURES, "--engine", "tokens"],
+        capture_output=True, text=True)
+    out = proc.stdout
+    failures = []
+
+    if proc.returncode != 1:
+        failures.append(
+            f"expected exit code 1 (findings), got {proc.returncode}\n"
+            f"stdout:\n{out}\nstderr:\n{proc.stderr}")
+
+    got = set()
+    for line in out.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            got.add((m.group("file").replace(os.sep, "/"),
+                     int(m.group("line")), m.group("rule")))
+
+    for exp in sorted(EXPECTED):
+        if exp not in got:
+            failures.append(f"missing expected finding: {exp[0]}:{exp[1]} "
+                            f"[{exp[2]}]")
+    for extra in sorted(got - EXPECTED):
+        failures.append(f"unexpected finding: {extra[0]}:{extra[1]} "
+                        f"[{extra[2]}]")
+    for needle in FORBIDDEN_SUBSTRINGS:
+        if needle in out:
+            failures.append(f"benign line fired: {needle}")
+
+    # The real tree must be clean — the gate the CI lint job relies on.
+    real = subprocess.run(
+        [sys.executable, LINT, "--root", ROOT, "--engine", "tokens"],
+        capture_output=True, text=True)
+    if real.returncode != 0:
+        failures.append(
+            f"real tree is not lint-clean (exit {real.returncode}):\n"
+            f"{real.stdout}{real.stderr}")
+
+    if failures:
+        print("cobra_lint_selftest: FAIL")
+        for f in failures:
+            print(" -", f)
+        print("\nfull fixture output:\n" + out)
+        return 1
+    print(f"cobra_lint_selftest: OK ({len(EXPECTED)} seeded findings "
+          "matched, real tree clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

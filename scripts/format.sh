@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Applies (default) or checks (--check) the repo .clang-format over every
+# first-party C++ file. The CI `lint` job runs `scripts/format.sh --check`;
+# exits 0 when clang-format is unavailable locally so ad-hoc containers
+# without the LLVM frontend are not blocked — CI installs the real thing.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+mode="apply"
+if [ "${1:-}" = "--check" ]; then
+  mode="check"
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format: clang-format not found on PATH; skipping (CI runs it)" >&2
+  exit 0
+fi
+
+mapfile -t files < <(cd "$root" && find src bench examples tests \
+  \( -name '*.cpp' -o -name '*.hpp' -o -name '*.h' \) \
+  -not -path 'tests/lint_fixtures/*' | sort)
+
+if [ "$mode" = "check" ]; then
+  status=0
+  for f in "${files[@]}"; do
+    if ! clang-format --style=file --dry-run -Werror "$root/$f" \
+        >/dev/null 2>&1; then
+      echo "format: needs reformat: $f"
+      status=1
+    fi
+  done
+  if [ "$status" -ne 0 ]; then
+    echo "format: run scripts/format.sh to fix" >&2
+  fi
+  exit "$status"
+fi
+
+for f in "${files[@]}"; do
+  clang-format --style=file -i "$root/$f"
+done
+echo "format: formatted ${#files[@]} files"

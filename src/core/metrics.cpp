@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
+
+#include "util/annotations.hpp"
 
 namespace cobra::core {
 
@@ -55,9 +56,11 @@ namespace {
 // with telemetry on, plus the folded counts of threads that exited
 // between drains.
 struct SessionBlocks {
-  std::mutex mu;
-  std::vector<StepMetrics*> blocks;
-  StepMetrics retired;
+  util::Mutex mu;
+  // Pointers guarded; each pointee is one thread's private block, folded
+  // by drain_session_step_metrics() only at quiescence (cell boundaries).
+  std::vector<StepMetrics*> blocks COBRA_GUARDED_BY(mu);
+  StepMetrics retired COBRA_GUARDED_BY(mu);
 };
 
 SessionBlocks& session_blocks() {
@@ -75,7 +78,7 @@ struct ThreadBlock {
     if (!block) {
       block = std::make_unique<StepMetrics>();
       SessionBlocks& s = session_blocks();
-      std::lock_guard<std::mutex> lock(s.mu);
+      util::MutexLock lock(s.mu);
       s.blocks.push_back(block.get());
     }
     return block.get();
@@ -84,7 +87,7 @@ struct ThreadBlock {
   ~ThreadBlock() {
     if (!block) return;
     SessionBlocks& s = session_blocks();
-    std::lock_guard<std::mutex> lock(s.mu);
+    util::MutexLock lock(s.mu);
     s.retired.merge_from(*block);
     std::erase(s.blocks, block.get());
   }
@@ -104,7 +107,7 @@ StepMetrics* session_step_metrics() {
 
 StepMetrics drain_session_step_metrics() {
   SessionBlocks& s = session_blocks();
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   StepMetrics out;
   out.merge_from(s.retired);
   s.retired.reset();

@@ -3,7 +3,6 @@
 #include <charconv>
 #include <filesystem>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "graph/binary_io.hpp"
@@ -11,6 +10,7 @@
 #include "graph/io.hpp"
 #include "graph/random_generators.hpp"
 #include "rng/stream.hpp"
+#include "util/annotations.hpp"
 #include "util/assert.hpp"
 #include "util/metrics.hpp"
 
@@ -133,10 +133,12 @@ bool is_cgr_path(const std::string& path) {
 }
 
 struct GraphCache {
-  std::mutex mu;
-  std::map<std::string, std::shared_ptr<const Graph>> by_spec;
-  std::map<std::uint64_t, std::shared_ptr<const Graph>> by_fingerprint;
-  GraphCacheStats stats;
+  util::Mutex mu;
+  std::map<std::string, std::shared_ptr<const Graph>> by_spec
+      COBRA_GUARDED_BY(mu);
+  std::map<std::uint64_t, std::shared_ptr<const Graph>> by_fingerprint
+      COBRA_GUARDED_BY(mu);
+  GraphCacheStats stats COBRA_GUARDED_BY(mu);
 };
 
 GraphCache& cache() {
@@ -197,11 +199,12 @@ std::string graph_spec_label(const std::string& spec) {
 }
 
 std::shared_ptr<const Graph> shared_graph(const std::string& spec) {
+  GraphCache& c = cache();
   {
-    std::lock_guard<std::mutex> lock(cache().mu);
-    const auto it = cache().by_spec.find(spec);
-    if (it != cache().by_spec.end()) {
-      ++cache().stats.hits;
+    util::MutexLock lock(c.mu);
+    const auto it = c.by_spec.find(spec);
+    if (it != c.by_spec.end()) {
+      ++c.stats.hits;
       util::count_if_collecting(graph_cache_ids().hits);
       return it->second;
     }
@@ -211,40 +214,41 @@ std::shared_ptr<const Graph> shared_graph(const std::string& spec) {
   auto built = std::make_shared<const Graph>(build_graph_spec(spec));
   const std::uint64_t fp = built->fingerprint();
 
-  std::lock_guard<std::mutex> lock(cache().mu);
-  if (const auto it = cache().by_spec.find(spec);
-      it != cache().by_spec.end()) {
-    ++cache().stats.hits;
+  util::MutexLock lock(c.mu);
+  if (const auto it = c.by_spec.find(spec); it != c.by_spec.end()) {
+    ++c.stats.hits;
     util::count_if_collecting(graph_cache_ids().hits);
     return it->second;
   }
-  ++cache().stats.misses;
+  ++c.stats.misses;
   util::count_if_collecting(graph_cache_ids().misses);
   std::shared_ptr<const Graph> resolved = built;
-  if (const auto fit = cache().by_fingerprint.find(fp);
-      fit != cache().by_fingerprint.end()) {
+  if (const auto fit = c.by_fingerprint.find(fp);
+      fit != c.by_fingerprint.end()) {
     // Structurally identical to a graph we already hold (e.g. `file:` of
     // a pre-baked family): share the existing instance and its caches.
     resolved = fit->second;
-    ++cache().stats.fingerprint_dedups;
+    ++c.stats.fingerprint_dedups;
     util::count_if_collecting(graph_cache_ids().fingerprint_dedups);
   } else {
-    cache().by_fingerprint.emplace(fp, resolved);
+    c.by_fingerprint.emplace(fp, resolved);
   }
-  cache().by_spec.emplace(spec, resolved);
+  c.by_spec.emplace(spec, resolved);
   return resolved;
 }
 
 GraphCacheStats graph_cache_stats() {
-  std::lock_guard<std::mutex> lock(cache().mu);
-  return cache().stats;
+  GraphCache& c = cache();
+  util::MutexLock lock(c.mu);
+  return c.stats;
 }
 
 void clear_graph_cache() {
-  std::lock_guard<std::mutex> lock(cache().mu);
-  cache().by_spec.clear();
-  cache().by_fingerprint.clear();
-  cache().stats = GraphCacheStats{};
+  GraphCache& c = cache();
+  util::MutexLock lock(c.mu);
+  c.by_spec.clear();
+  c.by_fingerprint.clear();
+  c.stats = GraphCacheStats{};
 }
 
 std::vector<std::string> split_graph_specs(const std::string& list) {

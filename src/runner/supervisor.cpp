@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <charconv>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstring>
 #include <filesystem>
@@ -22,6 +23,7 @@
 #include "graph/spec.hpp"
 #include "runner/journal.hpp"
 #include "runner/telemetry.hpp"
+#include "util/annotations.hpp"
 #include "util/assert.hpp"
 #include "util/env.hpp"
 #include "util/metrics.hpp"
@@ -45,7 +47,6 @@ struct Shard {
   int restarts = 0;
   int wedges = 0;             // wedge kills among the restarts
   bool complete = false;
-  std::size_t cells_done = 0;           // last known journaled-cell count
   std::uintmax_t last_size = 0;         // journal size at last progress
   Clock::time_point last_progress{};    // journal growth or spawn time
   /// Wedge threshold for this shard (0 = disabled). Floored at 3x the
@@ -216,6 +217,125 @@ void check_no_conflicting_journals(const std::string& out_dir,
                           << "if that run is no longer needed");
 }
 
+/// Per-shard facts fixed before any worker (or the status thread) starts:
+/// shared across threads without a lock because nothing ever writes them
+/// again.
+struct ShardFacts {
+  int index = 0;              // 1-based shard i of i/k
+  std::size_t cells = 0;      // slice size (completion target)
+  std::string journal_path;
+};
+
+/// The live shard board shared between the poll loop (sole writer) and
+/// the status thread (reader). The poll loop publishes cheap snapshots of
+/// the mutable worker bookkeeping; the status thread turns them into the
+/// `cobra top` sidecar off the critical path, so the slow Journal::read
+/// that counts a shard's finished cells no longer delays waitpid reaping
+/// or wedge detection between polls.
+struct ShardBoard {
+  /// Mutable slice of one Shard, as the status thread sees it.
+  struct Entry {
+    long pid = -1;
+    int restarts = 0;
+    int wedges = 0;
+    bool complete = false;
+  };
+  util::Mutex mu;
+  std::vector<Entry> entries COBRA_GUARDED_BY(mu);
+  bool stop COBRA_GUARDED_BY(mu) = false;
+  std::condition_variable cv;  // signals `stop` for a prompt join
+};
+
+/// Snapshot of the mutable per-shard state for the board.
+std::vector<ShardBoard::Entry> entries_from(const std::vector<Shard>& shards) {
+  std::vector<ShardBoard::Entry> entries;
+  entries.reserve(shards.size());
+  for (const Shard& shard : shards) {
+    entries.push_back(ShardBoard::Entry{static_cast<long>(shard.pid),
+                                        shard.restarts, shard.wedges,
+                                        shard.complete});
+  }
+  return entries;
+}
+
+/// Builds the fleet snapshot for `cobra top` / `cobra sweep --status`.
+/// `done` carries the last known journaled-cell count per shard across
+/// calls: a worker may be mid-append, and a transiently unreadable
+/// journal keeps the previous count rather than failing the sweep.
+SweepStatus build_sweep_status(const std::string& experiment,
+                               const std::vector<ShardFacts>& facts,
+                               const std::vector<ShardBoard::Entry>& entries,
+                               std::vector<std::size_t>& done) {
+  SweepStatus status;
+  status.experiment = experiment;
+  status.shard_count = static_cast<int>(facts.size());
+  for (std::size_t i = 0; i < facts.size(); ++i) {
+    const ShardFacts& fact = facts[i];
+    const ShardBoard::Entry& entry = entries[i];
+    if (!entry.complete && fs::exists(fact.journal_path)) {
+      try {
+        done[i] = Journal::read(fact.journal_path).second.size();
+      } catch (const util::CheckError&) {
+      }
+    }
+    ShardStatus s;
+    s.index = fact.index;
+    s.pid = entry.pid;
+    s.restarts = entry.restarts;
+    s.wedges = entry.wedges;
+    s.state = entry.complete ? "complete"
+                             : (entry.pid > 0 ? "running" : "dead");
+    s.cells_done = entry.complete ? fact.cells : done[i];
+    s.cells_total = fact.cells;
+    status.shards.push_back(std::move(s));
+  }
+  return status;
+}
+
+/// Body of the status thread: about once a second, snapshot the board,
+/// count journaled cells and rewrite the status sidecar — all journal
+/// I/O outside the lock. Returns on stop *without* a last write; the
+/// supervisor writes the initial and final snapshots itself, so the
+/// "initial + ~1/s + final" contract holds regardless of thread timing.
+void status_writer_loop(ShardBoard& board,
+                        const std::vector<ShardFacts>& facts,
+                        const std::string& status_path,
+                        const std::string& experiment) {
+  std::vector<std::size_t> done(facts.size(), 0);
+  for (;;) {
+    std::vector<ShardBoard::Entry> entries;
+    {
+      util::MutexLock lock(board.mu);
+      // Manual deadline loop rather than the predicate overload: the
+      // guarded reads stay in this scope, where the analysis can see the
+      // capability held (and a spurious wakeup cannot write early).
+      const auto deadline = Clock::now() + std::chrono::seconds(1);
+      while (!board.stop && Clock::now() < deadline)
+        board.cv.wait_until(lock.native(), deadline);
+      if (board.stop) return;
+      entries = board.entries;
+    }
+    write_sweep_status(status_path,
+                       build_sweep_status(experiment, facts, entries, done));
+  }
+}
+
+/// Stops and joins the status thread on every exit path. Declared *after*
+/// the Reaper so it destructs first: the thread must be gone before the
+/// board and shards it reads are torn down.
+struct StatusThread {
+  ShardBoard* board;
+  std::thread thread;
+  ~StatusThread() {
+    {
+      util::MutexLock lock(board->mu);
+      board->stop = true;
+    }
+    board->cv.notify_all();
+    if (thread.joinable()) thread.join();
+  }
+};
+
 /// Kills (SIGKILL) and reaps every still-live worker — exception-path
 /// cleanup so an aborting sweep never leaks orphan processes.
 struct Reaper {
@@ -354,36 +474,23 @@ SupervisorResult supervise_experiment(const ExperimentDef& def,
 
   // Fleet snapshot for `cobra top` / `cobra sweep --status`: rewritten
   // atomically at most once a second (plus once at start and at the end),
-  // so an observer process always reads a consistent view.
+  // so an observer process always reads a consistent view. The periodic
+  // writes run on a dedicated status thread reading the shard board.
   const std::string status_path =
       sweep_status_path(config.out_dir, def.name);
-  const auto write_status = [&]() {
-    SweepStatus status;
-    status.experiment = def.name;
-    status.shard_count = k;
-    for (Shard& shard : shards) {
-      if (!shard.complete && fs::exists(shard.journal_path)) {
-        // A worker may be mid-append; a transiently unreadable journal
-        // keeps the previous count rather than failing the sweep.
-        try {
-          shard.cells_done = Journal::read(shard.journal_path).second.size();
-        } catch (const util::CheckError&) {
-        }
-      }
-      ShardStatus s;
-      s.index = shard.index;
-      s.pid = shard.pid;
-      s.restarts = shard.restarts;
-      s.wedges = shard.wedges;
-      s.state = shard.complete ? "complete"
-                               : (shard.pid > 0 ? "running" : "dead");
-      s.cells_done = shard.complete ? shard.cells : shard.cells_done;
-      s.cells_total = shard.cells;
-      status.shards.push_back(std::move(s));
-    }
-    write_sweep_status(status_path, status);
+  std::vector<ShardFacts> facts;
+  facts.reserve(shards.size());
+  for (const Shard& shard : shards)
+    facts.push_back(ShardFacts{shard.index, shard.cells, shard.journal_path});
+  ShardBoard board;
+  const auto publish = [&shards, &board]() {
+    std::vector<ShardBoard::Entry> entries = entries_from(shards);
+    util::MutexLock lock(board.mu);
+    board.entries = std::move(entries);
   };
-  Clock::time_point last_status = Clock::now();
+  // The supervisor's own journaled-cell counts, for the initial and final
+  // status writes (the status thread keeps its own).
+  std::vector<std::size_t> done(shards.size(), 0);
 
   const auto spawn = [&](Shard& shard) {
     const bool inject =
@@ -430,7 +537,14 @@ SupervisorResult supervise_experiment(const ExperimentDef& def,
   };
 
   for (Shard& shard : shards) spawn(shard);
-  write_status();
+  publish();
+  write_sweep_status(
+      status_path, build_sweep_status(def.name, facts, entries_from(shards),
+                                      done));
+  StatusThread status_thread{
+      &board, std::thread([&board, &facts, &status_path, &def] {
+        status_writer_loop(board, facts, status_path, def.name);
+      })};
 
   for (;;) {
     bool all_complete = true;
@@ -489,16 +603,23 @@ SupervisorResult supervise_experiment(const ExperimentDef& def,
         respawn(shard, os.str());
       }
     }
+    publish();
     if (all_complete) break;
-    if (Clock::now() - last_status >= std::chrono::seconds(1)) {
-      write_status();
-      last_status = Clock::now();
-    }
     std::this_thread::sleep_for(
         std::chrono::duration<double>(config.poll_interval_s));
   }
   reaper.disarmed = true;  // nothing left alive to reap
-  write_status();          // final snapshot: every shard complete
+  {
+    // Stop the status thread before the final snapshot so the two writers
+    // never interleave on the status file.
+    util::MutexLock lock(board.mu);
+    board.stop = true;
+  }
+  board.cv.notify_all();
+  if (status_thread.thread.joinable()) status_thread.thread.join();
+  write_sweep_status(
+      status_path, build_sweep_status(def.name, facts, entries_from(shards),
+                                      done));  // final: every shard complete
 
   if (config.log) {
     *config.log << "[sweep] all " << k << " shards complete; merging\n";

@@ -516,15 +516,15 @@ std::size_t render_metrics_report(const std::string& out_dir,
         paths.push_back(entry.path().string());
       }
     }
-    for (const std::string& path : fragments) {
+    for (std::string& path : fragments) {
+      constexpr std::string_view suffix = ".metrics.jsonl";
+      const std::string file = fs::path(path).filename().string();
       std::string experiment;
       int index = 0, count = 0;
-      parse_shard_stem(fs::path(path).filename().string().substr(
-                           0, fs::path(path).filename().string().size() -
-                                  std::string(".metrics.jsonl").size()),
+      parse_shard_stem(file.substr(0, file.size() - suffix.size()),
                        experiment, index, count);
       if (canonical.find(experiment) == canonical.end())
-        paths.push_back(path);
+        paths.push_back(std::move(path));
     }
   }
   std::sort(paths.begin(), paths.end());

@@ -1,7 +1,6 @@
 #include "spectral/spectral.hpp"
 
 #include <cmath>
-#include <mutex>
 #include <numbers>
 #include <unordered_map>
 
@@ -10,6 +9,7 @@
 #include "spectral/dense.hpp"
 #include "spectral/lanczos.hpp"
 #include "spectral/power.hpp"
+#include "util/annotations.hpp"
 #include "util/assert.hpp"
 #include "util/metrics.hpp"
 
@@ -49,10 +49,11 @@ namespace {
 // Process-wide spectrum cache. Guarded by a mutex: cells run sequentially,
 // but examples and future drivers may solve from worker threads.
 struct SpectralCache {
-  std::mutex mutex;
-  std::unordered_map<std::uint64_t, SpectralInfo> entries;
-  std::size_t hits = 0;
-  std::size_t misses = 0;
+  util::Mutex mutex;
+  std::unordered_map<std::uint64_t, SpectralInfo> entries
+      COBRA_GUARDED_BY(mutex);
+  std::size_t hits COBRA_GUARDED_BY(mutex) = 0;
+  std::size_t misses COBRA_GUARDED_BY(mutex) = 0;
 };
 
 SpectralCache& spectral_cache() {
@@ -85,7 +86,7 @@ SpectralInfo compute_lambda_cached(const graph::Graph& g, std::uint64_t seed,
                  rng::mix64(0x5BEC7247ull + dense_threshold));
   SpectralCache& cache = spectral_cache();
   {
-    const std::lock_guard<std::mutex> lock(cache.mutex);
+    const util::MutexLock lock(cache.mutex);
     const auto it = cache.entries.find(key);
     if (it != cache.entries.end()) {
       ++cache.hits;
@@ -97,7 +98,7 @@ SpectralInfo compute_lambda_cached(const graph::Graph& g, std::uint64_t seed,
   // threads racing on the same key at worst duplicate one solve.
   const SpectralInfo info = compute_lambda(g, seed, dense_threshold);
   {
-    const std::lock_guard<std::mutex> lock(cache.mutex);
+    const util::MutexLock lock(cache.mutex);
     ++cache.misses;
     cache.entries.emplace(key, info);
   }
@@ -107,13 +108,13 @@ SpectralInfo compute_lambda_cached(const graph::Graph& g, std::uint64_t seed,
 
 SpectralCacheStats spectral_cache_stats() {
   SpectralCache& cache = spectral_cache();
-  const std::lock_guard<std::mutex> lock(cache.mutex);
+  const util::MutexLock lock(cache.mutex);
   return SpectralCacheStats{cache.hits, cache.misses, cache.entries.size()};
 }
 
 void clear_spectral_cache() {
   SpectralCache& cache = spectral_cache();
-  const std::lock_guard<std::mutex> lock(cache.mutex);
+  const util::MutexLock lock(cache.mutex);
   cache.entries.clear();
   cache.hits = 0;
   cache.misses = 0;

@@ -4,8 +4,8 @@
 #include <bit>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "util/annotations.hpp"
 #include "util/assert.hpp"
 #include "util/env.hpp"
 
@@ -53,15 +53,18 @@ using Slots = std::array<std::uint64_t, MetricsRegistry::kMaxSlots>;
 }  // namespace
 
 struct MetricsRegistry::Impl {
-  std::mutex mu;
+  Mutex mu;
   // Definitions in name order (std::map keeps drain output sorted for
   // free) plus the next free slot index.
-  std::map<std::string, MetricDef, std::less<>> defs;
-  std::size_t next_slot = 0;
+  std::map<std::string, MetricDef, std::less<>> defs COBRA_GUARDED_BY(mu);
+  std::size_t next_slot COBRA_GUARDED_BY(mu) = 0;
   // Live per-thread slot arrays, plus the folded slots of exited threads
-  // (a worker dying between drains must not lose its counts).
-  std::vector<Slots*> threads;
-  Slots retired{};
+  // (a worker dying between drains must not lose its counts). The
+  // *pointers* are guarded; each pointee is a thread-local array its
+  // owning thread updates lock-free — drain() may only fold them at
+  // quiescence (see the header).
+  std::vector<Slots*> threads COBRA_GUARDED_BY(mu);
+  Slots retired COBRA_GUARDED_BY(mu) = {};
 };
 
 namespace {
@@ -76,7 +79,7 @@ struct ThreadSlots {
     if (!slots) {
       slots = std::make_unique<Slots>();
       impl = &registry_impl;
-      std::lock_guard<std::mutex> lock(impl->mu);
+      MutexLock lock(impl->mu);
       impl->threads.push_back(slots.get());
     }
     return slots->data();
@@ -84,7 +87,7 @@ struct ThreadSlots {
 
   ~ThreadSlots() {
     if (!slots) return;
-    std::lock_guard<std::mutex> lock(impl->mu);
+    MutexLock lock(impl->mu);
     for (std::size_t i = 0; i < slots->size(); ++i)
       impl->retired[i] += (*slots)[i];
     // Gauge slots fold by max, not sum — several exiting threads must not
@@ -120,7 +123,7 @@ MetricId MetricsRegistry::register_metric(std::string_view name,
                                           std::size_t slots) {
   COBRA_CHECK_MSG(!name.empty(), "metric name must not be empty");
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   auto it = im.defs.find(name);
   if (it != im.defs.end()) {
     COBRA_CHECK_MSG(it->second.kind == kind,
@@ -170,7 +173,7 @@ void MetricsRegistry::observe(MetricId id, std::uint64_t value) {
 
 MetricsSnapshot MetricsRegistry::drain(bool reset) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   Slots folded{};
   for (std::size_t i = 0; i < folded.size(); ++i) folded[i] = im.retired[i];
   for (Slots* t : im.threads)

@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -26,8 +26,12 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      // Manual wait loop rather than the predicate overload: the guarded
+      // accesses stay in this scope, where the analysis can see the
+      // capability held (a predicate lambda is a separate function the
+      // lock set does not flow into).
+      while (!stopping_ && tasks_.empty()) cv_.wait(lock.native());
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

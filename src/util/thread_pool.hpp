@@ -10,10 +10,11 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace cobra::util {
 
@@ -36,7 +37,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
     std::future<R> result = packaged->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       tasks_.emplace([packaged] { (*packaged)(); });
     }
     cv_.notify_one();
@@ -51,10 +52,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ COBRA_GUARDED_BY(mutex_);
   std::condition_variable cv_;
-  bool stopping_ = false;
+  bool stopping_ COBRA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace cobra::util

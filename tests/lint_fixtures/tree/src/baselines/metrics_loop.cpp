@@ -1,0 +1,22 @@
+// Seeded violation for cobra-lint's metrics-slot-in-loop rule: slot
+// resolution by name inside the per-round loop. The hoisted resolution
+// before the loop must NOT trip. Never compiled.
+
+namespace fixture {
+
+struct Registry {
+  int counter(const char*) { return 0; }
+  int gauge(const char*) { return 0; }
+  void add(int, int) {}
+};
+
+void run_rounds(Registry& reg, int rounds) {
+  const int hoisted = reg.counter("baseline.rounds");  // benign: outside
+  for (int r = 0; r < rounds; ++r) {
+    const int id = reg.counter("baseline.steps");  // line 16: in-loop
+    reg.add(id, r);
+    reg.add(hoisted, 1);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Allowlist fixture: a real unordered iteration suppressed with a
+// justified marker (must produce NO finding) and a bare marker without a
+// justification (must trip allow-needs-reason). Never compiled.
+#include <cstddef>
+#include <unordered_set>
+
+namespace fixture {
+
+std::size_t count_all() {
+  std::unordered_set<int> seen;
+  seen.insert(7);
+  std::size_t n = 0;
+  // cobra-lint: allow(unordered-iteration) -- order-insensitive count only
+  for (const int v : seen) {
+    (void)v;
+    ++n;
+  }
+  return n;
+}
+
+// cobra-lint: allow(nondet-source)
+// ^ line 21: bare marker, no justification -> allow-needs-reason
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Seeded violations for cobra-lint's nondet-source rule. The self-test
+// asserts the exact lines; the infection_time() call below must NOT trip
+// (word-boundary check). Never compiled.
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+int infection_time(int v) { return v; }  // benign: not time()
+
+int draw_noise() {
+  const int base = infection_time(3);
+  return base + rand();  // line 13: rand()
+}
+
+long stamp() {
+  return time(nullptr);  // line 17: time()
+}
+
+}  // namespace fixture

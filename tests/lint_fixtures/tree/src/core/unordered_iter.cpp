@@ -1,0 +1,21 @@
+// Seeded violation for cobra-lint's unordered-iteration rule: the
+// self-test (scripts/cobra_lint_selftest.py) asserts this file trips at
+// exactly the lines marked below. Never compiled.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+std::uint64_t fold_visit_counts() {
+  std::unordered_map<std::uint64_t, std::uint64_t> visits;
+  visits.emplace(1, 2);
+  std::uint64_t sum = 0;
+  for (const auto& [vertex, count] : visits) {  // line 13: range-for
+    sum += vertex * count;
+  }
+  auto it = visits.begin();  // line 16: explicit .begin()
+  (void)it;
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Miniature journal writer for the journal-schema-drift fixture. The
+// header gained a field (see journal.hpp) but kVersion stayed at v4 and
+// the digest file was not refreshed — cobra-lint must trip. Never
+// compiled.
+#include <sstream>
+#include <string>
+
+namespace fixture {
+
+constexpr char kVersion[] = "v4";
+
+struct JournalHeader;
+
+std::string format_header(const JournalHeader&) {
+  std::ostringstream os;
+  os << "run\tfixture\t1/1\t0\t1\tauto\t1\t0";
+  return os.str();
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Miniature journal header for the journal-schema-drift fixture: the
+// checked-in digest below records an older field list, simulating a
+// schema edit that forgot the kVersion bump. Never compiled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct JournalHeader {
+  std::string experiment;
+  int shard_index = 1;
+  int shard_count = 1;
+  std::uint64_t seed = 0;
+  double scale = 1.0;
+  std::string engine = "auto";
+  int kernel_threads = 1;
+  int lane_chunk = 0;  // the new field the digest does not know about
+};
+
+}  // namespace fixture
